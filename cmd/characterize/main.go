@@ -1,0 +1,111 @@
+// Command characterize reproduces the paper's Section II undervolting
+// characterization: the per-operand fault-onset window, the faulty-bit
+// location distribution (Fig 1), the instruction-class fault behaviour,
+// and the approximate-entropy stochasticity check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shmd/internal/faults"
+	"shmd/internal/fxp"
+	"shmd/internal/rng"
+	"shmd/internal/volt"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random stream seed")
+	device := flag.Uint64("device", 0, "device profile seed (0 = reference device)")
+	operands := flag.Int("operands", 100000, "operand sets for the Fig 1 histogram")
+	temp := flag.Float64("temp", volt.ReferenceTempC, "die temperature in °C")
+	flag.Parse()
+
+	profile := volt.NewDeviceProfile(*device)
+	if err := run(os.Stdout, profile, *seed, *operands, *temp); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, profile volt.DeviceProfile, seed uint64, operands int, tempC float64) error {
+	fmt.Fprintf(w, "device profile: U50=%.1f mV, guard band=%.1f mV, freeze=%.1f mV (%.1f °C)\n",
+		profile.U50MV, profile.GuardBandMV, profile.FreezeMV, tempC)
+
+	// Fault-onset sweep: lower the voltage 1 mV at a time for several
+	// operand pairs, reporting the first faulting depth — the
+	// −103..−145 mV window of Section II.
+	fmt.Fprintln(w, "\nfault onset by operand pair (1 mV steps):")
+	pairs := [][2]int32{
+		{123456789, 987654321},
+		{1, 1},
+		{0x7FFFFFF, 0x1234567},
+		{-55555555, 44444444},
+		{314159265, -271828182},
+	}
+	for _, p := range pairs {
+		onset := profile.OperandOnsetMV(p[0], p[1])
+		fmt.Fprintf(w, "  %12d × %12d : first fault at −%.0f mV\n", p[0], p[1], onset)
+	}
+
+	// Voltage → error-rate curve.
+	fmt.Fprintln(w, "\nundervolt depth → multiplier error rate:")
+	for _, depth := range []float64{90, 103, 115, 130, 145, 160, 180, 200} {
+		fmt.Fprintf(w, "  −%3.0f mV (%.3f V): %.4f\n",
+			depth, volt.SupplyVoltageAt(depth), profile.ErrorRate(depth, tempC))
+	}
+
+	// Fig 1: bit-location histogram at −130 mV.
+	rate := profile.ErrorRate(130, tempC)
+	inj, err := faults.NewInjector(rate, nil, rng.NewRand(seed, 1))
+	if err != nil {
+		return err
+	}
+	hist := faults.ObservedBitHistogram(inj, operands, 5, rng.NewRand(seed, 2))
+	fmt.Fprintf(w, "\nFig 1 — faulty-bit location rates at −130 mV (er=%.4f, %d operand sets):\n", rate, operands)
+	for bit := faults.ProductBits - 1; bit >= 0; bit-- {
+		if hist[bit] == 0 {
+			continue
+		}
+		bar := int(hist[bit] * 40 / maxRate(hist))
+		fmt.Fprintf(w, "  bit %2d  %8.5f%%  %s\n", bit, 100*hist[bit], bars(bar))
+	}
+	fmt.Fprintln(w, "  (sign bit 63 and bits 0..7 never fault)")
+
+	// Stochasticity: ApEn of a fixed-operand fault series.
+	apInj, err := faults.NewInjector(rate, nil, rng.NewRand(seed, 3))
+	if err != nil {
+		return err
+	}
+	ap, err := faults.StochasticityApEn(apInj, fxp.Value(123456789), fxp.Value(987654321), 400)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\napproximate entropy of fixed-operand fault series: %.3f (0 = deterministic)\n", ap)
+
+	// Instruction-class behaviour: only multiplications fault.
+	fmt.Fprintln(w, "\ninstruction classes under undervolting:")
+	fmt.Fprintln(w, "  multiply (imul/mul/fmul/pmulld): FAULTS (long carry chains)")
+	fmt.Fprintln(w, "  add/sub/logic/shift:             no faults observed (short paths)")
+	return nil
+}
+
+func maxRate(hist [faults.ProductBits]float64) float64 {
+	max := 1e-12
+	for _, r := range hist {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

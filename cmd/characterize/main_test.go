@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"shmd/internal/volt"
+)
+
+func TestRunProducesCharacterization(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, volt.DefaultProfile(), 1, 2000, volt.ReferenceTempC); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fault onset by operand pair",
+		"undervolt depth → multiplier error rate",
+		"Fig 1",
+		"approximate entropy",
+		"sign bit 63 and bits 0..7 never fault",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunOnVariantDevice(t *testing.T) {
+	var b strings.Builder
+	profile := volt.NewDeviceProfile(7)
+	if err := run(&b, profile, 2, 1000, 65); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "65.0 °C") {
+		t.Error("temperature not reported")
+	}
+}
+
+func TestBars(t *testing.T) {
+	if bars(0) != "" || bars(3) != "###" {
+		t.Error("bars rendering wrong")
+	}
+}
+
+func TestMaxRate(t *testing.T) {
+	var hist [64]float64
+	hist[20] = 0.5
+	if maxRate(hist) != 0.5 {
+		t.Errorf("maxRate = %v", maxRate(hist))
+	}
+	var empty [64]float64
+	if maxRate(empty) <= 0 {
+		t.Error("maxRate of empty must stay positive (division guard)")
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"shmd/internal/experiments"
+)
+
+func TestRunLightFigures(t *testing.T) {
+	scale := experiments.Quick(1)
+	selected := func(name string) bool {
+		switch name {
+		case "1", "7", "lat", "mem", "rng":
+			return true
+		}
+		return false
+	}
+	if err := run(scale, 0, t.TempDir(), selected); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoFigures(t *testing.T) {
+	// Selecting nothing must not build an Env or fail.
+	if err := run(experiments.Quick(1), 0, "", func(string) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig1Only(t *testing.T) {
+	// Fig 1 needs no detector at all.
+	selected := func(name string) bool { return name == "1" }
+	if err := run(experiments.Quick(1), 0, "", selected); err != nil {
+		t.Fatal(err)
+	}
+}

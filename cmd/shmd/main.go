@@ -1,0 +1,230 @@
+// Command shmd is the Stochastic-HMD toolkit CLI: synthesize the
+// evaluation corpus, train a baseline detector, protect it with
+// undervolting, and classify programs.
+//
+// Usage:
+//
+//	shmd dataset  [-seed N] [-scale quick|full]
+//	shmd train    [-seed N] [-scale quick|full] -out model.fann
+//	shmd detect   [-seed N] [-scale quick|full] -model model.fann
+//	              [-class trojan] [-index 0] [-rate 0.1 | -undervolt 130]
+//	shmd inspect  -model model.fann
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/trace"
+	"shmd/internal/volt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dataset":
+		err = cmdDataset(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "shmd: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `shmd — Stochastic hardware malware detector toolkit
+
+commands:
+  dataset   synthesize the evaluation corpus and print its composition
+  train     train a baseline HMD on the victim fold and save the model
+  detect    classify a program, optionally undervolted
+  inspect   print a saved model's structure and footprint`)
+}
+
+// scaleConfig resolves the -scale flag.
+func scaleConfig(scale string, seed uint64) (dataset.Config, error) {
+	switch scale {
+	case "quick":
+		return dataset.QuickConfig(seed), nil
+	case "full":
+		return dataset.PaperConfig(seed), nil
+	default:
+		return dataset.Config{}, fmt.Errorf("unknown scale %q (quick|full)", scale)
+	}
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "corpus seed")
+	scale := fs.String("scale", "quick", "corpus scale (quick|full)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := scaleConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	malware, benign := d.Counts()
+	fmt.Printf("corpus: %d programs (%d malware, %d benign), %d windows × %d instructions\n",
+		len(d.Programs), malware, benign, cfg.Windows, cfg.WindowSize)
+	perClass := map[trace.Class]int{}
+	for _, p := range d.Programs {
+		perClass[p.Class()]++
+	}
+	for c := trace.Class(0); int(c) < trace.NumClasses; c++ {
+		fmt.Printf("  %-18s %d\n", c.String(), perClass[c])
+	}
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("folds: victim-train %d, attacker-train %d, test %d\n",
+		len(split.VictimTrain), len(split.AttackerTrain), len(split.Test))
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "corpus and training seed")
+	scale := fs.String("scale", "quick", "corpus scale (quick|full)")
+	out := fs.String("out", "model.fann", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := scaleConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training baseline HMD on %d programs...\n", len(split.VictimTrain))
+	det, err := hmd.Train(d.Select(split.VictimTrain), hmd.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	c := hmd.Evaluate(det, d.Select(split.Test))
+	fmt.Printf("test fold: %v\n", c)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := det.SaveBundle(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saved detector bundle %s (%d bytes)\n", *out, n)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "corpus seed")
+	scale := fs.String("scale", "quick", "corpus scale (quick|full)")
+	model := fs.String("model", "model.fann", "trained model path")
+	class := fs.String("class", "trojan", "program class to run")
+	index := fs.Int("index", 0, "program index within the class")
+	rate := fs.Float64("rate", 0, "target multiplier error rate (0 = nominal)")
+	undervolt := fs.Float64("undervolt", 0, "explicit undervolt depth in mV")
+	repeats := fs.Int("repeats", 5, "detection repetitions (shows stochasticity)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	det, err := hmd.LoadBundle(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	cls, err := trace.ParseClass(*class)
+	if err != nil {
+		return err
+	}
+	cfg, err := scaleConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	prog, err := trace.NewProgram(cls, *index, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	windows, err := prog.Trace(cfg.Windows, cfg.WindowSize)
+	if err != nil {
+		return err
+	}
+
+	s, err := core.New(det, core.Options{ErrorRate: *rate, UndervoltMV: *undervolt, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("program %s (ground truth: malware=%v)\n", prog.Name, prog.IsMalware())
+	fmt.Printf("detector: supply %.3f V (undervolt %.1f mV), error rate %.4f\n",
+		s.SupplyVoltage(), volt.DepthAtVoltage(s.SupplyVoltage()), s.ErrorRate())
+	for i := 0; i < *repeats; i++ {
+		dec := s.DetectProgram(windows)
+		fmt.Printf("  run %d: malware=%v score=%.4f\n", i+1, dec.Malware, dec.Score)
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	model := fs.String("model", "model.fann", "trained model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	det, err := hmd.LoadBundle(f)
+	if err != nil {
+		return err
+	}
+	net := det.Network()
+	cfg := det.Config()
+	fmt.Printf("feature set: %v, period %d, threshold %.2f\n", cfg.FeatureSet, cfg.Period, cfg.Threshold)
+	fmt.Printf("layers:  %v\n", net.Layers())
+	fmt.Printf("weights: %d\n", net.NumWeights())
+	fmt.Printf("hidden activation: %v\n", net.HiddenActivation())
+	fmt.Printf("output activation: %v\n", net.OutputActivation())
+	fmt.Printf("storage: %d bytes (%.1f KB)\n", net.SavedSize(), float64(net.SavedSize())/1024)
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestScaleConfig(t *testing.T) {
+	quick, err := scaleConfig("quick", 1)
+	if err != nil || quick.MalwarePerFamily != 60 {
+		t.Errorf("quick = %+v err=%v", quick, err)
+	}
+	full, err := scaleConfig("full", 1)
+	if err != nil || full.MalwarePerFamily != 600 {
+		t.Errorf("full = %+v err=%v", full, err)
+	}
+	if _, err := scaleConfig("huge", 1); err == nil {
+		t.Error("unknown scale must error")
+	}
+}
+
+func TestCmdDataset(t *testing.T) {
+	if err := cmdDataset([]string{"-scale", "quick", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainDetectInspectRoundTrip(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "model.fann")
+	if err := cmdTrain([]string{"-scale", "quick", "-seed", "1", "-out", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInspect([]string{"-model", model}); err != nil {
+		t.Fatal(err)
+	}
+	// Nominal detection.
+	if err := cmdDetect([]string{"-model", model, "-class", "trojan", "-repeats", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Undervolted detection by rate and by depth.
+	if err := cmdDetect([]string{"-model", model, "-class", "benign", "-rate", "0.1", "-repeats", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDetect([]string{"-model", model, "-class", "worm", "-undervolt", "130", "-repeats", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdTrain([]string{"-scale", "bogus"}); err == nil {
+		t.Error("bad scale must error")
+	}
+	if err := cmdInspect([]string{"-model", "/nonexistent/model.fann"}); err == nil {
+		t.Error("missing model must error")
+	}
+	if err := cmdDetect([]string{"-model", "/nonexistent/model.fann"}); err == nil {
+		t.Error("missing model must error")
+	}
+	model := filepath.Join(t.TempDir(), "model.fann")
+	if err := cmdTrain([]string{"-scale", "quick", "-out", model}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDetect([]string{"-model", model, "-class", "virus"}); err == nil {
+		t.Error("unknown class must error")
+	}
+}

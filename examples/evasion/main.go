@@ -1,0 +1,89 @@
+// Evasion: the full black-box attack of the paper's threat model, run
+// against both the baseline HMD and the Stochastic-HMD.
+//
+// The attacker (1) reverse-engineers the victim by training a proxy
+// MLP on the victim's observable per-window verdicts, (2) crafts
+// evasive malware by injecting instructions until the proxy says
+// benign, and (3) deploys it against the live victim.
+//
+//	go run ./examples/evasion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmd/internal/attack"
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/isa"
+)
+
+func main() {
+	data, err := dataset.Generate(dataset.QuickConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := data.ThreeFold(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline, err := hmd.Train(data.Select(split.VictimTrain), hmd.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stochastic, err := core.New(baseline.WithFreshBuffers(), core.Options{ErrorRate: 0.1, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	attackerData := data.Select(split.AttackerTrain)
+	targets := data.Select(data.MalwareOf(split.Test))[:25]
+
+	runCampaign := func(name string, victim hmd.Detector) {
+		fmt.Printf("\n=== attacking the %s ===\n", name)
+		proxy, err := attack.ReverseEngineer(victim, attackerData, attack.REConfig{Kind: attack.ProxyMLP, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := attack.Effectiveness(proxy, victim, data.Select(split.Test))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reverse-engineering effectiveness: %.1f%%\n", 100*eff)
+
+		results, err := attack.EvadeAll(proxy, targets, attack.EvasionConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("evasive variants that fool the proxy: %d/%d\n", len(results), len(targets))
+		if len(results) == 0 {
+			return
+		}
+
+		// Show one crafted sample: which instructions were injected.
+		r := results[0]
+		fmt.Printf("example: %s diluted by %.0f%% with:", r.Program.Program.Name, 100*r.Overhead)
+		for op, n := range r.Injection {
+			if n > 0 {
+				fmt.Printf(" %s×%d", isa.Catalog()[op].Mnemonic, n)
+			}
+		}
+		fmt.Println()
+
+		trans, err := attack.Transferability(results, victim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("evasive malware that evades the victim:  %.1f%%\n", 100*trans)
+		fmt.Printf("evasive malware caught by the victim:    %.1f%%\n", 100*(1-trans))
+	}
+
+	runCampaign("baseline HMD", baseline)
+	runCampaign("Stochastic-HMD (er=0.1)", stochastic)
+
+	fmt.Println("\nThe stochastic victim resists on both fronts: its noisy labels")
+	fmt.Println("blur the attacker's proxy, and its moving decision boundary")
+	fmt.Println("re-catches minimally-evasive samples at detection time.")
+}

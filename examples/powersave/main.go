@@ -1,0 +1,93 @@
+// Powersave: the deployment calibration flow of Section IX — sweep the
+// undervolt depth on a device, measure accuracy and power at each
+// point, and pick the operating voltage that maximizes robustness
+// under an accuracy-loss budget.
+//
+//	go run ./examples/powersave
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/power"
+	"shmd/internal/volt"
+)
+
+func main() {
+	data, err := dataset.Generate(dataset.QuickConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := data.ThreeFold(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector, err := hmd.Train(data.Select(split.VictimTrain), hmd.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := data.Select(split.Test)
+	baseAcc := hmd.Evaluate(detector, test).Accuracy()
+
+	cpu := power.DefaultCPU()
+	profile := volt.DefaultProfile()
+	const accuracyBudget = 0.02 // tolerate at most 2 points of loss
+
+	fmt.Printf("baseline accuracy: %.1f%% at %.2f V (%.2f W)\n\n",
+		100*baseAcc, volt.NominalVoltage, cpu.NominalPower())
+	fmt.Println("depth(mV)  voltage  error-rate  accuracy  power   saving")
+
+	bestDepth, bestSaving := 0.0, 0.0
+	for depth := 100.0; depth <= 170; depth += 10 {
+		s, err := core.New(detector.WithFreshBuffers(), core.Options{
+			UndervoltMV: depth, Seed: uint64(depth),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := hmd.Evaluate(s, test).Accuracy()
+		v := volt.SupplyVoltageAt(depth)
+		p, err := cpu.PowerAt(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saving, err := cpu.SavingsAt(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if baseAcc-acc <= accuracyBudget {
+			if saving > bestSaving {
+				bestDepth, bestSaving = depth, saving
+			}
+		} else {
+			marker = "  (over accuracy budget)"
+		}
+		fmt.Printf("  −%3.0f     %.3f V   %.4f     %5.1f%%   %.2f W  %5.1f%%%s\n",
+			depth, v, profile.ErrorRate(depth, volt.ReferenceTempC),
+			100*acc, p, 100*saving, marker)
+	}
+
+	fmt.Printf("\nselected operating point: −%.0f mV (%.3f V), %.1f%% power saving within the %.0f%%-loss budget\n",
+		bestDepth, volt.SupplyVoltageAt(bestDepth), 100*bestSaving, 100*accuracyBudget)
+
+	// Temperature drift: the regulator recalibrates the depth to hold
+	// the error rate as the die heats up (Section IX).
+	s, err := core.New(detector.WithFreshBuffers(), core.Options{UndervoltMV: bestDepth, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := s.ErrorRate()
+	fmt.Printf("\ntemperature compensation at a fixed %.4f error rate:\n", target)
+	for _, temp := range []float64{35, 49, 65, 80} {
+		if err := s.SetTemperature(temp); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2.0f °C → undervolt −%.1f mV (%.3f V)\n",
+			temp, volt.DepthAtVoltage(s.SupplyVoltage()), s.SupplyVoltage())
+	}
+}

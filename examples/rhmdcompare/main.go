@@ -1,0 +1,100 @@
+// RHMD comparison: the Section VII-C / VIII head-to-head between
+// Stochastic-HMD and the four RHMD constructions — accuracy, storage,
+// latency, and resilience to the evasion pipeline.
+//
+//	go run ./examples/rhmdcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shmd/internal/attack"
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/power"
+	"shmd/internal/rhmd"
+	"shmd/internal/volt"
+)
+
+func main() {
+	data, err := dataset.Generate(dataset.QuickConfig(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := data.ThreeFold(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victimTrain := data.Select(split.VictimTrain)
+	attackerTrain := data.Select(split.AttackerTrain)
+	test := data.Select(split.Test)
+	targets := data.Select(data.MalwareOf(split.Test))[:25]
+
+	baseline, err := hmd.Train(victimTrain, hmd.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stochastic, err := core.New(baseline.WithFreshBuffers(), core.Options{ErrorRate: 0.1, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cpu, lat := power.DefaultCPU(), power.DefaultLatency()
+	macs := baseline.Fixed().NumMuls()
+
+	fmt.Println("defense        models  accuracy  evasive-detected  storage   latency")
+	report := func(name string, victim hmd.Detector, models int, storage int64) {
+		acc := hmd.Evaluate(victim, test).Accuracy()
+
+		proxy, err := attack.ReverseEngineer(victim, attackerTrain, attack.REConfig{Kind: attack.ProxyMLP, Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := attack.EvadeAll(proxy, targets, attack.EvasionConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		detected := 1.0
+		if len(results) > 0 {
+			detected, err = attack.DetectionRate(results, victim)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		var cost power.Report
+		if models == 1 {
+			cost, err = power.StochasticCost(cpu, lat, macs, volt.SupplyVoltageAt(130))
+		} else {
+			cost, err = power.RHMDCost(cpu, lat, macs, models)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %-7d %6.1f%%   %8.1f%%         %6.1f KB  %v\n",
+			name, models, 100*acc, 100*detected, float64(storage)/1024, cost.Time)
+	}
+
+	for _, construction := range rhmd.Constructions() {
+		r, err := rhmd.Train(construction, victimTrain, rhmd.Config{TrainSeed: 4, SwitchSeed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := construction.NumDetectors()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(construction.String(), r, n, r.StorageBytes())
+	}
+	report("Stochastic-HMD", stochastic, 1, baseline.Network().SavedSize())
+
+	savings, err := rhmd.StorageSavings(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEq. (1): Stochastic-HMD saves %.0f%% of RHMD-2F's model storage,\n", 100*savings)
+	fmt.Println("runs one detector instead of an ensemble, and gets its randomness")
+	fmt.Println("from the supply voltage rather than from extra models.")
+}

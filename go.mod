@@ -1,0 +1,3 @@
+module shmd
+
+go 1.22

@@ -1,0 +1,249 @@
+package attack
+
+import (
+	"fmt"
+
+	"shmd/internal/dataset"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/isa"
+	"shmd/internal/trace"
+)
+
+// EvasionConfig bounds the instruction-injection search.
+type EvasionConfig struct {
+	// MaxOverhead caps injected instructions as a fraction of the
+	// original window size (default 1.0 — the evasive variant may at
+	// most double its execution). Evasive malware must still perform
+	// its function, so dilution is bounded.
+	MaxOverhead float64
+	// StepFraction is the injection granularity per greedy move, as a
+	// fraction of the window size (default 0.05).
+	StepFraction float64
+	// Margin is how far below the 0.5 threshold the proxy's program
+	// score must fall before the attacker stops (default 0.05). A
+	// minimal-margin attacker lands just across the boundary — exactly
+	// the samples a moving boundary re-catches.
+	Margin float64
+}
+
+func (c EvasionConfig) withDefaults() EvasionConfig {
+	if c.MaxOverhead == 0 {
+		c.MaxOverhead = 1.0
+	}
+	if c.StepFraction == 0 {
+		c.StepFraction = 0.05
+	}
+	if c.Margin == 0 {
+		c.Margin = 0.05
+	}
+	return c
+}
+
+// EvasionResult is the outcome of crafting one evasive sample.
+type EvasionResult struct {
+	// Program is the original malware.
+	Program dataset.TracedProgram
+	// Injection is the per-window injected-opcode vector.
+	Injection []int
+	// Windows is the evasive trace (original plus injection).
+	Windows []trace.WindowCounts
+	// EvadedProxy reports whether the proxy classifies the evasive
+	// trace as benign with the required margin.
+	EvadedProxy bool
+	// ProxyScore is the proxy's final program score.
+	ProxyScore float64
+	// Overhead is the injected fraction actually used.
+	Overhead float64
+}
+
+// Evade greedily crafts an instruction-injection vector that drives
+// the proxy's program score below threshold−margin: per move, it
+// evaluates one step of every candidate opcode and commits the one
+// that lowers the proxy score most. Only additions are allowed — the
+// malicious payload stays intact.
+//
+// The search treats the proxy as a cheap oracle (the attacker owns
+// it), so the same routine works for differentiable (MLP/LR) and
+// non-differentiable (DT) proxies; for the DT the moves follow the
+// piecewise-constant score downhill wherever a step crosses a split.
+func Evade(proxy *Proxy, program dataset.TracedProgram, cfg EvasionConfig) (EvasionResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxOverhead <= 0 || cfg.StepFraction <= 0 || cfg.StepFraction > cfg.MaxOverhead {
+		return EvasionResult{}, fmt.Errorf("attack: invalid evasion config %+v", cfg)
+	}
+	if cfg.Margin < 0 || cfg.Margin >= 0.5 {
+		return EvasionResult{}, fmt.Errorf("attack: margin %v outside [0, 0.5)", cfg.Margin)
+	}
+	if !program.IsMalware() {
+		return EvasionResult{}, fmt.Errorf("attack: %s is not malware", program.Program.Name)
+	}
+
+	windowSize := program.Windows[0].Total()
+	step := int(cfg.StepFraction * float64(windowSize))
+	if step < 1 {
+		step = 1
+	}
+	maxInject := int(cfg.MaxOverhead * float64(windowSize))
+
+	injection := make([]int, isa.NumOpcodes)
+	injected := 0
+	target := 0.5 - cfg.Margin
+
+	current, err := features.InjectAll(program.Windows, injection)
+	if err != nil {
+		return EvasionResult{}, err
+	}
+	score := proxy.DetectProgram(current).Score
+
+	scoreAt := func(inj []int) (float64, error) {
+		cand, err := features.InjectAll(program.Windows, inj)
+		if err != nil {
+			return 0, err
+		}
+		return proxy.DetectProgram(cand).Score, nil
+	}
+
+	lastOp := -1
+	for score >= target && injected+step <= maxInject {
+		bestOp, bestScore := -1, score
+		for op := 0; op < isa.NumOpcodes; op++ {
+			injection[op] += step
+			s, err := scoreAt(injection)
+			if err != nil {
+				return EvasionResult{}, err
+			}
+			if s < bestScore {
+				bestScore, bestOp = s, op
+			}
+			injection[op] -= step
+		}
+		if bestOp < 0 {
+			break // no single-opcode step improves: stuck (DT plateaus)
+		}
+		injection[bestOp] += step
+		injected += step
+		score = bestScore
+		lastOp = bestOp
+	}
+
+	// Minimal-perturbation refinement: the sigmoid is steep near the
+	// boundary, so the last full step usually overshoots deep into the
+	// proxy's benign region — where even a very different victim would
+	// agree. A real evader stops as soon as it is safely past the
+	// boundary; binary-search the final move down to the smallest
+	// amount that still clears the margin.
+	if score < target && lastOp >= 0 {
+		lo, hi := 0, step // amount of the last step to keep
+		for lo < hi {
+			mid := (lo + hi) / 2
+			injection[lastOp] += mid - step // try reduced final move
+			s, err := scoreAt(injection)
+			injection[lastOp] += step - mid
+			if err != nil {
+				return EvasionResult{}, err
+			}
+			if s < target {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		injection[lastOp] -= step - lo
+		injected -= step - lo
+		s, err := scoreAt(injection)
+		if err != nil {
+			return EvasionResult{}, err
+		}
+		score = s
+	}
+
+	final, err := features.InjectAll(program.Windows, injection)
+	if err != nil {
+		return EvasionResult{}, err
+	}
+	return EvasionResult{
+		Program:     program,
+		Injection:   injection,
+		Windows:     final,
+		EvadedProxy: score < target,
+		ProxyScore:  score,
+		Overhead:    features.Overhead(injection, windowSize),
+	}, nil
+}
+
+// EvadeAll crafts evasive variants for every malware program, keeping
+// only those that actually evade the proxy (the attacker would not
+// deploy the rest).
+func EvadeAll(proxy *Proxy, programs []dataset.TracedProgram, cfg EvasionConfig) ([]EvasionResult, error) {
+	var out []EvasionResult
+	for _, p := range programs {
+		if !p.IsMalware() {
+			continue
+		}
+		res, err := Evade(proxy, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if res.EvadedProxy {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// PersistentRuns is how many times the always-on detector classifies a
+// program over its execution in the transferability protocol. HMDs are
+// continuous monitors: to operate, malware must evade *every*
+// classification, while the defender only needs to win once — the
+// operational content of the moving-target defense. A deterministic
+// victim gives the same verdict every run, so this parameter only
+// matters for stochastic defenders (Stochastic-HMD, RHMD).
+const PersistentRuns = 10
+
+// DetectPersistent reports whether the victim flags the trace in any of
+// `runs` independent classifications.
+func DetectPersistent(victim hmd.Detector, windows []trace.WindowCounts, runs int) bool {
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		if victim.DetectProgram(windows).Malware {
+			return true
+		}
+	}
+	return false
+}
+
+// Transferability is the Fig 4 metric: the fraction of proxy-evasive
+// samples that also evade the victim over a persistent execution
+// (PersistentRuns classifications). Its complement is the Fig 5
+// metric.
+func Transferability(results []EvasionResult, victim hmd.Detector) (float64, error) {
+	return TransferabilityRuns(results, victim, PersistentRuns)
+}
+
+// TransferabilityRuns is Transferability with an explicit
+// classification count; runs = 1 gives the single-shot ablation.
+func TransferabilityRuns(results []EvasionResult, victim hmd.Detector, runs int) (float64, error) {
+	if len(results) == 0 {
+		return 0, fmt.Errorf("attack: no evasive samples")
+	}
+	evaded := 0
+	for _, r := range results {
+		if !DetectPersistent(victim, r.Windows, runs) {
+			evaded++
+		}
+	}
+	return float64(evaded) / float64(len(results)), nil
+}
+
+// DetectionRate is the share of evasive malware the victim still
+// catches: 1 − Transferability.
+func DetectionRate(results []EvasionResult, victim hmd.Detector) (float64, error) {
+	t, err := Transferability(results, victim)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - t, nil
+}

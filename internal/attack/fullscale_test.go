@@ -1,0 +1,78 @@
+package attack
+
+import (
+	"os"
+	"testing"
+
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/stats"
+)
+
+// TestFullScaleProbe reproduces the attack pipeline at the paper's
+// corpus scale (3000 malware + 600 benign). It takes minutes, so it
+// only runs when SHMD_FULLSCALE=1.
+func TestFullScaleProbe(t *testing.T) {
+	if os.Getenv("SHMD_FULLSCALE") == "" {
+		t.Skip("set SHMD_FULLSCALE=1 to run the full-scale probe")
+	}
+	d, err := dataset.Generate(dataset.PaperConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, _ := d.ThreeFold(0)
+	base, err := hmd.Train(d.Select(split.VictimTrain), hmd.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hmd.Evaluate(base, d.Select(split.Test))
+	t.Logf("baseline: %v", c)
+
+	victim := stochasticVictim(t, base, 100)
+	attacker := d.Select(split.AttackerTrain)
+	test := d.Select(split.Test)
+
+	baseProxy, err := ReverseEngineer(base, attacker, REConfig{Kind: ProxyMLP, Seed: 101, Epochs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseEff, _ := Effectiveness(baseProxy, base, test)
+	stochProxy, err := ReverseEngineer(victim, attacker, REConfig{Kind: ProxyMLP, Seed: 101, Epochs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stochEff, _ := Effectiveness(stochProxy, victim, test)
+	t.Logf("RE effectiveness: baseline=%.4f stochastic=%.4f", baseEff, stochEff)
+
+	targets := d.Select(d.MalwareOf(split.Test))[:150]
+
+	for _, margin := range []float64{0.05, 0.1, 0.15} {
+		cfg := EvasionConfig{Margin: margin}
+		baseResults, err := EvadeAll(baseProxy, targets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseTrans, _ := TransferabilityRuns(baseResults, base, 1)
+		t.Logf("margin=%.2f baseline victim: evaded proxy %d/%d, transferability=%.4f",
+			margin, len(baseResults), len(targets), baseTrans)
+
+		stochResults, err := EvadeAll(stochProxy, targets, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var victimScores []float64
+		for _, r := range stochResults {
+			victimScores = append(victimScores, base.DetectProgram(r.Windows).Score)
+		}
+		q10, _ := stats.Quantile(victimScores, 0.1)
+		q50, _ := stats.Quantile(victimScores, 0.5)
+		q90, _ := stats.Quantile(victimScores, 0.9)
+		t.Logf("margin=%.2f stoch-evasive victim(base-net) score q10/50/90 = %.3f/%.3f/%.3f",
+			margin, q10, q50, q90)
+		for _, runs := range []int{1, 8, 16} {
+			trans, _ := TransferabilityRuns(stochResults, victim, runs)
+			t.Logf("margin=%.2f stochastic victim: transferability(runs=%d)=%.4f detection=%.4f",
+				margin, runs, trans, 1-trans)
+		}
+	}
+}

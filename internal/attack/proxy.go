@@ -1,0 +1,274 @@
+// Package attack implements the black-box adversary of the paper's
+// threat model (Section V), following the RHMD attack methodology the
+// paper adopts: (1) reverse-engineer the victim HMD into a proxy model
+// by training on the victim's observed decisions, then (2) craft
+// evasive malware against the proxy by injecting instructions, and
+// (3) measure transferability — whether the proxy-evasive malware also
+// evades the victim.
+package attack
+
+import (
+	"fmt"
+
+	"shmd/internal/dataset"
+	"shmd/internal/fann"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/mlkit"
+	"shmd/internal/stats"
+	"shmd/internal/trace"
+)
+
+// ProxyKind selects the reverse-engineering model family.
+type ProxyKind int
+
+// The three families of Section VII-A: MLP for state-of-the-art
+// accuracy, LR for simplicity, DT for non-differentiability.
+const (
+	ProxyMLP ProxyKind = iota
+	ProxyLR
+	ProxyDT
+)
+
+// String implements fmt.Stringer.
+func (k ProxyKind) String() string {
+	switch k {
+	case ProxyMLP:
+		return "MLP"
+	case ProxyLR:
+		return "LR"
+	case ProxyDT:
+		return "DT"
+	default:
+		return fmt.Sprintf("proxy(%d)", int(k))
+	}
+}
+
+// ProxyKinds lists the families in evaluation order.
+func ProxyKinds() []ProxyKind { return []ProxyKind{ProxyMLP, ProxyLR, ProxyDT} }
+
+// REConfig configures reverse engineering.
+type REConfig struct {
+	// Kind is the proxy model family.
+	Kind ProxyKind
+	// FeatureSets is the attacker's feature representation (default
+	// just F1; against RHMD the attacker uses every set of the
+	// construction).
+	FeatureSets []features.Set
+	// Period is the attacker's observation window (default 1).
+	Period int
+	// Hidden/Epochs parameterize the MLP proxy (defaults 32/60).
+	Hidden int
+	Epochs int
+	// QueryRepeats is the adaptive-attacker knob: the victim is
+	// queried this many times per program and each window's label is
+	// the majority verdict, de-noising a stochastic victim's labels at
+	// a proportional query cost (default 1 — the paper's attacker).
+	QueryRepeats int
+	// Seed drives proxy initialization.
+	Seed uint64
+}
+
+func (c REConfig) withDefaults() REConfig {
+	if len(c.FeatureSets) == 0 {
+		c.FeatureSets = []features.Set{features.SetInstrFreq}
+	}
+	if c.Period == 0 {
+		c.Period = features.Period1
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.QueryRepeats == 0 {
+		c.QueryRepeats = 1
+	}
+	return c
+}
+
+// Proxy is a reverse-engineered model of the victim.
+type Proxy struct {
+	kind   ProxyKind
+	sets   []features.Set
+	period int
+	clf    mlkit.Classifier
+}
+
+// mlpClassifier adapts a fann network to mlkit.Classifier.
+type mlpClassifier struct {
+	net *fann.Network
+}
+
+func (m mlpClassifier) Score(f []float64) float64 { return m.net.Run(f)[0] }
+func (m mlpClassifier) Predict(f []float64) bool  { return m.Score(f) >= 0.5 }
+
+// ReverseEngineer trains a proxy on the victim's decisions over the
+// attacker's program corpus. The attacker runs each query program and
+// observes the alarm the always-on victim raises (or not) for every
+// detection window — the black-box boundary of the threat model — and
+// uses those per-window verdicts as training labels.
+//
+// Against the baseline victim the labels are a clean sample of its
+// decision function, so the proxy converges on it (the ≈99% bars of
+// Fig 3). Against a stochastic victim, windows near the moving
+// boundary get differently-labelled across observations; the proxy
+// trains on contradictory labels and can only learn a blurred,
+// displaced boundary — the mechanism behind the Fig 3 drop and,
+// downstream, the Fig 4 transferability collapse.
+func ReverseEngineer(victim hmd.Detector, programs []dataset.TracedProgram, cfg REConfig) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("attack: no query programs")
+	}
+
+	var samples []mlkit.Sample
+	for _, p := range programs {
+		// Query the victim; an adaptive attacker (QueryRepeats > 1)
+		// re-runs the program and majority-votes the per-window
+		// verdicts to wash out a stochastic victim's label noise.
+		votes := make([]int, len(p.Windows))
+		var verdictCount int
+		for q := 0; q < cfg.QueryRepeats; q++ {
+			verdicts := victim.ScoreWindows(p.Windows)
+			verdictCount = len(verdicts)
+			for i := range votes {
+				vi := i * len(verdicts) / len(votes)
+				if vi >= len(verdicts) {
+					vi = len(verdicts) - 1
+				}
+				if verdicts[vi] >= 0.5 {
+					votes[i]++
+				}
+			}
+		}
+		if verdictCount == 0 {
+			return nil, fmt.Errorf("attack: victim produced no verdicts for %s", p.Program.Name)
+		}
+		vecs, err := features.Concat(p.Windows, cfg.FeatureSets, cfg.Period)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %s: %w", p.Program.Name, err)
+		}
+		for i, v := range vecs {
+			// Map the attacker's observation window onto the victim's
+			// verdict granularity (they coincide at the base period).
+			vi := i * len(votes) / len(vecs)
+			if vi >= len(votes) {
+				vi = len(votes) - 1
+			}
+			samples = append(samples, mlkit.Sample{
+				Features: v,
+				Label:    2*votes[vi] > cfg.QueryRepeats,
+			})
+		}
+	}
+
+	proxy := &Proxy{kind: cfg.Kind, sets: cfg.FeatureSets, period: cfg.Period}
+	switch cfg.Kind {
+	case ProxyMLP:
+		dim := len(samples[0].Features)
+		net, err := fann.New(fann.Config{
+			Layers: []int{dim, cfg.Hidden, 1},
+			Hidden: fann.SigmoidSymmetric,
+			Output: fann.Sigmoid,
+			Seed:   cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		train := make([]fann.TrainSample, len(samples))
+		for i, s := range samples {
+			target := []float64{0}
+			if s.Label {
+				target = []float64{1}
+			}
+			train[i] = fann.TrainSample{Input: s.Features, Target: target}
+		}
+		if _, _, err := net.Train(train, fann.TrainOptions{
+			MaxEpochs:      cfg.Epochs,
+			MinImprovement: 1e-6,
+			Patience:       10,
+		}); err != nil {
+			return nil, err
+		}
+		proxy.clf = mlpClassifier{net: net}
+	case ProxyLR:
+		// Frequency features have magnitudes around 1/64, so the
+		// logistic loss surface is shallow: convergence needs many
+		// more full-batch steps and a larger rate than the defaults,
+		// otherwise the model degenerates to the class prior.
+		clf, err := mlkit.TrainLogistic(samples, mlkit.LogisticOptions{
+			Epochs:       cfg.Epochs * 60,
+			LearningRate: 2.0,
+			L2:           1e-5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		proxy.clf = clf
+	case ProxyDT:
+		clf, err := mlkit.TrainTree(samples, mlkit.TreeOptions{MaxDepth: 12, MinLeaf: 5})
+		if err != nil {
+			return nil, err
+		}
+		proxy.clf = clf
+	default:
+		return nil, fmt.Errorf("attack: unknown proxy kind %d", int(cfg.Kind))
+	}
+	return proxy, nil
+}
+
+// Kind returns the proxy family.
+func (p *Proxy) Kind() ProxyKind { return p.kind }
+
+// ScoreWindows implements hmd.Detector for the proxy.
+func (p *Proxy) ScoreWindows(windows []trace.WindowCounts) []float64 {
+	vecs, err := features.Concat(windows, p.sets, p.period)
+	if err != nil {
+		panic(fmt.Sprintf("attack: %v", err))
+	}
+	out := make([]float64, len(vecs))
+	for i, v := range vecs {
+		out[i] = p.clf.Score(v)
+	}
+	return out
+}
+
+// DetectProgram implements hmd.Detector with the 0.5 threshold on the
+// mean window score.
+func (p *Proxy) DetectProgram(windows []trace.WindowCounts) hmd.Decision {
+	mean := stats.Mean(p.ScoreWindows(windows))
+	return hmd.Decision{Malware: mean >= 0.5, Score: mean}
+}
+
+var _ hmd.Detector = (*Proxy)(nil)
+
+// Effectiveness is the paper's reverse-engineering metric: how often
+// the proxy's window-level decision matches the victim's on the
+// testing set. Against a stochastic victim the victim is queried live,
+// so its own run-to-run variation bounds the achievable agreement.
+func Effectiveness(proxy *Proxy, victim hmd.Detector, programs []dataset.TracedProgram) (float64, error) {
+	if len(programs) == 0 {
+		return 0, fmt.Errorf("attack: no evaluation programs")
+	}
+	agree, total := 0, 0
+	for _, p := range programs {
+		victimScores := victim.ScoreWindows(p.Windows)
+		proxyScores := proxy.ScoreWindows(p.Windows)
+		n := len(victimScores)
+		if len(proxyScores) < n {
+			n = len(proxyScores)
+		}
+		for w := 0; w < n; w++ {
+			if (victimScores[w] >= 0.5) == (proxyScores[w] >= 0.5) {
+				agree++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("attack: no comparable windows")
+	}
+	return float64(agree) / float64(total), nil
+}

@@ -1,0 +1,166 @@
+// Package core implements Stochastic-HMD, the paper's contribution: a
+// hardware malware detector whose inference runs on an undervolted
+// core, so every multiplication may suffer a stochastic
+// timing-violation bit flip. The decision boundary becomes a moving
+// target — reverse-engineering sees noisy labels and minimally-evasive
+// malware is re-caught — while the unchanged pre-trained model keeps
+// its baseline accuracy and the lowered supply voltage saves power.
+//
+// No retraining, no model change, no extra hardware: the construction
+// is exactly (pre-trained HMD) + (voltage knob), matching the paper's
+// deployment story.
+package core
+
+import (
+	"fmt"
+
+	"shmd/internal/faults"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+	"shmd/internal/trace"
+	"shmd/internal/volt"
+)
+
+// Owner is the lock identity the Stochastic-HMD holds on its voltage
+// regulator (Section III "Trusted control").
+const Owner = "stochastic-hmd"
+
+// Options configures a Stochastic-HMD.
+type Options struct {
+	// ErrorRate directly requests a multiplier fault rate in [0, 1].
+	// When set (non-zero), the regulator is calibrated to the depth
+	// that yields it. Mutually exclusive with UndervoltMV.
+	ErrorRate float64
+	// UndervoltMV requests an explicit undervolt depth below nominal.
+	UndervoltMV float64
+	// DeviceSeed selects the device calibration profile (0 = the
+	// reference i7-5557U-like device).
+	DeviceSeed uint64
+	// TempC is the die temperature (default 49 °C, the
+	// characterization point).
+	TempC float64
+	// Seed drives the stochastic fault stream. Runs with the same
+	// seed reproduce exactly; deployments would use a hardware
+	// entropy source, tests use fixed seeds.
+	Seed uint64
+	// Dist overrides the fault-location distribution (nil = Fig 1
+	// model).
+	Dist *faults.Distribution
+}
+
+// StochasticHMD wraps a baseline HMD with an undervolted inference
+// path.
+type StochasticHMD struct {
+	base *hmd.HMD
+	reg  *volt.Regulator
+	inj  *faults.Injector
+}
+
+// New builds a Stochastic-HMD around base. The regulator is locked to
+// the detector (trusted control) and calibrated per the options.
+func New(base *hmd.HMD, opts Options) (*StochasticHMD, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: nil base detector")
+	}
+	if opts.ErrorRate != 0 && opts.UndervoltMV != 0 {
+		return nil, fmt.Errorf("core: set ErrorRate or UndervoltMV, not both")
+	}
+	if opts.ErrorRate < 0 || opts.ErrorRate > 1 {
+		return nil, fmt.Errorf("core: error rate %v outside [0,1]", opts.ErrorRate)
+	}
+	if opts.UndervoltMV < 0 {
+		return nil, fmt.Errorf("core: negative undervolt depth %v", opts.UndervoltMV)
+	}
+	if opts.TempC == 0 {
+		opts.TempC = volt.ReferenceTempC
+	}
+
+	reg, err := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
+	if err != nil {
+		return nil, err
+	}
+	if err := reg.Lock(Owner); err != nil {
+		return nil, err
+	}
+	if err := reg.SetTemperature(opts.TempC); err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(0, opts.Dist, rng.NewRand(opts.Seed, 0x5BD))
+	if err != nil {
+		return nil, err
+	}
+	s := &StochasticHMD{base: base, reg: reg, inj: inj}
+	switch {
+	case opts.ErrorRate > 0:
+		if err := s.SetErrorRate(opts.ErrorRate); err != nil {
+			return nil, err
+		}
+	case opts.UndervoltMV > 0:
+		if err := s.SetUndervolt(opts.UndervoltMV); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Base returns the protected baseline detector.
+func (s *StochasticHMD) Base() *hmd.HMD { return s.base }
+
+// Regulator exposes the (locked) voltage regulator.
+func (s *StochasticHMD) Regulator() *volt.Regulator { return s.reg }
+
+// Injector exposes the fault injector, mainly for statistics.
+func (s *StochasticHMD) Injector() *faults.Injector { return s.inj }
+
+// ErrorRate returns the current per-multiplication fault rate.
+func (s *StochasticHMD) ErrorRate() float64 { return s.inj.Rate() }
+
+// SupplyVoltage returns the detection core's supply voltage.
+func (s *StochasticHMD) SupplyVoltage() float64 { return s.reg.SupplyVoltage() }
+
+// SetErrorRate calibrates the regulator so the device produces the
+// requested fault rate at the current temperature (the Section IX
+// calibration flow) and points the injector at it.
+func (s *StochasticHMD) SetErrorRate(rate float64) error {
+	if _, err := s.reg.CalibrateToRate(Owner, rate); err != nil {
+		return err
+	}
+	// The device curve saturates below 1; honour the exact requested
+	// rate in the injector (the paper's tool-space sweep does the
+	// same: the er axis is the injected rate).
+	return s.inj.SetRate(rate)
+}
+
+// SetUndervolt sets an explicit depth and derives the fault rate from
+// the device profile.
+func (s *StochasticHMD) SetUndervolt(depthMV float64) error {
+	if err := s.reg.SetUndervolt(Owner, depthMV); err != nil {
+		return err
+	}
+	return s.inj.SetRate(s.reg.ErrorRate())
+}
+
+// SetTemperature updates the die temperature and recalibrates the
+// undervolt depth to keep the fault rate stable — the dynamic
+// adjustment Section IX calls for.
+func (s *StochasticHMD) SetTemperature(tempC float64) error {
+	rate := s.inj.Rate()
+	if err := s.reg.SetTemperature(tempC); err != nil {
+		return err
+	}
+	return s.SetErrorRate(rate)
+}
+
+// ScoreWindows implements hmd.Detector: per-window scores through the
+// undervolted multiplier. Every call re-rolls the stochastic faults —
+// the moving-target property.
+func (s *StochasticHMD) ScoreWindows(windows []trace.WindowCounts) []float64 {
+	return s.base.ScoreWindowsUnit(s.inj, windows)
+}
+
+// DetectProgram implements hmd.Detector.
+func (s *StochasticHMD) DetectProgram(windows []trace.WindowCounts) hmd.Decision {
+	return s.base.DecideFromScores(s.ScoreWindows(windows))
+}
+
+var _ hmd.Detector = (*StochasticHMD)(nil)

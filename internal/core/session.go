@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"shmd/internal/hmd"
+	"shmd/internal/trace"
+)
+
+// Session implements the Section IX deployment protocol for systems
+// that cannot dedicate a whole core to detection: "the voltage needs
+// to be undervolted directly after entering the TEE and scaled back to
+// the nominal voltage just before exiting the TEE". Undervolting is
+// applied only while the detector's own inference runs, so
+// timing-violation faults never reach the rest of the system.
+//
+// A Session wraps a StochasticHMD; every detection enters (undervolts),
+// infers, and exits (restores nominal) — even on panic — and the
+// voltage is verifiably nominal between detections.
+type Session struct {
+	s *StochasticHMD
+	// depthMV is the calibrated detection-time undervolt depth.
+	depthMV float64
+	// entered tracks protocol state for misuse detection.
+	entered bool
+}
+
+// NewSession captures the detector's calibrated operating point and
+// restores nominal voltage until the first detection.
+func NewSession(s *StochasticHMD) (*Session, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: nil detector")
+	}
+	sess := &Session{s: s, depthMV: s.reg.UndervoltMV()}
+	if err := sess.exit(); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// enter scales the voltage down for detection.
+func (sess *Session) enter() error {
+	if sess.entered {
+		return fmt.Errorf("core: session already entered")
+	}
+	if err := sess.s.reg.SetUndervolt(Owner, sess.depthMV); err != nil {
+		return err
+	}
+	// The fault rate follows the device curve at the restored depth.
+	if err := sess.s.inj.SetRate(sess.s.reg.ErrorRate()); err != nil {
+		return err
+	}
+	sess.entered = true
+	return nil
+}
+
+// exit restores nominal voltage; the injector rate drops to zero with
+// it, so any computation outside detection is exact.
+func (sess *Session) exit() error {
+	if err := sess.s.reg.SetUndervolt(Owner, 0); err != nil {
+		return err
+	}
+	if err := sess.s.inj.SetRate(0); err != nil {
+		return err
+	}
+	sess.entered = false
+	return nil
+}
+
+// AtNominal reports whether the plane currently sits at nominal
+// voltage (true whenever no detection is in flight).
+func (sess *Session) AtNominal() bool {
+	return sess.s.reg.UndervoltMV() == 0
+}
+
+// DetectProgram runs one enter → infer → exit cycle.
+func (sess *Session) DetectProgram(windows []trace.WindowCounts) (dec hmd.Decision, err error) {
+	if err := sess.enter(); err != nil {
+		return hmd.Decision{}, err
+	}
+	defer func() {
+		if exitErr := sess.exit(); exitErr != nil && err == nil {
+			err = exitErr
+		}
+	}()
+	dec = sess.s.DetectProgram(windows)
+	return dec, nil
+}
+
+// ScoreWindows runs one enter → score → exit cycle.
+func (sess *Session) ScoreWindows(windows []trace.WindowCounts) (scores []float64, err error) {
+	if err := sess.enter(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if exitErr := sess.exit(); exitErr != nil && err == nil {
+			err = exitErr
+		}
+	}()
+	return sess.s.ScoreWindows(windows), nil
+}

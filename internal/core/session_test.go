@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"shmd/internal/volt"
+)
+
+func TestSessionProtocol(t *testing.T) {
+	d, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectionDepth := s.Regulator().UndervoltMV()
+	if detectionDepth <= 0 {
+		t.Fatal("operating point not calibrated")
+	}
+
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between detections the plane is nominal: the rest of the system
+	// never sees undervolting-induced faults.
+	if !sess.AtNominal() {
+		t.Fatal("fresh session must sit at nominal voltage")
+	}
+	if s.ErrorRate() != 0 {
+		t.Fatalf("injector rate outside detection = %v", s.ErrorRate())
+	}
+
+	p := d.Programs[0]
+	dec, err := sess.DetectProgram(p.Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Score < 0 || dec.Score > 1 {
+		t.Errorf("score = %v", dec.Score)
+	}
+	// After the detection the voltage is restored.
+	if !sess.AtNominal() {
+		t.Error("voltage not restored after detection")
+	}
+	if s.ErrorRate() != 0 {
+		t.Errorf("injector rate after detection = %v", s.ErrorRate())
+	}
+
+	// The detection itself really ran undervolted: repeated session
+	// detections on a borderline input vary (stochastic), and the
+	// calibrated depth was re-applied inside the cycle.
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		dec, err := sess.DetectProgram(p.Windows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[dec.Score] = true
+	}
+	if len(seen) < 2 {
+		t.Error("session detections never varied; undervolting not applied")
+	}
+}
+
+func TestSessionScoreWindows(t *testing.T) {
+	d, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := sess.ScoreWindows(d.Programs[1].Windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(d.Programs[1].Windows) {
+		t.Errorf("scores = %d", len(scores))
+	}
+	if !sess.AtNominal() {
+		t.Error("voltage not restored after scoring")
+	}
+}
+
+func TestSessionNilDetector(t *testing.T) {
+	if _, err := NewSession(nil); err == nil {
+		t.Error("nil detector must be rejected")
+	}
+}
+
+func TestSessionPreservesOperatingPoint(t *testing.T) {
+	_, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDepth := s.Regulator().UndervoltMV()
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a few cycles; the calibrated depth must be re-applied each
+	// time, not drift.
+	p, basep := fixtures(t)
+	_ = basep
+	for i := 0; i < 3; i++ {
+		if _, err := sess.DetectProgram(p.Programs[2].Windows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.enter(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Regulator().UndervoltMV(); math.Abs(got-wantDepth) > 1e-9 {
+		t.Errorf("detection depth drifted: %v vs %v", got, wantDepth)
+	}
+	if err := sess.exit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SupplyVoltage() != volt.NominalVoltage {
+		t.Error("exit did not restore nominal")
+	}
+}
+
+func TestSessionDoubleEnter(t *testing.T) {
+	_, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.1, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.enter(); err == nil {
+		t.Error("double enter must be rejected")
+	}
+	if err := sess.exit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package dataset synthesizes and manages the evaluation corpus with
+// the paper's Section IV structure: 3000 malware programs across five
+// families (backdoors, rogues, password stealers, trojans, worms) plus
+// 600 benign programs, divided evenly into three folds — victim
+// training, attacker training, and testing — with classes distributed
+// evenly and randomly across folds, and 3-fold cross-validation by
+// rotating the fold roles.
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"shmd/internal/rng"
+	"shmd/internal/trace"
+)
+
+// Config sizes a corpus. The zero value is not valid; use
+// PaperConfig or QuickConfig as starting points.
+type Config struct {
+	// MalwarePerFamily programs are generated for each of the five
+	// families.
+	MalwarePerFamily int
+	// BenignCount programs form the benign corpus.
+	BenignCount int
+	// Windows and WindowSize set the trace geometry.
+	Windows    int
+	WindowSize int
+	// Seed makes the whole corpus deterministic.
+	Seed uint64
+}
+
+// PaperConfig is the full Section IV corpus: 5×600 = 3000 malware and
+// 600 benign programs.
+func PaperConfig(seed uint64) Config {
+	return Config{
+		MalwarePerFamily: 600,
+		BenignCount:      600,
+		Windows:          trace.DefaultWindows,
+		WindowSize:       trace.DefaultWindowSize,
+		Seed:             seed,
+	}
+}
+
+// QuickConfig is a scaled-down corpus with the same structure, used by
+// unit tests and fast iterations: 5×60 malware + 60 benign.
+func QuickConfig(seed uint64) Config {
+	return Config{
+		MalwarePerFamily: 60,
+		BenignCount:      60,
+		Windows:          trace.DefaultWindows,
+		WindowSize:       trace.DefaultWindowSize,
+		Seed:             seed,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MalwarePerFamily < 3 {
+		return fmt.Errorf("dataset: need >= 3 malware per family for 3 folds, got %d", c.MalwarePerFamily)
+	}
+	if c.BenignCount < 3 {
+		return fmt.Errorf("dataset: need >= 3 benign programs for 3 folds, got %d", c.BenignCount)
+	}
+	if c.Windows < 2 {
+		return fmt.Errorf("dataset: need >= 2 windows, got %d", c.Windows)
+	}
+	if c.WindowSize < 16 {
+		return fmt.Errorf("dataset: window size %d too small", c.WindowSize)
+	}
+	return nil
+}
+
+// TracedProgram bundles a program with its (cached, deterministic)
+// trace. All downstream stages — training, detection, evasion — work
+// from these windows.
+type TracedProgram struct {
+	Program *trace.Program
+	Windows []trace.WindowCounts
+}
+
+// IsMalware returns the ground-truth label.
+func (tp TracedProgram) IsMalware() bool { return tp.Program.IsMalware() }
+
+// Class returns the program class.
+func (tp TracedProgram) Class() trace.Class { return tp.Program.Class }
+
+// Dataset is a generated corpus.
+type Dataset struct {
+	Config   Config
+	Programs []TracedProgram
+}
+
+// Generate builds the corpus. Programs are generated and traced in
+// parallel; the result is independent of scheduling because every
+// program derives its own random stream.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var specs []struct {
+		class trace.Class
+		index int
+	}
+	for _, family := range trace.MalwareFamilies() {
+		for i := 0; i < cfg.MalwarePerFamily; i++ {
+			specs = append(specs, struct {
+				class trace.Class
+				index int
+			}{family, i})
+		}
+	}
+	for i := 0; i < cfg.BenignCount; i++ {
+		specs = append(specs, struct {
+			class trace.Class
+			index int
+		}{trace.Benign, i})
+	}
+
+	programs := make([]TracedProgram, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(specs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				p, err := trace.NewProgram(specs[i].class, specs[i].index, cfg.Seed)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				ws, err := p.Trace(cfg.Windows, cfg.WindowSize)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				programs[i] = TracedProgram{Program: p, Windows: ws}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{Config: cfg, Programs: programs}, nil
+}
+
+// Counts returns the number of malware and benign programs.
+func (d *Dataset) Counts() (malware, benign int) {
+	for _, p := range d.Programs {
+		if p.IsMalware() {
+			malware++
+		} else {
+			benign++
+		}
+	}
+	return malware, benign
+}
+
+// Split names the three fold roles of the paper's evaluation.
+type Split struct {
+	VictimTrain   []int
+	AttackerTrain []int
+	Test          []int
+}
+
+// ThreeFold produces the rotation-th of the three cross-validation
+// splits: programs are stratified by class, shuffled deterministically,
+// dealt into three folds, and the folds rotate through the
+// victim-training / attacker-training / testing roles.
+func (d *Dataset) ThreeFold(rotation int) (Split, error) {
+	if rotation < 0 || rotation > 2 {
+		return Split{}, fmt.Errorf("dataset: rotation %d outside 0..2", rotation)
+	}
+	folds := make([][]int, 3)
+	// Stratify: deal each class's shuffled programs round-robin, so
+	// "the malware types and the benign application types were
+	// distributed evenly and randomly across the folds".
+	byClass := map[trace.Class][]int{}
+	for i, p := range d.Programs {
+		byClass[p.Class()] = append(byClass[p.Class()], i)
+	}
+	for c := trace.Class(0); int(c) < trace.NumClasses; c++ {
+		idx := byClass[c]
+		r := rng.NewRand(d.Config.Seed, 0xF01d, uint64(c))
+		r.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for k, i := range idx {
+			folds[k%3] = append(folds[k%3], i)
+		}
+	}
+	return Split{
+		VictimTrain:   folds[rotation%3],
+		AttackerTrain: folds[(rotation+1)%3],
+		Test:          folds[(rotation+2)%3],
+	}, nil
+}
+
+// Select returns the traced programs at the given indices.
+func (d *Dataset) Select(indices []int) []TracedProgram {
+	out := make([]TracedProgram, len(indices))
+	for k, i := range indices {
+		out[k] = d.Programs[i]
+	}
+	return out
+}
+
+// MalwareOf filters indices down to malware programs — the evasion
+// pipeline only transforms malware.
+func (d *Dataset) MalwareOf(indices []int) []int {
+	var out []int
+	for _, i := range indices {
+		if d.Programs[i].IsMalware() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"testing"
+
+	"shmd/internal/trace"
+)
+
+func quickDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := Generate(QuickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := PaperConfig(1).Validate(); err != nil {
+		t.Errorf("paper config invalid: %v", err)
+	}
+	if err := QuickConfig(1).Validate(); err != nil {
+		t.Errorf("quick config invalid: %v", err)
+	}
+	bad := QuickConfig(1)
+	bad.MalwarePerFamily = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("too few malware must be rejected")
+	}
+	bad = QuickConfig(1)
+	bad.BenignCount = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("no benign must be rejected")
+	}
+	bad = QuickConfig(1)
+	bad.Windows = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("single window must be rejected")
+	}
+	bad = QuickConfig(1)
+	bad.WindowSize = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny window must be rejected")
+	}
+	if _, err := Generate(Config{}); err == nil {
+		t.Error("zero config must be rejected")
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	d := quickDataset(t)
+	malware, benign := d.Counts()
+	if malware != 5*60 {
+		t.Errorf("malware = %d, want 300", malware)
+	}
+	if benign != 60 {
+		t.Errorf("benign = %d, want 60", benign)
+	}
+	if len(d.Programs) != 360 {
+		t.Errorf("total = %d", len(d.Programs))
+	}
+	// Every family present in equal measure.
+	perClass := map[trace.Class]int{}
+	for _, p := range d.Programs {
+		perClass[p.Class()]++
+	}
+	for _, family := range trace.MalwareFamilies() {
+		if perClass[family] != 60 {
+			t.Errorf("%v count = %d", family, perClass[family])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := quickDataset(t)
+	b := quickDataset(t)
+	for i := range a.Programs {
+		if a.Programs[i].Program.Name != b.Programs[i].Program.Name {
+			t.Fatalf("program %d name differs", i)
+		}
+		for w := range a.Programs[i].Windows {
+			if a.Programs[i].Windows[w] != b.Programs[i].Windows[w] {
+				t.Fatalf("program %d window %d differs", i, w)
+			}
+		}
+	}
+}
+
+func TestGenerateTracesHaveGeometry(t *testing.T) {
+	d := quickDataset(t)
+	for _, p := range d.Programs {
+		if len(p.Windows) != d.Config.Windows {
+			t.Fatalf("%s has %d windows", p.Program.Name, len(p.Windows))
+		}
+		if p.Windows[0].Total() != d.Config.WindowSize {
+			t.Fatalf("%s window size %d", p.Program.Name, p.Windows[0].Total())
+		}
+	}
+}
+
+func TestThreeFoldPartition(t *testing.T) {
+	d := quickDataset(t)
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, idx := range [][]int{split.VictimTrain, split.AttackerTrain, split.Test} {
+		for _, i := range idx {
+			seen[i]++
+		}
+	}
+	if len(seen) != len(d.Programs) {
+		t.Errorf("folds cover %d/%d programs", len(seen), len(d.Programs))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Errorf("program %d appears in %d folds", i, n)
+		}
+	}
+	// Roughly equal fold sizes.
+	for _, fold := range [][]int{split.VictimTrain, split.AttackerTrain, split.Test} {
+		if len(fold) != 120 {
+			t.Errorf("fold size = %d, want 120", len(fold))
+		}
+	}
+}
+
+func TestThreeFoldStratified(t *testing.T) {
+	d := quickDataset(t)
+	split, _ := d.ThreeFold(0)
+	count := func(fold []int, class trace.Class) int {
+		n := 0
+		for _, i := range fold {
+			if d.Programs[i].Class() == class {
+				n++
+			}
+		}
+		return n
+	}
+	for c := trace.Class(0); int(c) < trace.NumClasses; c++ {
+		for _, fold := range [][]int{split.VictimTrain, split.AttackerTrain, split.Test} {
+			if got := count(fold, c); got != 20 {
+				t.Errorf("class %v has %d programs in a fold, want 20", c, got)
+			}
+		}
+	}
+}
+
+func TestThreeFoldRotations(t *testing.T) {
+	d := quickDataset(t)
+	s0, _ := d.ThreeFold(0)
+	s1, _ := d.ThreeFold(1)
+	s2, _ := d.ThreeFold(2)
+	// Rotation permutes roles: victim fold of rotation 1 is the
+	// attacker fold of rotation 0, etc.
+	equal := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !equal(s1.VictimTrain, s0.AttackerTrain) {
+		t.Error("rotation 1 victim fold should be rotation 0 attacker fold")
+	}
+	if !equal(s2.VictimTrain, s0.Test) {
+		t.Error("rotation 2 victim fold should be rotation 0 test fold")
+	}
+	if _, err := d.ThreeFold(3); err == nil {
+		t.Error("rotation 3 must error")
+	}
+	if _, err := d.ThreeFold(-1); err == nil {
+		t.Error("negative rotation must error")
+	}
+}
+
+func TestSelectAndMalwareOf(t *testing.T) {
+	d := quickDataset(t)
+	split, _ := d.ThreeFold(0)
+	test := d.Select(split.Test)
+	if len(test) != len(split.Test) {
+		t.Fatalf("Select returned %d programs", len(test))
+	}
+	malware := d.MalwareOf(split.Test)
+	if len(malware) != 100 {
+		t.Errorf("malware in test fold = %d, want 100", len(malware))
+	}
+	for _, i := range malware {
+		if !d.Programs[i].IsMalware() {
+			t.Error("MalwareOf returned a benign program")
+		}
+	}
+}

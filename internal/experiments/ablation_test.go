@@ -1,0 +1,125 @@
+package experiments
+
+import "testing"
+
+func TestAblationFaultDistribution(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := AblationFaultDistribution(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The measured shape is gentler than uniform flips at every rate.
+	if rows[0].Accuracy <= rows[2].Accuracy {
+		t.Errorf("Fig-1 shape at er=0.1 (%v) should beat uniform (%v)",
+			rows[0].Accuracy, rows[2].Accuracy)
+	}
+	if rows[1].Accuracy <= rows[3].Accuracy {
+		t.Errorf("Fig-1 shape at er=0.5 (%v) should beat uniform (%v)",
+			rows[1].Accuracy, rows[3].Accuracy)
+	}
+	if len(tab.Rows) != 4 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestAblationDeterministicAC(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := AblationDeterministicAC(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	stoch, det := rows[0], rows[1]
+	if stoch.ScoreStd <= 0 {
+		t.Error("stochastic detector must vary run to run")
+	}
+	if det.ScoreStd != 0 {
+		t.Errorf("deterministic approximation varied: std %v", det.ScoreStd)
+	}
+	if det.Accuracy < 0.6 {
+		t.Errorf("truncation destroyed the detector: %v", det.Accuracy)
+	}
+	if len(tab.Rows) != 2 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestAblationPersistence(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := AblationPersistence(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Detection is monotone non-decreasing in the classification count.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Detected < rows[i-1].Detected-1e-9 {
+			t.Errorf("detection decreased from %d to %d runs: %v -> %v",
+				rows[i-1].Runs, rows[i].Runs, rows[i-1].Detected, rows[i].Detected)
+		}
+	}
+	if rows[len(rows)-1].Detected < rows[0].Detected {
+		t.Error("persistence must not hurt")
+	}
+	if len(tab.Rows) != 5 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestAblationAdaptiveAttacker(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := AblationAdaptiveAttacker(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("queries=%d eff=%.3f caught=%.3f", r.QueryRepeats, r.Effectiveness, r.Caught)
+	}
+	// Label averaging should not make reverse-engineering *worse*; we
+	// allow small sampling jitter but expect a non-trivial recovery
+	// from 1 to 15 queries per program.
+	if rows[2].Effectiveness < rows[0].Effectiveness-0.03 {
+		t.Errorf("15-query effectiveness %v fell below 1-query %v",
+			rows[2].Effectiveness, rows[0].Effectiveness)
+	}
+	// Even the strongest adaptive proxy faces the detection-time
+	// moving target: caught rate stays well above zero.
+	if rows[2].Caught < 0.2 {
+		t.Errorf("adaptive attacker fully defeated the defense: caught = %v", rows[2].Caught)
+	}
+	if len(tab.Rows) != 3 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestAblationEvasionMargin(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := AblationEvasionMargin(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("margin %.2f: evade baseline %.3f, caught by stochastic %.3f",
+			r.Margin, r.BaselineEvaded, r.StochasticCaught)
+		if r.BaselineEvaded < 0 || r.BaselineEvaded > 1 ||
+			r.StochasticCaught < 0 || r.StochasticCaught > 1 {
+			t.Errorf("rates out of range: %+v", r)
+		}
+	}
+	if len(tab.Rows) != 4 {
+		t.Error("table rows mismatch")
+	}
+}

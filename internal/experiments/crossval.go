@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/stats"
+)
+
+// Cross-validation driver: the paper evaluates everything under 3-fold
+// cross-validation ("we use 3-fold cross-validation in our experiments
+// to get accurate results, i.e., eliminate bias"), rotating the fold
+// roles. CrossValidate builds one Env per rotation over a shared
+// corpus; Fig2aCV averages the headline sweep across rotations.
+
+// CrossValidate returns one Env per requested rotation, sharing a
+// single generated corpus.
+func CrossValidate(scale Scale) ([]*Env, error) {
+	if scale.Rotations < 1 || scale.Rotations > 3 {
+		return nil, fmt.Errorf("experiments: rotations %d outside 1..3", scale.Rotations)
+	}
+	data, err := dataset.Generate(scale.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	envs := make([]*Env, scale.Rotations)
+	for r := 0; r < scale.Rotations; r++ {
+		envs[r], err = NewEnvFromData(scale, r, data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return envs, nil
+}
+
+// CVPoint is a cross-validated Fig 2(a) sample: the per-rotation sweep
+// results pooled into one summary per error rate.
+type CVPoint struct {
+	ErrorRate float64
+	Accuracy  stats.Summary
+	FPR       stats.Summary
+	FNR       stats.Summary
+}
+
+// Fig2aCV runs the Fig 2(a) sweep on every rotation and pools the
+// repeats, reproducing the paper's "3-folds cross-validation, repeated
+// each experiment 50 times" protocol.
+func Fig2aCV(envs []*Env) ([]CVPoint, *Table, error) {
+	if len(envs) == 0 {
+		return nil, nil, fmt.Errorf("experiments: no rotations")
+	}
+	perRotation := make([][]core.SweepPoint, len(envs))
+	for r, env := range envs {
+		points, _, err := Fig2a(env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rotation %d: %w", r, err)
+		}
+		perRotation[r] = points
+	}
+	out := make([]CVPoint, len(Fig2aRates))
+	t := &Table{
+		Title:   "Fig 2(a) — cross-validated accuracy / FPR / FNR vs error rate",
+		Headers: []string{"error rate", "accuracy", "FPR", "FNR"},
+		Notes: []string{
+			fmt.Sprintf("%d rotations × %d repeats pooled", len(envs), envs[0].Scale.SweepRepeats),
+		},
+	}
+	for i, rate := range Fig2aRates {
+		// Pool the rotation means weighted equally; the pooled std
+		// combines within-rotation spread and between-rotation spread.
+		var accs, fprs, fnrs []float64
+		for r := range perRotation {
+			p := perRotation[r][i]
+			accs = append(accs, p.Accuracy.Mean)
+			fprs = append(fprs, p.FPR.Mean)
+			fnrs = append(fnrs, p.FNR.Mean)
+		}
+		accSum, _ := stats.Summarize(accs)
+		fprSum, _ := stats.Summarize(fprs)
+		fnrSum, _ := stats.Summarize(fnrs)
+		// Fold the average within-rotation std into the summary so the
+		// reported spread reflects the stochastic repeats, not only
+		// the rotation-to-rotation variation.
+		within := 0.0
+		for r := range perRotation {
+			within += perRotation[r][i].Accuracy.StdDev
+		}
+		accSum.StdDev = maxF(accSum.StdDev, within/float64(len(perRotation)))
+		out[i] = CVPoint{ErrorRate: rate, Accuracy: accSum, FPR: fprSum, FNR: fnrSum}
+		t.AddRow(fmt.Sprintf("%.1f", rate),
+			pctPair(accSum.Mean, accSum.StdDev),
+			pctPair(fprSum.Mean, fprSum.StdDev),
+			pctPair(fnrSum.Mean, fnrSum.StdDev))
+	}
+	return out, t, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

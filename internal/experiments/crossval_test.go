@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+func TestCrossValidate(t *testing.T) {
+	scale := Quick(1)
+	scale.Rotations = 3
+	scale.SweepRepeats = 2
+	envs, err := CrossValidate(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envs) != 3 {
+		t.Fatalf("envs = %d", len(envs))
+	}
+	// All rotations share the corpus but see different folds.
+	if envs[0].Data != envs[1].Data {
+		t.Error("rotations must share one corpus")
+	}
+	if envs[0].Split.VictimTrain[0] == envs[1].Split.VictimTrain[0] &&
+		envs[0].Split.VictimTrain[1] == envs[1].Split.VictimTrain[1] {
+		// Rotation permutes roles; victim folds must differ.
+		t.Error("rotations appear to share the victim fold")
+	}
+
+	points, tab, err := Fig2aCV(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig2aRates) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Cross-validated shape: small loss at er=0.1, collapse at er=1.
+	if points[1].Accuracy.Mean < points[10].Accuracy.Mean {
+		t.Error("accuracy ordering violated across CV")
+	}
+	for _, p := range points {
+		if p.Accuracy.Mean < 0 || p.Accuracy.Mean > 1 {
+			t.Errorf("accuracy out of range at er=%v", p.ErrorRate)
+		}
+	}
+	if len(tab.Rows) != len(Fig2aRates) {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	scale := Quick(1)
+	scale.Rotations = 0
+	if _, err := CrossValidate(scale); err == nil {
+		t.Error("zero rotations must error")
+	}
+	scale.Rotations = 4
+	if _, err := CrossValidate(scale); err == nil {
+		t.Error("four rotations must error")
+	}
+	if _, _, err := Fig2aCV(nil); err == nil {
+		t.Error("empty env list must error")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shmd/internal/core"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+)
+
+// OperatingErrorRate is the paper's selected configuration: "the most
+// resilient Stochastic-HMD (with 10% error rate)".
+const OperatingErrorRate = 0.1
+
+// Scale sizes an experiment run. Quick keeps unit tests fast; Full is
+// the paper-sized evaluation used by the benchmarks and the CLI.
+type Scale struct {
+	Name string
+	// Dataset is the corpus configuration.
+	Dataset dataset.Config
+	// SweepRepeats is the per-error-rate repetition count of Fig 2(a)
+	// (the paper repeats 50×).
+	SweepRepeats int
+	// ConfRepeats pools this many stochastic evaluations into the
+	// Fig 2(b) confidence histograms.
+	ConfRepeats int
+	// EvadeTargets caps how many test-fold malware programs the
+	// evasion experiments transform.
+	EvadeTargets int
+	// ProxyEpochs bounds reverse-engineering training.
+	ProxyEpochs int
+	// Rotations is how many of the three cross-validation rotations
+	// to run (the paper uses all three).
+	Rotations int
+	// Seed roots every random stream of the run.
+	Seed uint64
+}
+
+// Quick is the test-sized scale.
+func Quick(seed uint64) Scale {
+	return Scale{
+		Name:         "quick",
+		Dataset:      dataset.QuickConfig(seed),
+		SweepRepeats: 5,
+		ConfRepeats:  5,
+		EvadeTargets: 30,
+		ProxyEpochs:  60,
+		Rotations:    1,
+		Seed:         seed,
+	}
+}
+
+// Full is the paper-sized scale: 3000 malware + 600 benign, 50-repeat
+// sweeps, 3-fold cross-validation.
+func Full(seed uint64) Scale {
+	return Scale{
+		Name:         "full",
+		Dataset:      dataset.PaperConfig(seed),
+		SweepRepeats: 50,
+		ConfRepeats:  20,
+		EvadeTargets: 200,
+		ProxyEpochs:  150,
+		Rotations:    3,
+		Seed:         seed,
+	}
+}
+
+// Env bundles the per-rotation artifacts every security experiment
+// needs: the corpus, the fold split, and the trained baseline HMD.
+type Env struct {
+	Scale    Scale
+	Rotation int
+	Data     *dataset.Dataset
+	Split    dataset.Split
+	Base     *hmd.HMD
+}
+
+// NewEnv generates the corpus (or reuses a shared one) and trains the
+// baseline victim for one rotation.
+func NewEnv(scale Scale, rotation int) (*Env, error) {
+	data, err := dataset.Generate(scale.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnvFromData(scale, rotation, data)
+}
+
+// NewEnvFromData is NewEnv with a pre-generated corpus, so multi-
+// rotation runs do not regenerate it.
+func NewEnvFromData(scale Scale, rotation int, data *dataset.Dataset) (*Env, error) {
+	split, err := data.ThreeFold(rotation)
+	if err != nil {
+		return nil, err
+	}
+	base, err := hmd.Train(data.Select(split.VictimTrain), hmd.Config{
+		Seed: rng.DeriveSeed(scale.Seed, 0xBA5E, uint64(rotation)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training baseline (rotation %d): %w", rotation, err)
+	}
+	return &Env{Scale: scale, Rotation: rotation, Data: data, Split: split, Base: base}, nil
+}
+
+// VictimTrain returns the victim-training programs.
+func (e *Env) VictimTrain() []dataset.TracedProgram { return e.Data.Select(e.Split.VictimTrain) }
+
+// AttackerTrain returns the attacker-training programs.
+func (e *Env) AttackerTrain() []dataset.TracedProgram { return e.Data.Select(e.Split.AttackerTrain) }
+
+// Test returns the testing programs.
+func (e *Env) Test() []dataset.TracedProgram { return e.Data.Select(e.Split.Test) }
+
+// TestMalware returns up to n malware programs from the test fold
+// (n <= 0 means all).
+func (e *Env) TestMalware(n int) []dataset.TracedProgram {
+	idx := e.Data.MalwareOf(e.Split.Test)
+	if n > 0 && n < len(idx) {
+		idx = idx[:n]
+	}
+	return e.Data.Select(idx)
+}
+
+// Stochastic builds the protected detector at the operating point with
+// a labelled random stream.
+func (e *Env) Stochastic(rate float64, streamLabel uint64) (*core.StochasticHMD, error) {
+	return core.New(e.Base.WithFreshBuffers(), core.Options{
+		ErrorRate: rate,
+		Seed:      rng.DeriveSeed(e.Scale.Seed, 0x570C, uint64(e.Rotation), streamLabel),
+	})
+}

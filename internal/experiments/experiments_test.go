@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func quickEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(Quick(1), 0)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestScaleConfigs(t *testing.T) {
+	q := Quick(1)
+	f := Full(1)
+	if err := q.Dataset.Validate(); err != nil {
+		t.Errorf("quick dataset invalid: %v", err)
+	}
+	if err := f.Dataset.Validate(); err != nil {
+		t.Errorf("full dataset invalid: %v", err)
+	}
+	if f.SweepRepeats != 50 {
+		t.Errorf("full sweep repeats = %d, paper uses 50", f.SweepRepeats)
+	}
+	if f.Rotations != 3 {
+		t.Errorf("full rotations = %d, paper uses 3-fold CV", f.Rotations)
+	}
+	if q.SweepRepeats >= f.SweepRepeats {
+		t.Error("quick must be smaller than full")
+	}
+}
+
+func TestEnvFolds(t *testing.T) {
+	env := quickEnv(t)
+	if len(env.VictimTrain()) == 0 || len(env.AttackerTrain()) == 0 || len(env.Test()) == 0 {
+		t.Fatal("empty folds")
+	}
+	malware := env.TestMalware(5)
+	if len(malware) != 5 {
+		t.Errorf("TestMalware(5) = %d", len(malware))
+	}
+	for _, p := range malware {
+		if !p.IsMalware() {
+			t.Error("TestMalware returned benign program")
+		}
+	}
+	all := env.TestMalware(0)
+	if len(all) <= 5 {
+		t.Errorf("TestMalware(0) should return all: %d", len(all))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bee"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	s := tab.String()
+	for _, want := range []string{"demo", "bee", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	env := quickEnv(t)
+	res, tab, err := Fig1(env.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorRate < 0.05 || res.ErrorRate > 0.2 {
+		t.Errorf("error rate at -130 mV = %v", res.ErrorRate)
+	}
+	// Forbidden bits carry no observed faults.
+	for _, bit := range []int{0, 7, 63} {
+		if res.Observed[bit] != 0 {
+			t.Errorf("observed fault at forbidden bit %d", bit)
+		}
+	}
+	total := 0.0
+	for _, r := range res.Observed {
+		total += r
+	}
+	if total <= 0 {
+		t.Error("no faults observed")
+	}
+	if res.ApEn < 0.1 {
+		t.Errorf("ApEn = %v, fault process looks deterministic", res.ApEn)
+	}
+	if len(tab.Rows) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestFig2a(t *testing.T) {
+	env := quickEnv(t)
+	points, tab, err := Fig2a(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig2aRates) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Headline shape: small loss at 0.1, larger at 1.0.
+	if loss := points[0].Accuracy.Mean - points[1].Accuracy.Mean; loss > 0.04 {
+		t.Errorf("accuracy loss at er=0.1 = %v", loss)
+	}
+	if points[10].Accuracy.Mean >= points[1].Accuracy.Mean-0.05 {
+		t.Errorf("er=1.0 accuracy %v should be well below er=0.1 %v",
+			points[10].Accuracy.Mean, points[1].Accuracy.Mean)
+	}
+	if len(tab.Rows) != len(Fig2aRates) {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig2b(t *testing.T) {
+	env := quickEnv(t)
+	results, tab, err := Fig2b(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Fig2bRates) {
+		t.Fatalf("results = %d", len(results))
+	}
+	// Uncertainty grows with the error rate: the malware-class score
+	// std at er=1.0 exceeds that at er=0.1.
+	_, stdLow := histMoments(results[0].Malware)
+	_, stdHigh := histMoments(results[2].Malware)
+	if stdHigh <= stdLow {
+		t.Errorf("malware confidence std: er=0.1 %v, er=1.0 %v — should widen", stdLow, stdHigh)
+	}
+	if len(tab.Rows) != 3 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := Fig3(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.Baseline > 1 || r.Stochastic <= 0 || r.Stochastic > 1 {
+			t.Errorf("%v/%v effectiveness out of range: %+v", r.Cell.Kind, r.Cell.dataName(), r)
+		}
+	}
+	// The MLP/victim-data cell shows the paper's headline drop:
+	// stochastic strictly below baseline.
+	if rows[0].Stochastic >= rows[0].Baseline {
+		t.Errorf("stochastic RE effectiveness %v must drop below baseline %v",
+			rows[0].Stochastic, rows[0].Baseline)
+	}
+	if len(tab.Rows) != 6 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig7(t *testing.T) {
+	env := quickEnv(t)
+	points, tab, err := Fig7(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig7Voltages) {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].SavingsVsBase != 0 {
+		t.Errorf("nominal voltage saving = %v", points[0].SavingsVsBase)
+	}
+	last := points[len(points)-1]
+	if last.SavingsVsRHMD < 0.65 {
+		t.Errorf("savings vs RHMD at 0.68 V = %v", last.SavingsVsRHMD)
+	}
+	if len(tab.Rows) != len(Fig7Voltages) {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestTabLatency(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := TabLatency(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !(rows[0].Time < rows[1].Time && rows[1].Time < rows[2].Time) {
+		t.Errorf("latency ordering: %v", rows)
+	}
+	if len(tab.Rows) != 3 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestTabMemory(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := TabMemory(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "Stochastic-HMD" || rows[0].Detectors != 1 {
+		t.Errorf("first row = %+v", rows[0])
+	}
+	// RHMD-2F: 2 detectors, 50% saving (the paper's example).
+	if rows[1].Detectors != 2 || rows[1].SavingsEq1 != 0.5 {
+		t.Errorf("RHMD-2F row = %+v", rows[1])
+	}
+	// Storage scales with detector count.
+	if rows[4].StorageBytes != rows[0].StorageBytes*6 {
+		t.Errorf("3F2P storage = %d, want 6 models", rows[4].StorageBytes)
+	}
+	if len(tab.Rows) != 5 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestTabRNG(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := TabRNG(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	trng, prng, st := rows[0], rows[1], rows[2]
+	if trng.TimeFactor < 50 || trng.EnergyFactor < 90 {
+		t.Errorf("TRNG factors = %+v, want ≈62×/≈112×", trng)
+	}
+	if prng.TimeFactor < 3 || prng.TimeFactor > 5 {
+		t.Errorf("PRNG time factor = %v, want ≈4×", prng.TimeFactor)
+	}
+	if st.TimeFactor != 1 {
+		t.Errorf("stochastic time factor = %v, undervolting must be free", st.TimeFactor)
+	}
+	if st.EnergyFactor >= 1 {
+		t.Errorf("stochastic energy factor = %v, must save energy", st.EnergyFactor)
+	}
+	if len(tab.Rows) != 3 {
+		t.Error("table rows mismatch")
+	}
+}

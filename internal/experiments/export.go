@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSV export: every experiment table can be written as a CSV file so
+// the figures can be re-plotted with any tool. The text rendering is
+// for terminals; the CSV is the machine-readable artifact.
+
+// WriteCSV writes the table as CSV: one comment line with the title,
+// the header row, then data rows. Notes become trailing comment lines.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes the table to dir/<slug>.csv, deriving the slug from
+// the title, and returns the path.
+func (t *Table) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, slugify(t.Title)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// slugify turns a table title into a filesystem-safe stem.
+func slugify(title string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		case r == '(' || r == ')':
+			// drop
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "Fig 9 — demo (test)",
+		Headers: []string{"x", "y"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2.5")
+	tab.AddRow("2", "3,5") // comma inside a cell must be quoted
+
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# Fig 9 — demo (test)", "x,y", "1,2.5", `"3,5"`, "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "Fig 2(a) — accuracy / FPR / FNR vs error rate",
+		Headers: []string{"er", "acc"},
+	}
+	tab.AddRow("0.1", "0.96")
+	dir := t.TempDir()
+	path, err := tab.SaveCSV(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "fig-2a-accuracy-fpr-fnr-vs-error-rate.csv")
+	if path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "0.1,0.96") {
+		t.Errorf("file contents = %q", data)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Fig 7 — power savings": "fig-7-power-savings",
+		"§VIII — model storage": "viii-model-storage",
+		"(weird)   spacing  ":   "weird-spacing",
+		"already-clean-slug":    "already-clean-slug",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"shmd/internal/core"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+	"shmd/internal/stats"
+)
+
+// Fig2aRates is the error-rate axis of the space exploration.
+var Fig2aRates = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Fig2a runs the detection-accuracy space exploration: accuracy, FPR
+// and FNR (mean ± std over repeated stochastic evaluations) while
+// increasing the error rate.
+func Fig2a(env *Env) ([]core.SweepPoint, *Table, error) {
+	points, err := core.AccuracySweep(env.Base, env.Test(), Fig2aRates,
+		env.Scale.SweepRepeats, rng.DeriveSeed(env.Scale.Seed, 0xF2A, uint64(env.Rotation)))
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline := hmd.Evaluate(env.Base, env.Test())
+	t := &Table{
+		Title:   "Fig 2(a) — accuracy / FPR / FNR vs error rate",
+		Headers: []string{"error rate", "accuracy", "FPR", "FNR"},
+		Notes: []string{
+			fmt.Sprintf("baseline (no undervolting): acc %s fpr %s fnr %s",
+				pct(baseline.Accuracy()), pct(baseline.FPR()), pct(baseline.FNR())),
+			fmt.Sprintf("%d repeats per point, rotation %d", env.Scale.SweepRepeats, env.Rotation),
+		},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.1f", p.ErrorRate),
+			pctPair(p.Accuracy.Mean, p.Accuracy.StdDev),
+			pctPair(p.FPR.Mean, p.FPR.StdDev),
+			pctPair(p.FNR.Mean, p.FNR.StdDev))
+	}
+	return points, t, nil
+}
+
+// Fig2bRates are the error rates whose confidence distributions Fig
+// 2(b) plots.
+var Fig2bRates = []float64{0.1, 0.5, 1.0}
+
+// Fig2bResult holds the confidence distributions at one error rate.
+type Fig2bResult struct {
+	ErrorRate float64
+	Benign    *stats.Histogram
+	Malware   *stats.Histogram
+}
+
+// Fig2b computes the program-level confidence distributions of benign
+// and malware samples at the Fig 2(b) error rates.
+func Fig2b(env *Env) ([]Fig2bResult, *Table, error) {
+	t := &Table{
+		Title: "Fig 2(b) — confidence distribution by class vs error rate",
+		Headers: []string{"error rate", "benign mean", "benign std",
+			"malware mean", "malware std"},
+		Notes: []string{"statistics of the malware-class confidence, pooled over repeats"},
+	}
+	var out []Fig2bResult
+	for i, rate := range Fig2bRates {
+		benign, malware, err := core.ConfidenceDistributions(env.Base, env.Test(), rate,
+			env.Scale.ConfRepeats, 20, rng.DeriveSeed(env.Scale.Seed, 0xF2B, uint64(env.Rotation), uint64(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, Fig2bResult{ErrorRate: rate, Benign: benign, Malware: malware})
+		bm, bs := histMoments(benign)
+		mm, ms := histMoments(malware)
+		t.AddRow(fmt.Sprintf("%.1f", rate),
+			fmt.Sprintf("%.3f", bm), fmt.Sprintf("%.3f", bs),
+			fmt.Sprintf("%.3f", mm), fmt.Sprintf("%.3f", ms))
+	}
+	return out, t, nil
+}
+
+// histMoments returns the mean and standard deviation of a histogram's
+// distribution (bin centers weighted by density).
+func histMoments(h *stats.Histogram) (mean, std float64) {
+	d := h.Density()
+	for i, p := range d {
+		mean += p * h.BinCenter(i)
+	}
+	varsum := 0.0
+	for i, p := range d {
+		diff := h.BinCenter(i) - mean
+		varsum += p * diff * diff
+	}
+	return mean, math.Sqrt(varsum)
+}

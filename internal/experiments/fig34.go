@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shmd/internal/attack"
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+)
+
+// AttackCell is one of the six proxy configurations of Figs 3 and 4:
+// a model family crossed with the attacker's data knowledge.
+type AttackCell struct {
+	Kind attack.ProxyKind
+	// VictimData is true when the attacker reverse-engineers with the
+	// victim's own training fold (the stronger scenario).
+	VictimData bool
+}
+
+// attackCells enumerates the six configurations in the figures' order.
+func attackCells() []AttackCell {
+	var out []AttackCell
+	for _, kind := range attack.ProxyKinds() {
+		out = append(out, AttackCell{Kind: kind, VictimData: true})
+		out = append(out, AttackCell{Kind: kind, VictimData: false})
+	}
+	return out
+}
+
+// dataName renders the fold-knowledge label used in the figures.
+func (c AttackCell) dataName() string {
+	if c.VictimData {
+		return "victim training"
+	}
+	return "attacker training"
+}
+
+// Fig3Row is one bar pair of Fig 3.
+type Fig3Row struct {
+	Cell AttackCell
+	// Baseline and Stochastic are the reverse-engineering
+	// effectiveness values against each victim.
+	Baseline   float64
+	Stochastic float64
+}
+
+// reData picks the attacker's query fold for a cell.
+func reData(env *Env, c AttackCell) []dataset.TracedProgram {
+	if c.VictimData {
+		return env.VictimTrain()
+	}
+	return env.AttackerTrain()
+}
+
+// reverseEngineerCell trains the cell's proxy against a victim.
+func reverseEngineerCell(env *Env, victim hmd.Detector, c AttackCell, label uint64) (*attack.Proxy, error) {
+	return attack.ReverseEngineer(victim, reData(env, c), attack.REConfig{
+		Kind:   c.Kind,
+		Epochs: env.Scale.ProxyEpochs,
+		Seed:   rng.DeriveSeed(env.Scale.Seed, 0xA77, uint64(env.Rotation), label),
+	})
+}
+
+// Fig3 measures reverse-engineering effectiveness for every proxy
+// configuration against the baseline HMD and against the
+// Stochastic-HMD at the operating error rate.
+func Fig3(env *Env) ([]Fig3Row, *Table, error) {
+	test := env.Test()
+	t := &Table{
+		Title:   "Fig 3 — reverse-engineering effectiveness",
+		Headers: []string{"proxy", "attacker data", "baseline HMD", "Stochastic-HMD"},
+		Notes: []string{
+			fmt.Sprintf("Stochastic-HMD at error rate %.2f", OperatingErrorRate),
+		},
+	}
+	var rows []Fig3Row
+	for i, cell := range attackCells() {
+		baseProxy, err := reverseEngineerCell(env, env.Base, cell, uint64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		baseEff, err := attack.Effectiveness(baseProxy, env.Base, test)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		victim, err := env.Stochastic(OperatingErrorRate, uint64(100+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		stochProxy, err := reverseEngineerCell(env, victim, cell, uint64(200+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		stochEff, err := attack.Effectiveness(stochProxy, victim, test)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		rows = append(rows, Fig3Row{Cell: cell, Baseline: baseEff, Stochastic: stochEff})
+		t.AddRow(cell.Kind.String(), cell.dataName(), pct(baseEff), pct(stochEff))
+	}
+	return rows, t, nil
+}
+
+// Fig4Row is one bar pair of Fig 4.
+type Fig4Row struct {
+	Cell AttackCell
+	// Baseline and Stochastic are the transferability-attack success
+	// rates against each victim.
+	Baseline   float64
+	Stochastic float64
+	// Samples counts the proxy-evasive malware per victim.
+	BaselineSamples   int
+	StochasticSamples int
+}
+
+// Fig4 runs the transferability experiment: evasive malware is crafted
+// against each cell's proxy (reverse-engineered from the respective
+// victim) and its success rate in evading that victim is measured.
+func Fig4(env *Env) ([]Fig4Row, *Table, error) {
+	targets := env.TestMalware(env.Scale.EvadeTargets)
+	t := &Table{
+		Title:   "Fig 4 — 'transferability attack' success rate",
+		Headers: []string{"proxy", "attacker data", "baseline HMD", "Stochastic-HMD"},
+		Notes: []string{
+			fmt.Sprintf("Stochastic-HMD at error rate %.2f; persistent detection over %d classifications",
+				OperatingErrorRate, attack.PersistentRuns),
+			fmt.Sprintf("%d malware targets per cell", len(targets)),
+		},
+	}
+	var rows []Fig4Row
+	for i, cell := range attackCells() {
+		baseProxy, err := reverseEngineerCell(env, env.Base, cell, uint64(300+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		baseResults, err := attack.EvadeAll(baseProxy, targets, attack.EvasionConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		baseTrans := 0.0
+		if len(baseResults) > 0 {
+			baseTrans, err = attack.Transferability(baseResults, env.Base)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+
+		victim, err := env.Stochastic(OperatingErrorRate, uint64(400+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		stochProxy, err := reverseEngineerCell(env, victim, cell, uint64(500+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		stochResults, err := attack.EvadeAll(stochProxy, targets, attack.EvasionConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		stochTrans := 0.0
+		if len(stochResults) > 0 {
+			stochTrans, err = attack.Transferability(stochResults, victim)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+
+		rows = append(rows, Fig4Row{
+			Cell:              cell,
+			Baseline:          baseTrans,
+			Stochastic:        stochTrans,
+			BaselineSamples:   len(baseResults),
+			StochasticSamples: len(stochResults),
+		})
+		t.AddRow(cell.Kind.String(), cell.dataName(), pct(baseTrans), pct(stochTrans))
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shmd/internal/power"
+)
+
+// Fig7Voltages is the paper's sweep: nominal 1.18 V down to 0.68 V in
+// 0.1 V steps.
+var Fig7Voltages = []float64{1.18, 1.08, 0.98, 0.88, 0.78, 0.68}
+
+// Fig7 computes the power-savings curves of Fig 7 with the reference
+// detector's MAC count.
+func Fig7(env *Env) ([]power.Fig7Point, *Table, error) {
+	cpu, lat := power.DefaultCPU(), power.DefaultLatency()
+	macs := env.Base.Fixed().NumMuls()
+	points, err := power.Fig7Sweep(cpu, lat, macs, Fig7Voltages)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:   "Fig 7 — power savings of Stochastic-HMD",
+		Headers: []string{"supply voltage (V)", "savings over baseline HMD", "savings over RHMD", "power (W)"},
+		Notes: []string{
+			fmt.Sprintf("detector inference: %d MACs", macs),
+			"undervolting leaves inference time unchanged (voltage-only scaling)",
+		},
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.2f", p.SupplyV), pct(p.SavingsVsBase), pct(p.SavingsVsRHMD),
+			fmt.Sprintf("%.2f", p.StochasticPowerW))
+	}
+	return points, t, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shmd/internal/attack"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+)
+
+// Fig8Rates is the error-rate axis of the trade-off figure. It is
+// sparser than Fig 2(a)'s because every point carries a full
+// reverse-engineering and evasion campaign.
+var Fig8Rates = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig8Point is one error-rate sample of the trade-off: accuracy,
+// transferability robustness (share of evasive malware that fails),
+// and reverse-engineering robustness (1 − effectiveness).
+type Fig8Point struct {
+	ErrorRate      float64
+	Accuracy       float64
+	TransferRobust float64
+	RERobust       float64
+}
+
+// Fig8 sweeps the error rate and measures the three trade-off curves,
+// using the MLP proxy with attacker-training data (the figure's attack
+// configuration).
+func Fig8(env *Env) ([]Fig8Point, *Table, error) {
+	targets := env.TestMalware(env.Scale.EvadeTargets)
+	test := env.Test()
+	t := &Table{
+		Title: "Fig 8 — Stochastic-HMD trade-off",
+		Headers: []string{"error rate", "accuracy",
+			"transferability robustness", "RE robustness"},
+		Notes: []string{
+			"MLP proxy, attacker-training data",
+			fmt.Sprintf("persistent detection over %d classifications", attack.PersistentRuns),
+		},
+	}
+	var out []Fig8Point
+	for i, rate := range Fig8Rates {
+		victim, err := env.Stochastic(rate, uint64(0xF80+i))
+		if err != nil {
+			return nil, nil, err
+		}
+		acc := hmd.Evaluate(victim, test).Accuracy()
+
+		proxy, err := attack.ReverseEngineer(victim, env.AttackerTrain(), attack.REConfig{
+			Kind:   attack.ProxyMLP,
+			Epochs: env.Scale.ProxyEpochs,
+			Seed:   rng.DeriveSeed(env.Scale.Seed, 0xF8, uint64(env.Rotation), uint64(i)),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		eff, err := attack.Effectiveness(proxy, victim, test)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		results, err := attack.EvadeAll(proxy, targets, attack.EvasionConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		robust := 1.0
+		if len(results) > 0 {
+			trans, err := attack.Transferability(results, victim)
+			if err != nil {
+				return nil, nil, err
+			}
+			robust = 1 - trans
+		}
+
+		p := Fig8Point{ErrorRate: rate, Accuracy: acc, TransferRobust: robust, RERobust: 1 - eff}
+		out = append(out, p)
+		t.AddRow(fmt.Sprintf("%.2f", rate), pct(p.Accuracy), pct(p.TransferRobust), pct(p.RERobust))
+	}
+	return out, t, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The heavier security experiments (full attack campaigns) get their
+// own test functions so -run can select them independently.
+
+func TestFig4(t *testing.T) {
+	env := quickEnv(t)
+	rows, tab, err := Fig4(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("Fig4 %v/%s: baseline %.3f (n=%d) stochastic %.3f (n=%d)",
+			r.Cell.Kind, r.Cell.dataName(), r.Baseline, r.BaselineSamples,
+			r.Stochastic, r.StochasticSamples)
+		if r.Baseline < 0 || r.Baseline > 1 || r.Stochastic < 0 || r.Stochastic > 1 {
+			t.Errorf("transferability out of range: %+v", r)
+		}
+	}
+	// Headline shape: in at least one MLP cell the stochastic victim
+	// resists transfer better than the baseline. (At quick scale
+	// individual cells are noisy; the full-scale run in EXPERIMENTS.md
+	// shows the gap across all six.)
+	gap := false
+	for _, r := range rows[:2] {
+		if r.BaselineSamples > 0 && r.StochasticSamples > 0 && r.Stochastic < r.Baseline {
+			gap = true
+		}
+	}
+	if !gap {
+		t.Error("no MLP cell showed the stochastic victim resisting transfer")
+	}
+	if len(tab.Rows) != 6 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig5And6(t *testing.T) {
+	env := quickEnv(t)
+	rows, fig5, fig6, err := Fig5And6(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 4 RHMDs + Stochastic-HMD", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("Fig5/6 %s: evasive detected %.3f (n=%d), accuracy %.3f",
+			r.Name, r.EvasiveDetected, r.Samples, r.Accuracy)
+		if r.EvasiveDetected < 0 || r.EvasiveDetected > 1 {
+			t.Errorf("%s detection out of range", r.Name)
+		}
+		if r.Accuracy < 0.6 {
+			t.Errorf("%s accuracy = %v, degenerate detector", r.Name, r.Accuracy)
+		}
+	}
+	st := rows[4]
+	if st.Name != "Stochastic-HMD" {
+		t.Fatalf("last row = %s", st.Name)
+	}
+	// Fig 6 shape: Stochastic-HMD stays within a few points of the
+	// best RHMD construction.
+	best := 0.0
+	for _, r := range rows[:4] {
+		if r.Accuracy > best {
+			best = r.Accuracy
+		}
+	}
+	if best-st.Accuracy > 0.08 {
+		t.Errorf("Stochastic-HMD accuracy %v too far below best RHMD %v", st.Accuracy, best)
+	}
+	if len(fig5.Rows) != 5 || len(fig6.Rows) != 5 {
+		t.Error("table rows mismatch")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	env := quickEnv(t)
+	// A reduced rate axis keeps the quick run fast while preserving
+	// the regions the figure annotates (area 1 vs area 2).
+	saved := Fig8Rates
+	Fig8Rates = []float64{0, 0.1, 0.5}
+	defer func() { Fig8Rates = saved }()
+
+	points, tab, err := Fig8(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		t.Logf("Fig8 er=%.2f acc=%.3f transferRobust=%.3f reRobust=%.3f",
+			p.ErrorRate, p.Accuracy, p.TransferRobust, p.RERobust)
+	}
+	// RE robustness grows with the error rate.
+	if points[2].RERobust <= points[0].RERobust {
+		t.Errorf("RE robustness must grow with er: %v vs %v",
+			points[2].RERobust, points[0].RERobust)
+	}
+	// At er=0.1 (area 1) accuracy stays close to the baseline while
+	// transferability robustness is already high.
+	if points[1].Accuracy < points[0].Accuracy-0.05 {
+		t.Errorf("area-1 accuracy dropped too much: %v vs %v",
+			points[1].Accuracy, points[0].Accuracy)
+	}
+	if len(tab.Rows) != 3 {
+		t.Error("table rows mismatch")
+	}
+}

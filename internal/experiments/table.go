@@ -1,0 +1,75 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation. Each FigN/TabN function is self-contained,
+// returns structured results plus a formatted Table, and is shared by
+// cmd/experiments and the root benchmark suite. The Scale type
+// switches between a fast test-sized run and the paper-sized corpus.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: the rows the paper's
+// figure/table reports, in text form.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes carry per-table caveats (e.g. scale used, protocol).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// pctPair formats mean±std fractions as percentages.
+func pctPair(mean, std float64) string {
+	return fmt.Sprintf("%.1f%% ± %.1f", 100*mean, 100*std)
+}

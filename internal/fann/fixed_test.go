@@ -1,0 +1,161 @@
+package fann
+
+import (
+	"math"
+	"testing"
+
+	"shmd/internal/faults"
+	"shmd/internal/fxp"
+	"shmd/internal/rng"
+)
+
+func trainedToy(t *testing.T) *Network {
+	t.Helper()
+	n := mustNew(t, Config{Layers: []int{4, 6, 1}, Hidden: SigmoidSymmetric, Output: Sigmoid, Seed: 21})
+	samples := []TrainSample{
+		{Input: []float64{1, 0, 1, 0}, Target: []float64{1}},
+		{Input: []float64{0, 1, 0, 1}, Target: []float64{0}},
+		{Input: []float64{1, 1, 0, 0}, Target: []float64{1}},
+		{Input: []float64{0, 0, 1, 1}, Target: []float64{0}},
+	}
+	if _, _, err := n.Train(samples, TrainOptions{MaxEpochs: 500, TargetMSE: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestToFixedValidation(t *testing.T) {
+	n := trainedToy(t)
+	if _, err := n.ToFixed(fxp.Format{FracBits: 0}); err == nil {
+		t.Error("invalid format must be rejected")
+	}
+}
+
+func TestFixedMatchesFloat(t *testing.T) {
+	n := trainedToy(t)
+	fn, err := n.ToFixed(fxp.DefaultFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.NewRand(31)
+	for i := 0; i < 200; i++ {
+		in := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		want := n.Run(in)[0]
+		got := fn.Run(fxp.Exact{}, in)[0]
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("fixed/float divergence: %v vs %v on %v", got, want, in)
+		}
+	}
+}
+
+func TestFixedDeterministicWithExactUnit(t *testing.T) {
+	n := trainedToy(t)
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	in := []float64{0.2, 0.8, 0.5, 0.1}
+	first := fn.Run(fxp.Exact{}, in)[0]
+	for i := 0; i < 20; i++ {
+		if fn.Run(fxp.Exact{}, in)[0] != first {
+			t.Fatal("exact fixed-point inference must be deterministic")
+		}
+	}
+}
+
+func TestFixedStochasticWithInjector(t *testing.T) {
+	// The defining property of the Stochastic-HMD: with the undervolted
+	// multiplier, repeated inference on the same input yields varying
+	// outputs — the moving-target decision boundary.
+	n := trainedToy(t)
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	inj, err := faults.NewInjector(0.5, nil, rng.NewRand(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.2, 0.8, 0.5, 0.1}
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[fn.Run(inj, in)[0]] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct outputs across 100 undervolted runs", len(seen))
+	}
+}
+
+func TestFixedZeroRateInjectorMatchesExact(t *testing.T) {
+	n := trainedToy(t)
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	inj, err := faults.NewInjector(0, nil, rng.NewRand(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []float64{0.9, 0.1, 0.4, 0.6}
+	if fn.Run(inj, in)[0] != fn.Run(fxp.Exact{}, in)[0] {
+		t.Error("zero-rate injector must match the exact unit")
+	}
+}
+
+func TestFixedRunPanicsOnBadInput(t *testing.T) {
+	n := trainedToy(t)
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong input length")
+		}
+	}()
+	fn.Run(fxp.Exact{}, []float64{1})
+}
+
+func TestNumMuls(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{64, 32, 2}, Hidden: Sigmoid, Output: Sigmoid})
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	if got, want := fn.NumMuls(), 64*32+32*2; got != want {
+		t.Errorf("NumMuls = %d, want %d", got, want)
+	}
+	// The injector must observe exactly NumMuls multiplications.
+	inj, _ := faults.NewInjector(0, nil, rng.NewRand(1))
+	fn.Run(inj, make([]float64, 64))
+	if got := inj.Stats().Muls; got != uint64(fn.NumMuls()+32+2) {
+		// +32+2 bias multiplications: the bias input multiplies too
+		// (FANN treats the bias as a constant-1 input neuron).
+		t.Errorf("observed muls = %d", got)
+	}
+}
+
+func TestFixedAccessors(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{3, 5, 2}, Hidden: Sigmoid, Output: Sigmoid})
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	if fn.NumInputs() != 3 || fn.NumOutputs() != 2 {
+		t.Errorf("dims = %d/%d", fn.NumInputs(), fn.NumOutputs())
+	}
+	if fn.Format() != fxp.DefaultFormat {
+		t.Error("Format mismatch")
+	}
+	ls := fn.Layers()
+	if len(ls) != 3 || ls[1] != 5 {
+		t.Errorf("Layers = %v", ls)
+	}
+	ls[0] = 99
+	if fn.NumInputs() != 3 {
+		t.Error("Layers must return a copy")
+	}
+}
+
+// The multi-layer buffer swap must not corrupt activations in deeper
+// networks (regression guard for the scratch-buffer reuse).
+func TestFixedDeepNetwork(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{6, 9, 4, 7, 2}, Hidden: SigmoidSymmetric, Output: Sigmoid, Seed: 77})
+	fn, _ := n.ToFixed(fxp.DefaultFormat)
+	r := rng.NewRand(78)
+	for i := 0; i < 50; i++ {
+		in := make([]float64, 6)
+		for j := range in {
+			in[j] = r.Float64()*2 - 1
+		}
+		want := n.Run(in)
+		got := fn.Run(fxp.Exact{}, in)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 0.02 {
+				t.Fatalf("deep net divergence at output %d: %v vs %v", j, got[j], want[j])
+			}
+		}
+	}
+}

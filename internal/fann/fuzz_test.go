@@ -1,0 +1,42 @@
+package fann
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens the network deserializer against malformed input:
+// whatever the bytes, Load must return an error or a usable network —
+// never panic or hang.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid stream and truncations/mutations of it.
+	n, err := New(Config{Layers: []int{3, 4, 2}, Hidden: Sigmoid, Output: Sigmoid, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := n.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add(fannMagic[:])
+	mutated := append([]byte(nil), valid...)
+	mutated[9] = 0xFF // layer count byte
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully loaded network must be runnable.
+		in := make([]float64, net.NumInputs())
+		out := net.Run(in)
+		if len(out) != net.NumOutputs() {
+			t.Fatalf("loaded network produced %d outputs, wants %d", len(out), net.NumOutputs())
+		}
+	})
+}

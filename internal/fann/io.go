@@ -1,0 +1,146 @@
+package fann
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format: a compact binary layout comparable to FANN's
+// .net files (float32 weights). The Section VIII memory-footprint
+// comparison measures the size of exactly this artifact: RHMD must
+// store one per base detector, Stochastic-HMD stores one total.
+//
+//	magic   [8]byte  "FANNGO\x00\x01"
+//	nLayers uint32
+//	layers  [nLayers]uint32
+//	hidden  uint32 (Activation)
+//	output  uint32 (Activation)
+//	weights [sum fanOut*(fanIn+1)]float32
+var fannMagic = [8]byte{'F', 'A', 'N', 'N', 'G', 'O', 0, 1}
+
+// ErrBadFormat is returned when Load encounters a malformed stream.
+var ErrBadFormat = errors.New("fann: malformed network stream")
+
+// Save writes the network to w and returns the number of bytes
+// written, which is the model's storage footprint.
+func (n *Network) Save(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(fannMagic[:]); err != nil {
+		return cw.n, err
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := write(uint32(len(n.layers))); err != nil {
+		return cw.n, err
+	}
+	for _, l := range n.layers {
+		if err := write(uint32(l)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(n.hidden)); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(n.output)); err != nil {
+		return cw.n, err
+	}
+	for _, layer := range n.weights {
+		for _, v := range layer {
+			if err := write(float32(v)); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// SavedSize returns the byte size Save would produce without writing.
+func (n *Network) SavedSize() int64 {
+	return int64(len(fannMagic)) + 4 + 4*int64(len(n.layers)) + 8 + 4*int64(n.NumWeights())
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if magic != fannMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var nLayers uint32
+	if err := read(&nLayers); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if nLayers < 2 || nLayers > 64 {
+		return nil, fmt.Errorf("%w: %d layers", ErrBadFormat, nLayers)
+	}
+	layers := make([]int, nLayers)
+	for i := range layers {
+		var v uint32
+		if err := read(&v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+		if v < 1 || v > 1<<20 {
+			return nil, fmt.Errorf("%w: layer size %d", ErrBadFormat, v)
+		}
+		layers[i] = int(v)
+	}
+	var hidden, output uint32
+	if err := read(&hidden); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if err := read(&output); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if !Activation(hidden).valid() || !Activation(output).valid() {
+		return nil, fmt.Errorf("%w: unknown activation", ErrBadFormat)
+	}
+	n := &Network{
+		layers: layers,
+		hidden: Activation(hidden),
+		output: Activation(output),
+	}
+	n.weights = make([][]float64, nLayers-1)
+	for l := range n.weights {
+		count := layers[l+1] * (layers[l] + 1)
+		w := make([]float64, count)
+		for i := range w {
+			var v float32
+			if err := read(&v); err != nil {
+				return nil, fmt.Errorf("%w: truncated weights: %v", ErrBadFormat, err)
+			}
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return nil, fmt.Errorf("%w: non-finite weight", ErrBadFormat)
+			}
+			w[i] = float64(v)
+		}
+		n.weights[l] = w
+	}
+	// Any trailing bytes mean the stream was not produced by Save.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data", ErrBadFormat)
+	}
+	return n, nil
+}
+
+// countingWriter tracks bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

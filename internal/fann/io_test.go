@@ -1,0 +1,84 @@
+package fann
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n := trainedToy(t)
+	var buf bytes.Buffer
+	written, err := n.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Errorf("Save reported %d bytes, buffer has %d", written, buf.Len())
+	}
+	if written != n.SavedSize() {
+		t.Errorf("SavedSize = %d, actual %d", n.SavedSize(), written)
+	}
+
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumInputs() != n.NumInputs() || loaded.NumOutputs() != n.NumOutputs() {
+		t.Fatalf("dims changed: %d/%d", loaded.NumInputs(), loaded.NumOutputs())
+	}
+	if loaded.HiddenActivation() != n.HiddenActivation() || loaded.OutputActivation() != n.OutputActivation() {
+		t.Error("activations changed")
+	}
+	// float32 round trip costs precision; outputs must agree closely.
+	in := []float64{0.3, 0.6, 0.1, 0.8}
+	a, b := n.Run(in)[0], loaded.Run(in)[0]
+	if diff := a - b; diff > 1e-5 || diff < -1e-5 {
+		t.Errorf("loaded network diverges: %v vs %v", a, b)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTFANN0xxxxxxxxxxxxxxxx"),
+		"truncated": fannMagic[:],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedWeights(t *testing.T) {
+	n := trainedToy(t)
+	var buf bytes.Buffer
+	if _, err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-4]
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated weights err = %v", err)
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	n := trainedToy(t)
+	var buf bytes.Buffer
+	if _, err := n.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0xFF)
+	if _, err := Load(&buf); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("trailing data err = %v", err)
+	}
+}
+
+func TestSavedSizeScalesWithModel(t *testing.T) {
+	small := mustNew(t, Config{Layers: []int{4, 2, 1}, Hidden: Sigmoid, Output: Sigmoid})
+	big := mustNew(t, Config{Layers: []int{64, 32, 2}, Hidden: Sigmoid, Output: Sigmoid})
+	if small.SavedSize() >= big.SavedSize() {
+		t.Errorf("sizes: small %d, big %d", small.SavedSize(), big.SavedSize())
+	}
+}

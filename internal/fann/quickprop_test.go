@@ -1,0 +1,90 @@
+package fann
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickpropConvergesOnAffine(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{2, 1}, Hidden: Linear, Output: Linear, Seed: 2})
+	samples := []TrainSample{
+		{Input: []float64{0, 0}, Target: []float64{1}},
+		{Input: []float64{1, 0}, Target: []float64{3}},
+		{Input: []float64{0, 1}, Target: []float64{0}},
+		{Input: []float64{1, 1}, Target: []float64{2}},
+	}
+	mse, _, err := n.TrainQuickprop(samples, TrainOptions{MaxEpochs: 500, TargetMSE: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 1e-6 {
+		t.Fatalf("quickprop affine fit MSE = %v", mse)
+	}
+}
+
+func TestQuickpropConvergesOnXOR(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{2, 8, 1}, Hidden: SigmoidSymmetric, Output: Sigmoid, Seed: 1})
+	samples := []TrainSample{
+		{Input: []float64{0, 0}, Target: []float64{0}},
+		{Input: []float64{0, 1}, Target: []float64{1}},
+		{Input: []float64{1, 0}, Target: []float64{1}},
+		{Input: []float64{1, 1}, Target: []float64{0}},
+	}
+	mse, epochs, err := n.TrainQuickprop(samples, TrainOptions{MaxEpochs: 3000, TargetMSE: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 0.05 {
+		t.Fatalf("quickprop XOR MSE = %v after %d epochs", mse, epochs)
+	}
+}
+
+func TestQuickpropReducesError(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{3, 5, 2}, Hidden: Sigmoid, Output: Sigmoid, Seed: 7})
+	samples := []TrainSample{
+		{Input: []float64{0.1, 0.5, 0.9}, Target: []float64{1, 0}},
+		{Input: []float64{0.9, 0.5, 0.1}, Target: []float64{0, 1}},
+	}
+	trainer := NewQuickpropTrainer(n)
+	first, err := trainer.Epoch(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 100; i++ {
+		last, err = trainer.Epoch(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("quickprop did not reduce error: %v -> %v", first, last)
+	}
+}
+
+func TestQuickpropValidation(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{2, 1}, Hidden: Sigmoid, Output: Sigmoid})
+	if _, _, err := n.TrainQuickprop(nil, TrainOptions{}); err != ErrNoSamples {
+		t.Errorf("empty set err = %v", err)
+	}
+}
+
+func TestQuickpropWeightsStayFinite(t *testing.T) {
+	n := mustNew(t, Config{Layers: []int{2, 4, 1}, Hidden: Sigmoid, Output: Sigmoid, Seed: 3})
+	// Conflicting targets for the same input can destabilize secant
+	// methods; weights must stay finite anyway.
+	samples := []TrainSample{
+		{Input: []float64{0.5, 0.5}, Target: []float64{0}},
+		{Input: []float64{0.5, 0.5}, Target: []float64{1}},
+	}
+	if _, _, err := n.TrainQuickprop(samples, TrainOptions{MaxEpochs: 200}); err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range n.weights {
+		for _, w := range layer {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatal("quickprop produced a non-finite weight")
+			}
+		}
+	}
+}

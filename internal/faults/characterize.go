@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"math/rand"
+
+	"shmd/internal/fxp"
+	"shmd/internal/stats"
+)
+
+// RepeatMul re-executes the same multiplication n times through the
+// injector — the Section II experiment ("repeatedly executing the same
+// instruction with the same operands") — and returns, per run, the
+// flipped bit location or -1 when the run was fault-free.
+func RepeatMul(in *Injector, a, b fxp.Value, n int) []int {
+	exact := fxp.Exact{}.Mul(a, b)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+		got := in.Mul(a, b)
+		if diff := uint64(got ^ exact); diff != 0 {
+			for bit := 0; bit < ProductBits; bit++ {
+				if diff&(1<<uint(bit)) != 0 {
+					out[i] = bit
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StochasticityApEn runs the paper's stochasticity validation: repeat a
+// multiplication with fixed operands, build the binary fault-indicator
+// series, and compute its approximate entropy. A deterministic fault
+// process (always faulting, or faulting on a fixed schedule) scores
+// near zero; the undervolting model scores well above it.
+func StochasticityApEn(in *Injector, a, b fxp.Value, n int) (float64, error) {
+	locs := RepeatMul(in, a, b, n)
+	bits := make([]uint8, len(locs))
+	for i, l := range locs {
+		if l >= 0 {
+			bits[i] = 1
+		}
+	}
+	return stats.BitSeriesApEn(bits)
+}
+
+// ObservedBitHistogram repeats random-operand multiplications (the
+// "100k sets of operands" experiment behind Fig 1) and returns the
+// observed per-bit fault rates from the injector's counters.
+func ObservedBitHistogram(in *Injector, operandSets, repeatsPerSet int, rnd *rand.Rand) [ProductBits]float64 {
+	in.ResetStats()
+	for s := 0; s < operandSets; s++ {
+		a := fxp.Value(rnd.Int31())
+		b := fxp.Value(rnd.Int31())
+		if rnd.Intn(2) == 0 {
+			a = -a
+		}
+		if rnd.Intn(2) == 0 {
+			b = -b
+		}
+		for r := 0; r < repeatsPerSet; r++ {
+			in.Mul(a, b)
+		}
+	}
+	return in.Stats().BitRates()
+}

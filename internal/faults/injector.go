@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shmd/internal/fxp"
+)
+
+// Counters accumulates fault-injection statistics. The Fig 1
+// regeneration reads PerBit; the characterization tool reads Faults and
+// Muls to report the effective multiply fault rate.
+type Counters struct {
+	Muls   uint64
+	Faults uint64
+	PerBit [ProductBits]uint64
+}
+
+// Rate returns the observed per-multiplication fault rate.
+func (c Counters) Rate() float64 {
+	if c.Muls == 0 {
+		return 0
+	}
+	return float64(c.Faults) / float64(c.Muls)
+}
+
+// BitRates returns the observed per-bit fault rate (faults at each bit
+// divided by total multiplications), the quantity Fig 1 plots.
+func (c Counters) BitRates() [ProductBits]float64 {
+	var out [ProductBits]float64
+	if c.Muls == 0 {
+		return out
+	}
+	for bit, n := range c.PerBit {
+		out[bit] = float64(n) / float64(c.Muls)
+	}
+	return out
+}
+
+// Injector is the undervolted multiplier: an fxp.Unit whose products
+// suffer stochastic single-bit timing-violation flips at a configured
+// error rate, with locations drawn from a Distribution.
+//
+// An Injector is not safe for concurrent use; give each goroutine its
+// own (they are cheap, and independent streams keep runs reproducible).
+type Injector struct {
+	rate  float64
+	dist  *Distribution
+	rnd   *rand.Rand
+	stats Counters
+}
+
+// NewInjector builds an injector with the given per-multiplication
+// error rate in [0, 1], fault-location distribution (nil means the
+// default Fig 1 model), and random stream.
+func NewInjector(rate float64, dist *Distribution, rnd *rand.Rand) (*Injector, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("faults: error rate %v outside [0,1]", rate)
+	}
+	if rnd == nil {
+		return nil, fmt.Errorf("faults: injector needs a random stream")
+	}
+	if dist == nil {
+		dist = Fig1Distribution()
+	}
+	return &Injector{rate: rate, dist: dist, rnd: rnd}, nil
+}
+
+// Rate returns the configured per-multiplication error rate.
+func (in *Injector) Rate() float64 { return in.rate }
+
+// SetRate changes the error rate; the voltage regulator calls this when
+// the supply voltage (and hence the fault rate) changes.
+func (in *Injector) SetRate(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("faults: error rate %v outside [0,1]", rate)
+	}
+	in.rate = rate
+	return nil
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Counters { return in.stats }
+
+// ResetStats clears the injection counters.
+func (in *Injector) ResetStats() { in.stats = Counters{} }
+
+// Mul multiplies two fixed-point values, then — with probability equal
+// to the error rate — flips one product bit sampled from the
+// fault-location distribution. The flip is an XOR of the chosen bit,
+// exactly how a timing violation manifests: the latch captures a stale
+// value for that output line.
+func (in *Injector) Mul(a, b fxp.Value) fxp.Product {
+	p := fxp.Product(int64(a) * int64(b))
+	in.stats.Muls++
+	if in.rate > 0 && in.rnd.Float64() < in.rate {
+		bit := in.dist.Sample(in.rnd)
+		p ^= fxp.Product(1) << uint(bit)
+		in.stats.Faults++
+		in.stats.PerBit[bit]++
+	}
+	return p
+}
+
+var _ fxp.Unit = (*Injector)(nil)
+
+// TruncatedUnit is a *deterministic* approximate multiplier that drops
+// the low DropBits of each operand before multiplying — the classic
+// circuit-level approximation the paper contrasts with undervolting in
+// Section III rationale (i): "other circuit level approximation
+// techniques ... their behavior is deterministic". It exists for the
+// ablation bench showing that deterministic approximation yields no
+// moving-target defense even at a comparable accuracy cost.
+type TruncatedUnit struct {
+	DropBits uint
+}
+
+// Mul multiplies the truncated operands.
+func (t TruncatedUnit) Mul(a, b fxp.Value) fxp.Product {
+	mask := ^fxp.Value(0) << t.DropBits
+	return fxp.Product(int64(a&mask) * int64(b&mask))
+}
+
+var _ fxp.Unit = TruncatedUnit{}

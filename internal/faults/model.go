@@ -1,0 +1,162 @@
+// Package faults implements the stochastic fault-injection tool of the
+// paper's Section VI-A: it "emulates timing violations at the output of
+// arithmetic operations, based on the error distribution model detailed
+// in Section II". The injector satisfies fxp.Unit, so it drops into the
+// fixed-point inference path of the FANN-like network without any model
+// change.
+//
+// The Section II characterization constraints encoded here:
+//
+//   - only multiplications fault (adds/subs/bit-ops have shorter
+//     critical paths and never faulted), so only Mul is corrupted;
+//   - the sign bit (bit 63 of the 64-bit product) never flips — it is a
+//     single XOR of the operand sign bits, far off the critical path;
+//   - the 8 least-significant product bits never flip — their
+//     propagation delays are the shortest in the array multiplier;
+//   - the fault location varies non-deterministically across runs with
+//     identical operands (validated with the approximate-entropy test);
+//   - the undervolting level controls the fault *rate*; the location
+//     distribution keeps the same shape (Fig 1 snapshot at −130 mV).
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Product-bit index constants from the Section II characterization.
+const (
+	// MinFaultBit is the lowest product bit that can flip; bits 0..7
+	// never faulted in the characterization.
+	MinFaultBit = 8
+	// MaxFaultBit is the highest product bit that can flip; bit 63
+	// (the sign) never faulted.
+	MaxFaultBit = 62
+	// ProductBits is the width of a multiplication output.
+	ProductBits = 64
+)
+
+// Distribution is a normalized fault-location distribution over the 64
+// product bits. Weights outside [MinFaultBit, MaxFaultBit] are zero by
+// construction.
+type Distribution struct {
+	weights [ProductBits]float64
+	cdf     [ProductBits]float64
+}
+
+// NewDistribution builds a Distribution from raw non-negative weights.
+// Weights at the sign bit and the 8 LSBs are rejected, matching the
+// physical constraints above.
+func NewDistribution(weights [ProductBits]float64) (*Distribution, error) {
+	total := 0.0
+	for bit, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("faults: invalid weight %v at bit %d", w, bit)
+		}
+		if w > 0 && (bit < MinFaultBit || bit > MaxFaultBit) {
+			return nil, fmt.Errorf("faults: bit %d cannot fault (weight %v)", bit, w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("faults: distribution has no mass")
+	}
+	d := &Distribution{}
+	acc := 0.0
+	for bit := range weights {
+		d.weights[bit] = weights[bit] / total
+		acc += d.weights[bit]
+		d.cdf[bit] = acc
+	}
+	d.cdf[ProductBits-1] = 1 // guard against rounding
+	return d, nil
+}
+
+// Calibration constants for the default (Fig 1) fault-location model.
+//
+// The measured distribution at −130 mV spreads faults over bits 8..62
+// with per-bit rates below 0.06%: the bulk of flips land in
+// low-significance bits (short-but-failing paths are reached first as
+// voltage drops) with a thinning tail into the high bits whose longer
+// carry chains fail more rarely at this undervolting level. We model
+// that as a two-component mixture:
+//
+//   - a dominant bump centered in the low product bits
+//     (fig1LowCenter/fig1LowSigma), holding fig1LowMass of the mass;
+//   - a wide, shallow bump over the mid/high bits
+//     (fig1HighCenter/fig1HighSigma) for the rare catastrophic flips.
+//
+// These four constants — together with the voltage→rate curve in
+// internal/volt — are the calibration surface of the reproduction; they
+// were tuned so that the Fig 2(a) accuracy-vs-error-rate sweep matches
+// the paper's shape (≈2% accuracy loss at er = 0.1, graceful
+// degradation until ≈0.5, divergence toward er = 1).
+const (
+	fig1LowCenter  = 14.0
+	fig1LowSigma   = 3.5
+	fig1LowMass    = 0.995
+	fig1HighCenter = 34.0
+	fig1HighSigma  = 9.0
+)
+
+// Fig1Distribution returns the default fault-location model fitted to
+// the shape of the paper's Fig 1 (i7-5557U at 2.2 GHz, 49 °C, −130 mV).
+func Fig1Distribution() *Distribution {
+	var w [ProductBits]float64
+	for bit := MinFaultBit; bit <= MaxFaultBit; bit++ {
+		b := float64(bit)
+		low := math.Exp(-0.5 * sq((b-fig1LowCenter)/fig1LowSigma))
+		high := math.Exp(-0.5 * sq((b-fig1HighCenter)/fig1HighSigma))
+		w[bit] = fig1LowMass*low + (1-fig1LowMass)*high
+	}
+	d, err := NewDistribution(w)
+	if err != nil {
+		panic("faults: default distribution invalid: " + err.Error())
+	}
+	return d
+}
+
+// UniformDistribution returns a flat distribution over all faultable
+// bits. It exists for the ablation bench that contrasts the measured
+// low-bit-heavy shape with a uniform one (which is far more damaging).
+func UniformDistribution() *Distribution {
+	var w [ProductBits]float64
+	for bit := MinFaultBit; bit <= MaxFaultBit; bit++ {
+		w[bit] = 1
+	}
+	d, err := NewDistribution(w)
+	if err != nil {
+		panic("faults: uniform distribution invalid: " + err.Error())
+	}
+	return d
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Weight returns the normalized probability mass at bit.
+func (d *Distribution) Weight(bit int) float64 {
+	if bit < 0 || bit >= ProductBits {
+		return 0
+	}
+	return d.weights[bit]
+}
+
+// Weights returns a copy of the normalized per-bit mass.
+func (d *Distribution) Weights() [ProductBits]float64 { return d.weights }
+
+// Sample draws a fault bit location.
+func (d *Distribution) Sample(rnd *rand.Rand) int {
+	u := rnd.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, ProductBits-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

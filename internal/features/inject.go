@@ -1,0 +1,83 @@
+package features
+
+import (
+	"fmt"
+
+	"shmd/internal/isa"
+	"shmd/internal/trace"
+)
+
+// Injection models the evasion primitive of the threat model: the
+// adversary modifies malware to *insert additional instructions* into
+// its execution so the observed feature vectors drift toward the
+// benign region. The malicious payload cannot be removed — only
+// diluted — which is the constraint that makes evasion a constrained
+// optimization rather than arbitrary feature editing.
+
+// InjectedTakenRate is the taken ratio of injected conditional
+// branches. Injected padding loops are crafted to be predictable;
+// a fixed rate keeps the update deterministic.
+const InjectedTakenRate = 0.5
+
+// Inject returns a copy of w with inj[op] extra executions of each
+// opcode added. Derived side-channels update consistently:
+// conditional-branch insertions contribute taken branches at
+// InjectedTakenRate, and injected memory operations land in stride
+// bucket 0 (injected filler scans sequentially).
+func Inject(w trace.WindowCounts, inj []int) (trace.WindowCounts, error) {
+	if len(inj) != isa.NumOpcodes {
+		return w, fmt.Errorf("features: injection vector has %d entries, want %d", len(inj), isa.NumOpcodes)
+	}
+	out := w
+	extraCond := 0
+	extraMem := 0
+	for op, n := range inj {
+		if n < 0 {
+			return w, fmt.Errorf("features: negative injection at opcode %d — instructions cannot be removed", op)
+		}
+		if n == 0 {
+			continue
+		}
+		ins := isa.Catalog()[op]
+		out.Opcode[op] += n
+		if ins.Cond {
+			extraCond += n
+		}
+		if ins.Load || ins.Store {
+			extraMem += n
+		}
+	}
+	out.Taken += int(float64(extraCond) * InjectedTakenRate)
+	out.Stride[0] += extraMem
+	return out, nil
+}
+
+// InjectAll applies the same per-window injection vector to every
+// window of a trace — the attacker weaves the padding uniformly
+// through the program's execution.
+func InjectAll(windows []trace.WindowCounts, inj []int) ([]trace.WindowCounts, error) {
+	out := make([]trace.WindowCounts, len(windows))
+	for i, w := range windows {
+		iw, err := Inject(w, inj)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = iw
+	}
+	return out, nil
+}
+
+// Overhead returns the execution-time dilution of an injection vector
+// relative to a window size: injected instructions / original
+// instructions. Attackers keep this bounded — evasive malware must
+// still perform its function in reasonable time.
+func Overhead(inj []int, windowSize int) float64 {
+	if windowSize <= 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range inj {
+		total += n
+	}
+	return float64(total) / float64(windowSize)
+}

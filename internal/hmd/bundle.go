@@ -1,0 +1,94 @@
+package hmd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"shmd/internal/fann"
+	"shmd/internal/features"
+)
+
+// Bundle serialization: a deployable detector artifact carrying the
+// trained network *and* the configuration needed to run it (feature
+// set, detection period, threshold). The bare fann format stores only
+// weights; a detector restored without its feature-set binding would
+// silently misclassify, so deployments ship bundles.
+//
+//	magic   [8]byte  "SHMDB\x00\x00\x01"
+//	set     uint32   (features.Set)
+//	period  uint32
+//	thresh  float64
+//	network (fann.Save format)
+var bundleMagic = [8]byte{'S', 'H', 'M', 'D', 'B', 0, 0, 1}
+
+// ErrBadBundle is returned for malformed bundle streams.
+var ErrBadBundle = errors.New("hmd: malformed detector bundle")
+
+// SaveBundle writes the detector and its configuration to w.
+func (h *HMD) SaveBundle(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.Write(bundleMagic[:])); err != nil {
+		return n, err
+	}
+	hdr := struct {
+		Set       uint32
+		Period    uint32
+		Threshold float64
+	}{uint32(h.cfg.FeatureSet), uint32(h.cfg.Period), h.cfg.Threshold}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return n, err
+	}
+	n += 16
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	k, err := h.net.Save(w)
+	n += k
+	return n, err
+}
+
+// LoadBundle restores a detector saved with SaveBundle.
+func LoadBundle(r io.Reader) (*HMD, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBundle, err)
+	}
+	if magic != bundleMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBundle)
+	}
+	var hdr struct {
+		Set       uint32
+		Period    uint32
+		Threshold float64
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBundle, err)
+	}
+	if hdr.Set >= uint32(features.NumSets) {
+		return nil, fmt.Errorf("%w: unknown feature set %d", ErrBadBundle, hdr.Set)
+	}
+	if hdr.Period < 1 || hdr.Period > 64 {
+		return nil, fmt.Errorf("%w: period %d", ErrBadBundle, hdr.Period)
+	}
+	if !(hdr.Threshold > 0 && hdr.Threshold < 1) || math.IsNaN(hdr.Threshold) {
+		return nil, fmt.Errorf("%w: threshold %v", ErrBadBundle, hdr.Threshold)
+	}
+	net, err := fann.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadBundle, err)
+	}
+	return FromNetwork(net, Config{
+		FeatureSet: features.Set(hdr.Set),
+		Period:     int(hdr.Period),
+		Threshold:  hdr.Threshold,
+	})
+}

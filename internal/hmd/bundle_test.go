@@ -1,0 +1,105 @@
+package hmd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"shmd/internal/features"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	d, h := fixtures(t)
+	var buf bytes.Buffer
+	n, err := h.SaveBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("SaveBundle reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	loaded, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config().FeatureSet != h.Config().FeatureSet ||
+		loaded.Config().Period != h.Config().Period ||
+		loaded.Config().Threshold != h.Config().Threshold {
+		t.Errorf("config changed: %+v vs %+v", loaded.Config(), h.Config())
+	}
+	// Decisions agree across the round trip (float32 weight precision
+	// can nudge scores, not verdicts, at this scale).
+	agree := 0
+	for _, p := range d.Programs[:40] {
+		if loaded.DetectProgram(p.Windows).Malware == h.DetectProgram(p.Windows).Malware {
+			agree++
+		}
+	}
+	if agree < 39 {
+		t.Errorf("only %d/40 decisions survived the round trip", agree)
+	}
+}
+
+func TestBundlePreservesNonDefaultConfig(t *testing.T) {
+	d, _ := fixtures(t)
+	split, _ := d.ThreeFold(0)
+	h, err := Train(d.Select(split.VictimTrain)[:20], Config{
+		FeatureSet: features.SetMemory,
+		Period:     features.Period2,
+		Threshold:  0.4,
+		Epochs:     5,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := h.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := loaded.Config()
+	if cfg.FeatureSet != features.SetMemory || cfg.Period != 2 || cfg.Threshold != 0.4 {
+		t.Errorf("restored config = %+v", cfg)
+	}
+}
+
+func TestLoadBundleRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTABUNDLE123456789012345678"),
+		"truncated": bundleMagic[:],
+	}
+	for name, data := range cases {
+		if _, err := LoadBundle(bytes.NewReader(data)); !errors.Is(err, ErrBadBundle) {
+			t.Errorf("%s: err = %v", name, err)
+		}
+	}
+}
+
+func TestLoadBundleRejectsBadHeader(t *testing.T) {
+	_, h := fixtures(t)
+	var buf bytes.Buffer
+	if _, err := h.SaveBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	corrupt := func(offset int, val byte) []byte {
+		out := append([]byte(nil), data...)
+		out[offset] = val
+		return out
+	}
+	// Feature set byte (offset 8, little endian uint32).
+	if _, err := LoadBundle(bytes.NewReader(corrupt(8, 99))); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("bad feature set err = %v", err)
+	}
+	// Period (offset 12).
+	if _, err := LoadBundle(bytes.NewReader(corrupt(12, 0))); !errors.Is(err, ErrBadBundle) {
+		t.Errorf("bad period err = %v", err)
+	}
+}

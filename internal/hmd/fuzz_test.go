@@ -1,0 +1,52 @@
+package hmd
+
+import (
+	"bytes"
+	"testing"
+
+	"shmd/internal/fann"
+	"shmd/internal/features"
+)
+
+// FuzzLoadBundle hardens the deployable-bundle loader: arbitrary bytes
+// must yield an error or a working detector, never a panic.
+func FuzzLoadBundle(f *testing.F) {
+	net, err := fann.New(fann.Config{
+		Layers: []int{features.DimInstrFreq, 4, 1},
+		Hidden: fann.Sigmoid,
+		Output: fann.Sigmoid,
+		Seed:   1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h, err := FromNetwork(net, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := h.SaveBundle(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:20])
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[8] = 0xEE // feature-set field
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := LoadBundle(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		cfg := h.Config()
+		if _, err := cfg.FeatureSet.Dim(); err != nil {
+			t.Fatalf("loaded bundle has invalid feature set: %v", err)
+		}
+		if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+			t.Fatalf("loaded bundle has threshold %v", cfg.Threshold)
+		}
+	})
+}

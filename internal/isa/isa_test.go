@@ -1,0 +1,135 @@
+package isa
+
+import "testing"
+
+func TestCatalogSize(t *testing.T) {
+	if len(Catalog()) != NumOpcodes {
+		t.Fatalf("catalog size = %d, want %d", len(Catalog()), NumOpcodes)
+	}
+}
+
+func TestOpcodesAreSequential(t *testing.T) {
+	for i, ins := range Catalog() {
+		if ins.Opcode != i {
+			t.Errorf("entry %d has Opcode %d", i, ins.Opcode)
+		}
+	}
+}
+
+func TestEveryCategoryRepresented(t *testing.T) {
+	for c := Category(0); int(c) < NumCategories; c++ {
+		if len(OpcodesInCategory(c)) == 0 {
+			t.Errorf("category %v has no instructions", c)
+		}
+	}
+}
+
+func TestByMnemonic(t *testing.T) {
+	ins, err := ByMnemonic("imul")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Category != CatBinaryArith || !ins.Mul {
+		t.Errorf("imul = %+v", ins)
+	}
+	if _, err := ByMnemonic("bogus"); err == nil {
+		t.Error("unknown mnemonic must error")
+	}
+}
+
+func TestByOpcode(t *testing.T) {
+	ins, err := ByOpcode(0)
+	if err != nil || ins.Mnemonic != "mov" {
+		t.Errorf("opcode 0 = %+v err=%v", ins, err)
+	}
+	if _, err := ByOpcode(-1); err == nil {
+		t.Error("negative opcode must error")
+	}
+	if _, err := ByOpcode(NumOpcodes); err == nil {
+		t.Error("out-of-range opcode must error")
+	}
+}
+
+func TestFlagConsistency(t *testing.T) {
+	for _, ins := range Catalog() {
+		if ins.Cond && !ins.Branch {
+			t.Errorf("%s: conditional but not a branch", ins.Mnemonic)
+		}
+		if (ins.Call || ins.Ret) && !ins.Branch {
+			t.Errorf("%s: call/ret but not a branch", ins.Mnemonic)
+		}
+		if ins.Branch && ins.Category != CatControlTransfer && ins.Category != CatSystem {
+			t.Errorf("%s: branch outside control-transfer/system (%v)", ins.Mnemonic, ins.Category)
+		}
+		if ins.Mul {
+			switch ins.Category {
+			case CatBinaryArith, CatX87FPU, CatSIMD:
+			default:
+				t.Errorf("%s: multiplier use in unexpected category %v", ins.Mnemonic, ins.Category)
+			}
+		}
+	}
+}
+
+func TestMultiplierInstructionsExist(t *testing.T) {
+	// The undervolting fault model needs multiplier-using instructions
+	// in the stream.
+	muls := 0
+	for _, ins := range Catalog() {
+		if ins.Mul {
+			muls++
+		}
+	}
+	if muls < 3 {
+		t.Errorf("only %d multiplier instructions in catalog", muls)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatBinaryArith.String() != "binary-arithmetic" {
+		t.Errorf("name = %q", CatBinaryArith.String())
+	}
+	if Category(99).String() != "category(99)" {
+		t.Errorf("unknown name = %q", Category(99).String())
+	}
+}
+
+func TestCategoryCounts(t *testing.T) {
+	counts := make([]int, NumOpcodes)
+	counts[0] = 5 // mov: data transfer
+	movs, _ := ByMnemonic("movs")
+	counts[movs.Opcode] = 3 // string
+	byCat, err := CategoryCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byCat[CatDataTransfer] != 5 {
+		t.Errorf("data-transfer count = %d", byCat[CatDataTransfer])
+	}
+	if byCat[CatString] != 3 {
+		t.Errorf("string count = %d", byCat[CatString])
+	}
+	if _, err := CategoryCounts(make([]int, 3)); err == nil {
+		t.Error("wrong-length vector must error")
+	}
+}
+
+func TestCategoryCountsTotalPreserved(t *testing.T) {
+	counts := make([]int, NumOpcodes)
+	total := 0
+	for i := range counts {
+		counts[i] = i * 3
+		total += counts[i]
+	}
+	byCat, err := CategoryCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range byCat {
+		sum += n
+	}
+	if sum != total {
+		t.Errorf("category sum %d != opcode sum %d", sum, total)
+	}
+}

@@ -1,0 +1,96 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogisticRegression is a binary logistic model: Score(x) =
+// sigmoid(w·x + b).
+type LogisticRegression struct {
+	Weights []float64
+	Bias    float64
+}
+
+// LogisticOptions configures TrainLogistic.
+type LogisticOptions struct {
+	// Epochs of full-batch gradient descent (default 300).
+	Epochs int
+	// LearningRate for the gradient steps (default 0.5).
+	LearningRate float64
+	// L2 is the ridge penalty applied to the weights (default 1e-4).
+	L2 float64
+}
+
+// withDefaults fills in unset options.
+func (o LogisticOptions) withDefaults() LogisticOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 300
+	}
+	if o.LearningRate == 0 {
+		o.LearningRate = 0.5
+	}
+	if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	return o
+}
+
+// TrainLogistic fits a logistic-regression model with full-batch
+// gradient descent on the cross-entropy loss.
+func TrainLogistic(samples []Sample, opts LogisticOptions) (*LogisticRegression, error) {
+	dim, err := checkSamples(samples)
+	if err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Epochs < 0 || opts.LearningRate <= 0 || opts.L2 < 0 {
+		return nil, fmt.Errorf("mlkit: invalid logistic options %+v", opts)
+	}
+
+	m := &LogisticRegression{Weights: make([]float64, dim)}
+	n := float64(len(samples))
+	gradW := make([]float64, dim)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		for i := range gradW {
+			gradW[i] = 0
+		}
+		gradB := 0.0
+		for _, s := range samples {
+			p := m.Score(s.Features)
+			y := 0.0
+			if s.Label {
+				y = 1
+			}
+			diff := p - y
+			for i, x := range s.Features {
+				gradW[i] += diff * x
+			}
+			gradB += diff
+		}
+		for i := range m.Weights {
+			m.Weights[i] -= opts.LearningRate * (gradW[i]/n + opts.L2*m.Weights[i])
+		}
+		m.Bias -= opts.LearningRate * gradB / n
+	}
+	return m, nil
+}
+
+// Score returns the malware probability sigmoid(w·x + b).
+func (m *LogisticRegression) Score(features []float64) float64 {
+	if len(features) != len(m.Weights) {
+		panic(fmt.Sprintf("mlkit: logistic got %d features, model has %d", len(features), len(m.Weights)))
+	}
+	z := m.Bias
+	for i, w := range m.Weights {
+		z += w * features[i]
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict applies the 0.5 decision threshold.
+func (m *LogisticRegression) Predict(features []float64) bool {
+	return m.Score(features) >= 0.5
+}
+
+var _ Classifier = (*LogisticRegression)(nil)

@@ -1,0 +1,195 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Report is the modeled cost of one detection (a single inference over
+// one observation window's features).
+type Report struct {
+	// Time is the inference latency.
+	Time time.Duration
+	// PowerW is the average power drawn while inferring.
+	PowerW float64
+	// EnergyUJ is the per-detection energy in microjoules.
+	EnergyUJ float64
+}
+
+// newReport assembles a report from time and power.
+func newReport(t time.Duration, powerW float64) Report {
+	return Report{
+		Time:     t,
+		PowerW:   powerW,
+		EnergyUJ: powerW * t.Seconds() * 1e6,
+	}
+}
+
+// SavingsOver returns the fractional energy saving of a relative to b.
+func SavingsOver(a, b Report) float64 {
+	if b.EnergyUJ == 0 {
+		return 0
+	}
+	return 1 - a.EnergyUJ/b.EnergyUJ
+}
+
+// Overhead returns the multiplicative factors (time, energy) of a
+// relative to b — the Section VIII "≈62× performance and ≈112× energy"
+// style comparison.
+func Overhead(a, b Report) (timeFactor, energyFactor float64) {
+	if b.Time > 0 {
+		timeFactor = float64(a.Time) / float64(b.Time)
+	}
+	if b.EnergyUJ > 0 {
+		energyFactor = a.EnergyUJ / b.EnergyUJ
+	}
+	return timeFactor, energyFactor
+}
+
+// BaselineCost models the unprotected HMD: nominal voltage, plain
+// inference.
+func BaselineCost(cpu CPUModel, lat LatencyModel, macs int) (Report, error) {
+	t, err := lat.Inference(macs)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := cpu.Validate(); err != nil {
+		return Report{}, err
+	}
+	return newReport(t, cpu.NominalPower()), nil
+}
+
+// StochasticCost models Stochastic-HMD at a supply voltage: identical
+// latency (voltage scaling leaves the cycle time untouched), lower
+// power.
+func StochasticCost(cpu CPUModel, lat LatencyModel, macs int, supplyV float64) (Report, error) {
+	t, err := lat.Inference(macs)
+	if err != nil {
+		return Report{}, err
+	}
+	p, err := cpu.PowerAt(supplyV)
+	if err != nil {
+		return Report{}, err
+	}
+	return newReport(t, p), nil
+}
+
+// RHMD cost calibration (Section VIII inference-time measurements:
+// 7 µs Stochastic-HMD, 7.7 µs RHMD-2F, 7.8 µs RHMD-2F2P):
+//
+//   - per-detection model switching adds a fixed selection cost plus a
+//     per-model L1-pressure term — the paper attributes the overhead to
+//     "its additional task of randomly selecting a model from its set
+//     of base models; such random model selection also has impact on
+//     L1 cache eviction";
+//   - the cache churn also keeps the memory subsystem busier,
+//     reflected as a small power premium.
+const (
+	rhmdSwitchBaseCycles     = 1200.0
+	rhmdSwitchPerModelCycles = 170.0
+	rhmdPowerPremium         = 1.15
+)
+
+// RHMDCost models one RHMD detection with the given base-detector
+// count at nominal voltage (RHMD cannot undervolt: its defense is
+// model switching, and its models assume exact arithmetic).
+func RHMDCost(cpu CPUModel, lat LatencyModel, macs, numModels int) (Report, error) {
+	if numModels < 1 {
+		return Report{}, fmt.Errorf("power: RHMD with %d models", numModels)
+	}
+	t, err := lat.Inference(macs)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := cpu.Validate(); err != nil {
+		return Report{}, err
+	}
+	switchCycles := rhmdSwitchBaseCycles + rhmdSwitchPerModelCycles*float64(numModels)
+	t += time.Duration(switchCycles / lat.FreqGHz * float64(time.Nanosecond))
+	return newReport(t, cpu.NominalPower()*rhmdPowerPremium), nil
+}
+
+// Noise-injection (TRNG/PRNG) calibration. The alternative defense
+// queries a random number source after *every* MAC:
+//
+//   - the TRNG (Intel DRNG) is an off-core block shared by all cores;
+//     a query costs ≈440 cycles of stall (≈199 ns at 2.2 GHz), and the
+//     uncore round-trip keeps the fabric active, raising average power
+//     (factor 1.8 while stalled);
+//   - the PRNG (Lewis-Goodman-Miller [25]) runs on-core: a multiply,
+//     a modulo and a branch per query (≈21 cycles), with a mild power
+//     premium from the fully-busy integer pipes.
+//
+// With the default latency model these constants land on the paper's
+// reported ≈62×/≈112× (TRNG time/energy) and ≈4×/≈5.7× (PRNG) factors.
+const (
+	trngQueryCycles  = 440.0
+	trngPowerFactor  = 1.8
+	prngQueryCycles  = 21.0
+	prngPowerFactor  = 1.45
+	prngExtraQueryNJ = 0.0 // on-core: no off-core energy adder
+	trngExtraQueryNJ = 0.0 // stall power factor already covers it
+)
+
+// TRNGCost models the noise-injection defense with one TRNG query per
+// MAC at nominal voltage.
+func TRNGCost(cpu CPUModel, lat LatencyModel, macs int) (Report, error) {
+	return rngCost(cpu, lat, macs, trngQueryCycles, trngPowerFactor, trngExtraQueryNJ)
+}
+
+// PRNGCost models the same defense with the on-core LGM PRNG.
+func PRNGCost(cpu CPUModel, lat LatencyModel, macs int) (Report, error) {
+	return rngCost(cpu, lat, macs, prngQueryCycles, prngPowerFactor, prngExtraQueryNJ)
+}
+
+func rngCost(cpu CPUModel, lat LatencyModel, macs int, queryCycles, powerFactor, extraNJ float64) (Report, error) {
+	t, err := lat.Inference(macs)
+	if err != nil {
+		return Report{}, err
+	}
+	if err := cpu.Validate(); err != nil {
+		return Report{}, err
+	}
+	queryTime := time.Duration(float64(macs) * queryCycles / lat.FreqGHz * float64(time.Nanosecond))
+	total := t + queryTime
+	r := newReport(total, cpu.NominalPower()*powerFactor)
+	r.EnergyUJ += float64(macs) * extraNJ / 1000
+	return r, nil
+}
+
+// Fig7Point is one voltage sample of the Fig 7 sweep.
+type Fig7Point struct {
+	SupplyV          float64
+	SavingsVsBase    float64
+	SavingsVsRHMD    float64
+	StochasticPowerW float64
+}
+
+// Fig7Sweep computes the power-savings curves of Fig 7 over a voltage
+// range (1.18 V down to 0.68 V in the paper), comparing per-detection
+// energy of the undervolted Stochastic-HMD against the baseline HMD
+// and against RHMD-2F.
+func Fig7Sweep(cpu CPUModel, lat LatencyModel, macs int, voltages []float64) ([]Fig7Point, error) {
+	baseline, err := BaselineCost(cpu, lat, macs)
+	if err != nil {
+		return nil, err
+	}
+	rhmd, err := RHMDCost(cpu, lat, macs, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, 0, len(voltages))
+	for _, v := range voltages {
+		st, err := StochasticCost(cpu, lat, macs, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Point{
+			SupplyV:          v,
+			SavingsVsBase:    SavingsOver(st, baseline),
+			SavingsVsRHMD:    SavingsOver(st, rhmd),
+			StochasticPowerW: st.PowerW,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,117 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowHelper(t *testing.T) {
+	cases := []struct {
+		base, exp, want float64
+	}{
+		{2, 1, 2},
+		{2, 2, 4},
+		{2, 3, 8},
+		{2, 4, 16},
+		{0.5, 3, 0.125},
+	}
+	for _, tc := range cases {
+		if got := pow(tc.base, tc.exp); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("pow(%v,%v) = %v, want %v", tc.base, tc.exp, got, tc.want)
+		}
+	}
+	// Non-integer exponent: linear interpolation between neighbours.
+	got := pow(0.8, 2.5)
+	lo, hi := pow(0.8, 3), pow(0.8, 2)
+	if got < lo || got > hi {
+		t.Errorf("pow(0.8, 2.5) = %v outside [%v, %v]", got, lo, hi)
+	}
+}
+
+func TestNonIntegerLeakExponent(t *testing.T) {
+	m := DefaultCPU()
+	m.LeakExp = 3.5
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PowerAt(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, m4 := DefaultCPU(), DefaultCPU()
+	m3.LeakExp, m4.LeakExp = 3, 4
+	p3, _ := m3.PowerAt(1.0)
+	p4, _ := m4.PowerAt(1.0)
+	if !(p4 <= p && p <= p3) {
+		t.Errorf("fractional exponent power %v outside [%v, %v]", p, p4, p3)
+	}
+}
+
+func TestCostFunctionsRejectInvalidModels(t *testing.T) {
+	badCPU := DefaultCPU()
+	badCPU.DynamicW = 0
+	lat := DefaultLatency()
+	if _, err := BaselineCost(badCPU, lat, 100); err == nil {
+		t.Error("BaselineCost must reject an invalid CPU model")
+	}
+	if _, err := RHMDCost(badCPU, lat, 100, 2); err == nil {
+		t.Error("RHMDCost must reject an invalid CPU model")
+	}
+	if _, err := TRNGCost(badCPU, lat, 100); err == nil {
+		t.Error("TRNGCost must reject an invalid CPU model")
+	}
+	if _, err := PRNGCost(badCPU, lat, 100); err == nil {
+		t.Error("PRNGCost must reject an invalid CPU model")
+	}
+
+	goodCPU := DefaultCPU()
+	badLat := DefaultLatency()
+	badLat.FreqGHz = 0
+	if _, err := BaselineCost(goodCPU, badLat, 100); err == nil {
+		t.Error("BaselineCost must reject an invalid latency model")
+	}
+	if _, err := StochasticCost(goodCPU, badLat, 100, 1.0); err == nil {
+		t.Error("StochasticCost must reject an invalid latency model")
+	}
+	if _, err := RHMDCost(goodCPU, badLat, 100, 2); err == nil {
+		t.Error("RHMDCost must reject an invalid latency model")
+	}
+	if _, err := rngCost(goodCPU, badLat, 100, 10, 1, 0); err == nil {
+		t.Error("rngCost must reject an invalid latency model")
+	}
+}
+
+func TestStochasticCostRejectsBadVoltage(t *testing.T) {
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	if _, err := StochasticCost(cpu, lat, 100, 0); err == nil {
+		t.Error("zero voltage must error")
+	}
+	if _, err := StochasticCost(cpu, lat, 100, 1.5); err == nil {
+		t.Error("overvolting must error")
+	}
+}
+
+func TestSavingsAtRejectsBadVoltage(t *testing.T) {
+	m := DefaultCPU()
+	if _, err := m.SavingsAt(0); err == nil {
+		t.Error("zero voltage must error")
+	}
+	if _, err := m.SavingsAt(2); err == nil {
+		t.Error("overvolting must error")
+	}
+}
+
+func TestFig7SweepErrors(t *testing.T) {
+	badCPU := DefaultCPU()
+	badCPU.NominalV = 0
+	if _, err := Fig7Sweep(badCPU, DefaultLatency(), 100, []float64{1.0}); err == nil {
+		t.Error("invalid CPU must error")
+	}
+	if _, err := Fig7Sweep(DefaultCPU(), DefaultLatency(), 100, []float64{5.0}); err == nil {
+		t.Error("out-of-range voltage must error")
+	}
+	pts, err := Fig7Sweep(DefaultCPU(), DefaultLatency(), 100, nil)
+	if err != nil || len(pts) != 0 {
+		t.Errorf("empty sweep: %v, %v", pts, err)
+	}
+}

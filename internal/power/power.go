@@ -1,0 +1,162 @@
+// Package power provides the analytic cost models behind the paper's
+// performance evaluation (Section VIII): CPU power as a function of
+// supply voltage (Fig 7), per-detection latency for Stochastic-HMD and
+// the RHMD constructions (the 7 / 7.7 / 7.8 µs comparison), per-
+// detection energy, and the TRNG/PRNG noise-injection overhead
+// comparison (the ≈62×/≈112× and ≈4×/≈5.7× factors).
+//
+// The paper measures these on an i7-5557U with Intel Power Gadget; we
+// replace the measurements with standard first-order models whose
+// constants are calibrated to the paper's reported operating points
+// and documented inline. Shapes (who wins, crossover trends) follow
+// from the model structure, not from the calibration.
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"shmd/internal/volt"
+)
+
+// CPUModel decomposes the detection core-complex power at nominal
+// voltage into a voltage-independent component (uncore fabric, PLL —
+// FixedW), switching power (DynamicW, ∝ V²f at fixed f), and leakage
+// (LeakageW, super-linear in V, modeled as V^LeakExp).
+type CPUModel struct {
+	FixedW   float64
+	DynamicW float64
+	LeakageW float64
+	// NominalV is the voltage the components are specified at.
+	NominalV float64
+	// LeakExp is the leakage voltage exponent (3: the product of the
+	// linear V term and the ~quadratic DIBL-driven current growth).
+	LeakExp float64
+}
+
+// DefaultCPU is calibrated to the paper's platform: ≈5 W core-complex
+// power during always-on detection at 1.18 V, split so that the
+// measured ~15-20% package saving at the −130 mV operating point and
+// the >70% saving over RHMD at 0.68 V both fall out.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		FixedW:   0.4,
+		DynamicW: 3.6,
+		LeakageW: 1.0,
+		NominalV: volt.NominalVoltage,
+		LeakExp:  3,
+	}
+}
+
+// Validate reports whether the model is physically sensible.
+func (m CPUModel) Validate() error {
+	if m.FixedW < 0 || m.DynamicW <= 0 || m.LeakageW < 0 {
+		return fmt.Errorf("power: non-positive components %+v", m)
+	}
+	if m.NominalV <= 0 {
+		return fmt.Errorf("power: nominal voltage %v", m.NominalV)
+	}
+	if m.LeakExp < 1 {
+		return fmt.Errorf("power: leakage exponent %v < 1", m.LeakExp)
+	}
+	return nil
+}
+
+// PowerAt returns the modeled power at a supply voltage.
+func (m CPUModel) PowerAt(supplyV float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if supplyV <= 0 || supplyV > m.NominalV {
+		return 0, fmt.Errorf("power: supply %v V outside (0, %v]", supplyV, m.NominalV)
+	}
+	r := supplyV / m.NominalV
+	return m.FixedW + m.DynamicW*r*r + m.LeakageW*pow(r, m.LeakExp), nil
+}
+
+// NominalPower returns the power at the nominal voltage.
+func (m CPUModel) NominalPower() float64 {
+	return m.FixedW + m.DynamicW + m.LeakageW
+}
+
+// SavingsAt returns the fractional power saving at a supply voltage
+// relative to nominal — the "savings over baseline HMD" curve of
+// Fig 7.
+func (m CPUModel) SavingsAt(supplyV float64) (float64, error) {
+	p, err := m.PowerAt(supplyV)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p/m.NominalPower(), nil
+}
+
+// pow is a small positive-base power helper (avoids importing math for
+// one call site and documents the intent).
+func pow(base, exp float64) float64 {
+	// Integer exponents cover the default model; fall back to the
+	// identity base^exp = e^(exp·ln base) via repeated multiplication
+	// for the common cases.
+	switch exp {
+	case 1:
+		return base
+	case 2:
+		return base * base
+	case 3:
+		return base * base * base
+	case 4:
+		return base * base * base * base
+	}
+	// Rare non-integer exponent: binary-decompose the integer part and
+	// approximate the fraction linearly between neighbours — accuracy
+	// beyond two decimals is meaningless for a fitted constant.
+	lo := int(exp)
+	frac := exp - float64(lo)
+	p := 1.0
+	for i := 0; i < lo; i++ {
+		p *= base
+	}
+	return p * ((1-frac)*1 + frac*base)
+}
+
+// LatencyModel converts a detection's MAC count into execution time at
+// a fixed frequency. Undervolting does not change the cycle time —
+// the paper: "scaling the voltage has no effect on the inference time
+// ... since we are only scaling the CPU voltage but not frequency".
+type LatencyModel struct {
+	// FreqGHz is the core frequency (2.2 GHz in the characterization).
+	FreqGHz float64
+	// CyclesPerMAC is the average cost of one fixed-point
+	// multiply-accumulate in FANN's scalar inner loop.
+	CyclesPerMAC float64
+	// FixedCycles covers per-inference overhead (feature load,
+	// activation lookups, call overhead).
+	FixedCycles float64
+}
+
+// DefaultLatency is calibrated so the reference detector (≈2.1k MACs)
+// takes the paper's 7 µs per detection.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{FreqGHz: volt.NominalFreqGHz, CyclesPerMAC: 7, FixedCycles: 400}
+}
+
+// Validate reports whether the model is usable.
+func (l LatencyModel) Validate() error {
+	if l.FreqGHz <= 0 || l.CyclesPerMAC <= 0 || l.FixedCycles < 0 {
+		return fmt.Errorf("power: invalid latency model %+v", l)
+	}
+	return nil
+}
+
+// Inference returns the modeled time of one detection with the given
+// MAC count.
+func (l LatencyModel) Inference(macs int) (time.Duration, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if macs < 0 {
+		return 0, fmt.Errorf("power: negative MAC count %d", macs)
+	}
+	cycles := float64(macs)*l.CyclesPerMAC + l.FixedCycles
+	ns := cycles / l.FreqGHz
+	return time.Duration(ns * float64(time.Nanosecond)), nil
+}

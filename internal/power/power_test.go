@@ -1,0 +1,251 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"shmd/internal/volt"
+)
+
+// referenceMACs is the MAC count of the reference 64-32-1 detector
+// including bias multiplies.
+const referenceMACs = 65*32 + 33
+
+func TestCPUModelValidation(t *testing.T) {
+	if err := DefaultCPU().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultCPU()
+	bad.DynamicW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero dynamic power must be invalid")
+	}
+	bad = DefaultCPU()
+	bad.NominalV = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nominal voltage must be invalid")
+	}
+	bad = DefaultCPU()
+	bad.LeakExp = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-linear leakage must be invalid")
+	}
+}
+
+func TestPowerAtNominal(t *testing.T) {
+	m := DefaultCPU()
+	p, err := m.PowerAt(m.NominalV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-m.NominalPower()) > 1e-12 {
+		t.Errorf("PowerAt(nominal) = %v, NominalPower = %v", p, m.NominalPower())
+	}
+	if _, err := m.PowerAt(0); err == nil {
+		t.Error("zero voltage must error")
+	}
+	if _, err := m.PowerAt(m.NominalV + 0.1); err == nil {
+		t.Error("overvolting must error")
+	}
+}
+
+func TestPowerMonotoneInVoltage(t *testing.T) {
+	m := DefaultCPU()
+	prev := 0.0
+	for v := 0.5; v <= m.NominalV; v += 0.01 {
+		p, err := m.PowerAt(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p <= prev {
+			t.Fatalf("power not increasing at %v V", v)
+		}
+		prev = p
+	}
+}
+
+func TestOperatingPointSavings(t *testing.T) {
+	// The paper's headline: ~15% power savings at the selected
+	// operating point (−130 mV → 1.05 V).
+	m := DefaultCPU()
+	s, err := m.SavingsAt(volt.SupplyVoltageAt(130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.12 || s > 0.25 {
+		t.Errorf("savings at -130 mV = %v, want ≈0.15-0.20", s)
+	}
+}
+
+func TestInferenceLatencyCalibration(t *testing.T) {
+	// Section VIII: 7 µs per Stochastic-HMD detection.
+	lat := DefaultLatency()
+	d, err := lat.Inference(referenceMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 6500*time.Nanosecond || d > 7500*time.Nanosecond {
+		t.Errorf("inference time = %v, want ≈7 µs", d)
+	}
+	if _, err := lat.Inference(-1); err == nil {
+		t.Error("negative MACs must error")
+	}
+	bad := DefaultLatency()
+	bad.FreqGHz = 0
+	if _, err := bad.Inference(10); err == nil {
+		t.Error("zero frequency must error")
+	}
+}
+
+func TestRHMDLatencyOrdering(t *testing.T) {
+	// Section VIII: 7 µs vs 7.7 µs (RHMD-2F) vs 7.8 µs (RHMD-2F2P).
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	st, err := StochasticCost(cpu, lat, referenceMACs, volt.SupplyVoltageAt(130))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RHMDCost(cpu, lat, referenceMACs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RHMDCost(cpu, lat, referenceMACs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(st.Time < r2.Time && r2.Time < r4.Time) {
+		t.Errorf("latency ordering violated: %v, %v, %v", st.Time, r2.Time, r4.Time)
+	}
+	// RHMD-2F carries ≈10% overhead over Stochastic-HMD.
+	overhead := float64(r2.Time-st.Time) / float64(st.Time)
+	if overhead < 0.05 || overhead > 0.2 {
+		t.Errorf("RHMD-2F latency overhead = %v, want ≈0.10", overhead)
+	}
+	if math.Abs(float64(r2.Time)-7700) > 400 {
+		t.Errorf("RHMD-2F time = %v, want ≈7.7 µs", r2.Time)
+	}
+	if math.Abs(float64(r4.Time)-7800) > 400 {
+		t.Errorf("RHMD-2F2P time = %v, want ≈7.8 µs", r4.Time)
+	}
+	if _, err := RHMDCost(cpu, lat, referenceMACs, 0); err == nil {
+		t.Error("zero models must error")
+	}
+}
+
+func TestUndervoltingDoesNotChangeLatency(t *testing.T) {
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	deep, err := StochasticCost(cpu, lat, referenceMACs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := StochasticCost(cpu, lat, referenceMACs, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Time != shallow.Time {
+		t.Error("voltage scaling must not change inference time")
+	}
+	if deep.PowerW >= shallow.PowerW {
+		t.Error("deeper undervolt must draw less power")
+	}
+}
+
+func TestTRNGOverheadCalibration(t *testing.T) {
+	// Section VIII: TRNG noise injection adds ≈62× time and ≈112×
+	// energy over the plain baseline HMD.
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	base, err := BaselineCost(cpu, lat, referenceMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trng, err := TRNGCost(cpu, lat, referenceMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, ef := Overhead(trng, base)
+	if tf < 55 || tf > 70 {
+		t.Errorf("TRNG time factor = %v, want ≈62", tf)
+	}
+	if ef < 95 || ef > 130 {
+		t.Errorf("TRNG energy factor = %v, want ≈112", ef)
+	}
+}
+
+func TestPRNGOverheadCalibration(t *testing.T) {
+	// Section VIII: PRNG noise injection adds ≈4× time and ≈5.7×
+	// energy.
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	base, err := BaselineCost(cpu, lat, referenceMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prng, err := PRNGCost(cpu, lat, referenceMACs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, ef := Overhead(prng, base)
+	if tf < 3.2 || tf > 4.8 {
+		t.Errorf("PRNG time factor = %v, want ≈4", tf)
+	}
+	if ef < 4.6 || ef > 7.0 {
+		t.Errorf("PRNG energy factor = %v, want ≈5.7", ef)
+	}
+	// The PRNG is far cheaper than the TRNG — the defense's point of
+	// comparison — but both dwarf the free undervolting noise.
+	trng, _ := TRNGCost(cpu, lat, referenceMACs)
+	if prng.EnergyUJ >= trng.EnergyUJ {
+		t.Error("PRNG must cost less than TRNG")
+	}
+}
+
+func TestFig7Sweep(t *testing.T) {
+	cpu, lat := DefaultCPU(), DefaultLatency()
+	voltages := []float64{1.18, 1.08, 0.98, 0.88, 0.78, 0.68}
+	pts, err := Fig7Sweep(cpu, lat, referenceMACs, voltages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(voltages) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Savings grow monotonically as voltage drops; RHMD savings
+	// dominate baseline savings at every point (RHMD costs more).
+	for i, pt := range pts {
+		if pt.SavingsVsRHMD <= pt.SavingsVsBase {
+			t.Errorf("at %v V: RHMD savings %v must exceed baseline savings %v",
+				pt.SupplyV, pt.SavingsVsRHMD, pt.SavingsVsBase)
+		}
+		if i > 0 && pt.SavingsVsBase <= pts[i-1].SavingsVsBase {
+			t.Errorf("savings not monotone at %v V", pt.SupplyV)
+		}
+	}
+	// At nominal voltage there is no saving vs the baseline.
+	if math.Abs(pts[0].SavingsVsBase) > 1e-9 {
+		t.Errorf("savings at nominal = %v", pts[0].SavingsVsBase)
+	}
+	// Paper: over 75% saving vs RHMD under 40% voltage scaling
+	// (0.68 V); the model lands in that band.
+	last := pts[len(pts)-1]
+	if last.SavingsVsRHMD < 0.65 {
+		t.Errorf("savings vs RHMD at 0.68 V = %v, want > 0.65", last.SavingsVsRHMD)
+	}
+}
+
+func TestSavingsAndOverheadHelpers(t *testing.T) {
+	a := Report{Time: time.Microsecond, EnergyUJ: 10}
+	b := Report{Time: 2 * time.Microsecond, EnergyUJ: 40}
+	if got := SavingsOver(a, b); got != 0.75 {
+		t.Errorf("SavingsOver = %v", got)
+	}
+	tf, ef := Overhead(b, a)
+	if tf != 2 || ef != 4 {
+		t.Errorf("Overhead = %v, %v", tf, ef)
+	}
+	if SavingsOver(a, Report{}) != 0 {
+		t.Error("zero denominator must give 0")
+	}
+	tf, ef = Overhead(a, Report{})
+	if tf != 0 || ef != 0 {
+		t.Error("zero denominator overhead must be 0")
+	}
+}

@@ -1,0 +1,219 @@
+// Package rhmd reimplements RHMD [Khasawneh et al., MICRO 2017], the
+// state-of-the-art randomization defense the paper compares against:
+// an ensemble of diverse base HMDs — trained on different feature
+// vectors and different detection periods — from which one detector is
+// drawn at random for every decision window. Resilience grows with the
+// number of distinct decision boundaries, at the cost of storing and
+// hot-switching multiple models.
+//
+// The four constructions of Section VII-C are provided: RHMD-2F,
+// RHMD-3F (two/three feature vectors), and RHMD-2F2P, RHMD-3F2P (the
+// same crossed with two detection periods).
+package rhmd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shmd/internal/dataset"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+	"shmd/internal/stats"
+	"shmd/internal/trace"
+)
+
+// Construction names an RHMD variant.
+type Construction int
+
+// The evaluated constructions.
+const (
+	R2F Construction = iota
+	R3F
+	R2F2P
+	R3F2P
+)
+
+// String implements fmt.Stringer.
+func (c Construction) String() string {
+	switch c {
+	case R2F:
+		return "RHMD-2F"
+	case R3F:
+		return "RHMD-3F"
+	case R2F2P:
+		return "RHMD-2F2P"
+	case R3F2P:
+		return "RHMD-3F2P"
+	default:
+		return fmt.Sprintf("RHMD(%d)", int(c))
+	}
+}
+
+// Constructions lists all four variants in evaluation order.
+func Constructions() []Construction {
+	return []Construction{R2F, R3F, R2F2P, R3F2P}
+}
+
+// components returns the (feature set, period) pairs of a construction.
+func (c Construction) components() ([]features.Set, []int, error) {
+	switch c {
+	case R2F:
+		return []features.Set{features.SetInstrFreq, features.SetMemory},
+			[]int{features.Period1}, nil
+	case R3F:
+		return []features.Set{features.SetInstrFreq, features.SetMemory, features.SetArchEvents},
+			[]int{features.Period1}, nil
+	case R2F2P:
+		return []features.Set{features.SetInstrFreq, features.SetMemory},
+			[]int{features.Period1, features.Period2}, nil
+	case R3F2P:
+		return []features.Set{features.SetInstrFreq, features.SetMemory, features.SetArchEvents},
+			[]int{features.Period1, features.Period2}, nil
+	default:
+		return nil, nil, fmt.Errorf("rhmd: unknown construction %d", int(c))
+	}
+}
+
+// FeatureSets returns the feature families the construction randomizes
+// over (the attacker reverse-engineers using all of them).
+func (c Construction) FeatureSets() ([]features.Set, error) {
+	sets, _, err := c.components()
+	return sets, err
+}
+
+// NumDetectors returns the base-detector count (feature sets ×
+// periods), the denominator of the paper's Eq. (1) storage comparison.
+func (c Construction) NumDetectors() (int, error) {
+	sets, periods, err := c.components()
+	if err != nil {
+		return 0, err
+	}
+	return len(sets) * len(periods), nil
+}
+
+// RHMD is a trained construction.
+type RHMD struct {
+	construction Construction
+	detectors    []*hmd.HMD
+	threshold    float64
+	rnd          *rand.Rand
+}
+
+// Config configures Train.
+type Config struct {
+	// Hidden/Epochs are passed through to every base detector.
+	Hidden int
+	Epochs int
+	// Threshold applies to the program-level mean score (default 0.5).
+	Threshold float64
+	// TrainSeed diversifies base-detector initialization; SwitchSeed
+	// drives the run-time random detector selection.
+	TrainSeed  uint64
+	SwitchSeed uint64
+}
+
+// Train fits every base detector of the construction on the training
+// programs.
+func Train(construction Construction, programs []dataset.TracedProgram, cfg Config) (*RHMD, error) {
+	sets, periods, err := construction.components()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.5
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("rhmd: threshold %v outside (0,1)", cfg.Threshold)
+	}
+	r := &RHMD{
+		construction: construction,
+		threshold:    cfg.Threshold,
+		rnd:          rng.NewRand(cfg.SwitchSeed, 0x2A0D, uint64(construction)),
+	}
+	for _, period := range periods {
+		for _, set := range sets {
+			det, err := hmd.Train(programs, hmd.Config{
+				FeatureSet: set,
+				Period:     period,
+				Hidden:     cfg.Hidden,
+				Epochs:     cfg.Epochs,
+				Threshold:  cfg.Threshold,
+				Seed:       rng.DeriveSeed(cfg.TrainSeed, uint64(set)+1, uint64(period)+1),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("rhmd: training %v/%v detector: %w", set, period, err)
+			}
+			r.detectors = append(r.detectors, det)
+		}
+	}
+	return r, nil
+}
+
+// Construction returns the variant.
+func (r *RHMD) Construction() Construction { return r.construction }
+
+// Detectors returns the base detectors (read-only use).
+func (r *RHMD) Detectors() []*hmd.HMD { return r.detectors }
+
+// ScoreWindows implements hmd.Detector: for every decision window a
+// base detector is drawn uniformly at random, and its score for that
+// window is used. Windows are indexed at the base period; a period-2
+// detector scores the aggregate of the pair containing the window.
+func (r *RHMD) ScoreWindows(windows []trace.WindowCounts) []float64 {
+	// Precompute every detector's window scores lazily: with few
+	// windows per program it is cheaper and simpler to score all
+	// detectors up front than to score per-draw.
+	perDet := make([][]float64, len(r.detectors))
+	for i, det := range r.detectors {
+		perDet[i] = det.ScoreWindows(windows)
+	}
+	// One draw per base-period decision window.
+	n := 0
+	for _, s := range perDet {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	out := make([]float64, 0, n)
+	for w := 0; w < n; w++ {
+		d := r.rnd.Intn(len(r.detectors))
+		scores := perDet[d]
+		// Map the base-window index onto this detector's period
+		// granularity.
+		idx := w * len(scores) / n
+		if idx >= len(scores) {
+			idx = len(scores) - 1
+		}
+		out = append(out, scores[idx])
+	}
+	return out
+}
+
+// DetectProgram implements hmd.Detector.
+func (r *RHMD) DetectProgram(windows []trace.WindowCounts) hmd.Decision {
+	scores := r.ScoreWindows(windows)
+	mean := stats.Mean(scores)
+	return hmd.Decision{Malware: mean >= r.threshold, Score: mean}
+}
+
+var _ hmd.Detector = (*RHMD)(nil)
+
+// StorageBytes returns the summed serialized size of all base models —
+// the Section VIII memory-footprint comparison.
+func (r *RHMD) StorageBytes() int64 {
+	var total int64
+	for _, det := range r.detectors {
+		total += det.Network().SavedSize()
+	}
+	return total
+}
+
+// StorageSavings evaluates the paper's Eq. (1): the fraction of RHMD
+// model storage a single-detector Stochastic-HMD saves.
+func StorageSavings(numBaseDetectors int) (float64, error) {
+	if numBaseDetectors < 1 {
+		return 0, fmt.Errorf("rhmd: detector count %d < 1", numBaseDetectors)
+	}
+	return float64(numBaseDetectors-1) / float64(numBaseDetectors), nil
+}

@@ -1,0 +1,183 @@
+package rhmd
+
+import (
+	"sync"
+	"testing"
+
+	"shmd/internal/dataset"
+	"shmd/internal/hmd"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureData *dataset.Dataset
+	fixtureR2F  *RHMD
+	fixtureErr  error
+)
+
+func fixtures(t *testing.T) (*dataset.Dataset, *RHMD) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureData, fixtureErr = dataset.Generate(dataset.QuickConfig(1))
+		if fixtureErr != nil {
+			return
+		}
+		split, err := fixtureData.ThreeFold(0)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureR2F, fixtureErr = Train(R2F, fixtureData.Select(split.VictimTrain), Config{
+			Epochs: 40, TrainSeed: 1, SwitchSeed: 2,
+		})
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureData, fixtureR2F
+}
+
+func TestConstructionMetadata(t *testing.T) {
+	cases := []struct {
+		c         Construction
+		name      string
+		detectors int
+		sets      int
+	}{
+		{R2F, "RHMD-2F", 2, 2},
+		{R3F, "RHMD-3F", 3, 3},
+		{R2F2P, "RHMD-2F2P", 4, 2},
+		{R3F2P, "RHMD-3F2P", 6, 3},
+	}
+	for _, tc := range cases {
+		if tc.c.String() != tc.name {
+			t.Errorf("name = %q, want %q", tc.c.String(), tc.name)
+		}
+		n, err := tc.c.NumDetectors()
+		if err != nil || n != tc.detectors {
+			t.Errorf("%v detectors = %d err=%v, want %d", tc.c, n, err, tc.detectors)
+		}
+		sets, err := tc.c.FeatureSets()
+		if err != nil || len(sets) != tc.sets {
+			t.Errorf("%v sets = %d err=%v, want %d", tc.c, len(sets), err, tc.sets)
+		}
+	}
+	if Construction(9).String() != "RHMD(9)" {
+		t.Error("unknown construction name")
+	}
+	if _, err := Construction(9).NumDetectors(); err == nil {
+		t.Error("unknown construction must error")
+	}
+	if len(Constructions()) != 4 {
+		t.Error("four constructions expected")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	d, _ := fixtures(t)
+	if _, err := Train(Construction(9), d.Programs[:4], Config{}); err == nil {
+		t.Error("unknown construction must error")
+	}
+	if _, err := Train(R2F, d.Programs[:4], Config{Threshold: -1}); err == nil {
+		t.Error("bad threshold must error")
+	}
+	if _, err := Train(R2F, nil, Config{}); err == nil {
+		t.Error("empty training set must error")
+	}
+}
+
+func TestR2FHasTwoDetectors(t *testing.T) {
+	_, r := fixtures(t)
+	if len(r.Detectors()) != 2 {
+		t.Fatalf("detectors = %d", len(r.Detectors()))
+	}
+	if r.Construction() != R2F {
+		t.Error("construction mismatch")
+	}
+}
+
+func TestRHMDAccuracy(t *testing.T) {
+	d, r := fixtures(t)
+	split, _ := d.ThreeFold(0)
+	c := hmd.Evaluate(r, d.Select(split.Test))
+	t.Logf("RHMD-2F confusion: %v", c)
+	if c.Accuracy() < 0.8 {
+		t.Errorf("RHMD-2F accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestRHMDDecisionsVary(t *testing.T) {
+	// Random switching makes window scores (and borderline decisions)
+	// time-variant — RHMD's own moving-target property.
+	d, r := fixtures(t)
+	varied := false
+	for _, p := range d.Programs[:30] {
+		first := r.DetectProgram(p.Windows).Score
+		for rep := 0; rep < 5; rep++ {
+			if r.DetectProgram(p.Windows).Score != first {
+				varied = true
+				break
+			}
+		}
+		if varied {
+			break
+		}
+	}
+	if !varied {
+		t.Error("RHMD scores never varied across repeated detections")
+	}
+}
+
+func TestScoreWindowsLength(t *testing.T) {
+	d, r := fixtures(t)
+	p := d.Programs[0]
+	scores := r.ScoreWindows(p.Windows)
+	if len(scores) != len(p.Windows) {
+		t.Errorf("scores = %d, want %d (base-period windows)", len(scores), len(p.Windows))
+	}
+	for _, s := range scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestPeriodConstructionScores(t *testing.T) {
+	d, _ := fixtures(t)
+	split, _ := d.ThreeFold(0)
+	r, err := Train(R2F2P, d.Select(split.VictimTrain), Config{Epochs: 25, TrainSeed: 3, SwitchSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Detectors()) != 4 {
+		t.Fatalf("2F2P detectors = %d", len(r.Detectors()))
+	}
+	p := d.Programs[0]
+	scores := r.ScoreWindows(p.Windows)
+	if len(scores) != len(p.Windows) {
+		t.Errorf("scores = %d", len(scores))
+	}
+	c := hmd.Evaluate(r, d.Select(split.Test))
+	if c.Accuracy() < 0.75 {
+		t.Errorf("2F2P accuracy = %v", c.Accuracy())
+	}
+}
+
+func TestStorage(t *testing.T) {
+	_, r := fixtures(t)
+	perModel := r.Detectors()[0].Network().SavedSize()
+	if r.StorageBytes() <= perModel {
+		t.Errorf("RHMD storage %d must exceed one model %d", r.StorageBytes(), perModel)
+	}
+	s, err := StorageSavings(2)
+	if err != nil || s != 0.5 {
+		t.Errorf("StorageSavings(2) = %v err=%v, want 0.5 (the paper's example)", s, err)
+	}
+	s, _ = StorageSavings(6)
+	if s <= 0.8 || s >= 0.84 {
+		t.Errorf("StorageSavings(6) = %v, want 5/6", s)
+	}
+	if _, err := StorageSavings(0); err == nil {
+		t.Error("zero detectors must error")
+	}
+}

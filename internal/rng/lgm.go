@@ -1,0 +1,53 @@
+package rng
+
+// LGM is the Lewis–Goodman–Miller multiplicative congruential generator
+// from "A pseudo-random number generator for the System/360" (IBM
+// Systems Journal, 1969) — reference [25] of the paper, which uses it as
+// the PRNG in the TRNG-vs-PRNG noise-injection overhead comparison of
+// Section VIII. It is the classic "minimal standard" generator:
+//
+//	x_{n+1} = 16807 * x_n mod (2^31 - 1)
+//
+// The state must stay in [1, 2^31-2]; zero is a fixed point and is
+// remapped at construction.
+type LGM struct {
+	state int64
+}
+
+const (
+	lgmMultiplier = 16807      // 7^5
+	lgmModulus    = 2147483647 // 2^31 - 1, a Mersenne prime
+)
+
+// NewLGM returns a generator seeded with seed. A seed of 0 (the
+// degenerate fixed point) is replaced with 1; seeds are reduced mod m.
+func NewLGM(seed int64) *LGM {
+	s := seed % lgmModulus
+	if s < 0 {
+		s += lgmModulus
+	}
+	if s == 0 {
+		s = 1
+	}
+	return &LGM{state: s}
+}
+
+// Next advances the generator and returns a value in [1, 2^31-2].
+func (g *LGM) Next() int64 {
+	g.state = (g.state * lgmMultiplier) % lgmModulus
+	return g.state
+}
+
+// Float64 returns a uniform value in (0, 1).
+func (g *LGM) Float64() float64 {
+	return float64(g.Next()) / float64(lgmModulus)
+}
+
+// NoiseBit returns one centered noise sample in {-1, +1}, the form the
+// per-MAC noise-injection defense consumes.
+func (g *LGM) NoiseBit() int64 {
+	if g.Next()&1 == 0 {
+		return -1
+	}
+	return 1
+}

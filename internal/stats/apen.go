@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ApproxEntropy computes the approximate entropy ApEn(m, r) of a scalar
+// time series, the regularity statistic the paper uses in Section II to
+// validate that undervolting-induced fault locations vary
+// non-deterministically across runs ("We validated this observation
+// using the approximate entropy test").
+//
+// m is the embedding (template) length and r the tolerance. Higher ApEn
+// means less regularity / more unpredictability. A constant series has
+// ApEn 0; an i.i.d. series has ApEn close to its entropy rate.
+//
+// The implementation follows Pincus (1991): ApEn = Phi_m - Phi_{m+1}
+// with Phi_m = (1/(N-m+1)) * sum_i log(C_i^m), where C_i^m is the
+// fraction of templates within Chebyshev distance r of template i
+// (self-matches included, which keeps the logs finite).
+func ApproxEntropy(series []float64, m int, r float64) (float64, error) {
+	if m < 1 {
+		return 0, errors.New("stats: ApEn embedding length must be >= 1")
+	}
+	if r < 0 || math.IsNaN(r) {
+		return 0, errors.New("stats: ApEn tolerance must be >= 0")
+	}
+	if len(series) < m+2 {
+		return 0, errors.New("stats: ApEn series too short for embedding length")
+	}
+	return phi(series, m, r) - phi(series, m+1, r), nil
+}
+
+// phi computes the Phi_m statistic used by ApproxEntropy.
+func phi(series []float64, m int, r float64) float64 {
+	n := len(series) - m + 1
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		matches := 0
+		for j := 0; j < n; j++ {
+			if chebyshevWithin(series[i:i+m], series[j:j+m], r) {
+				matches++
+			}
+		}
+		sum += math.Log(float64(matches) / float64(n))
+	}
+	return sum / float64(n)
+}
+
+// chebyshevWithin reports whether max_k |a[k]-b[k]| <= r.
+func chebyshevWithin(a, b []float64, r float64) bool {
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > r {
+			return false
+		}
+	}
+	return true
+}
+
+// BitSeriesApEn is a convenience wrapper that computes ApEn(m=2, r=0.2)
+// over a binary fault-location indicator series, the standard NIST-style
+// parameterization for randomness checks on bit streams.
+func BitSeriesApEn(bits []uint8) (float64, error) {
+	series := make([]float64, len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			series[i] = 1
+		}
+	}
+	return ApproxEntropy(series, 2, 0.2)
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestApproxEntropyConstantSeries(t *testing.T) {
+	series := make([]float64, 64)
+	got, err := ApproxEntropy(series, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0, 1e-9) {
+		t.Errorf("ApEn of constant series = %v, want 0", got)
+	}
+}
+
+func TestApproxEntropyPeriodicVsRandom(t *testing.T) {
+	// A strictly alternating series is perfectly regular; ApEn ~ 0.
+	periodic := make([]float64, 200)
+	for i := range periodic {
+		periodic[i] = float64(i % 2)
+	}
+	apPeriodic, err := ApproxEntropy(periodic, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	random := make([]float64, 200)
+	for i := range random {
+		random[i] = float64(rng.Intn(2))
+	}
+	apRandom, err := ApproxEntropy(random, 2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if apPeriodic > 0.05 {
+		t.Errorf("ApEn(periodic) = %v, want near 0", apPeriodic)
+	}
+	if apRandom < 0.4 {
+		t.Errorf("ApEn(random bits) = %v, want clearly above periodic", apRandom)
+	}
+	if apRandom <= apPeriodic {
+		t.Errorf("random series must look less regular: random=%v periodic=%v",
+			apRandom, apPeriodic)
+	}
+}
+
+func TestApproxEntropyErrors(t *testing.T) {
+	if _, err := ApproxEntropy([]float64{1, 2}, 2, 0.2); err == nil {
+		t.Error("short series should error")
+	}
+	if _, err := ApproxEntropy(make([]float64, 10), 0, 0.2); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := ApproxEntropy(make([]float64, 10), 2, -1); err == nil {
+		t.Error("negative tolerance should error")
+	}
+}
+
+func TestBitSeriesApEn(t *testing.T) {
+	bits := make([]uint8, 128)
+	for i := range bits {
+		bits[i] = uint8(i % 2)
+	}
+	ap, err := BitSeriesApEn(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap > 0.05 {
+		t.Errorf("alternating bit series ApEn = %v, want near 0", ap)
+	}
+}

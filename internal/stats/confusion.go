@@ -1,0 +1,107 @@
+package stats
+
+import "fmt"
+
+// Confusion is a binary-classification confusion matrix for the
+// malware-detection setting. The positive class is "malware", matching
+// the paper's FPR/FNR definitions:
+//
+//	FPR = benign programs flagged as malware / all benign programs
+//	FNR = malware programs labelled benign  / all malware programs
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Record adds one prediction. predicted/actual are true for malware.
+func (c *Confusion) Record(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Merge folds other into c.
+func (c *Confusion) Merge(other Confusion) {
+	c.TP += other.TP
+	c.TN += other.TN
+	c.FP += other.FP
+	c.FN += other.FN
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Accuracy returns the fraction of correct predictions, 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// FPR returns the false-positive rate, 0 when there are no negatives.
+func (c Confusion) FPR() float64 {
+	neg := c.FP + c.TN
+	if neg == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(neg)
+}
+
+// FNR returns the false-negative rate, 0 when there are no positives.
+func (c Confusion) FNR() float64 {
+	pos := c.TP + c.FN
+	if pos == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(pos)
+}
+
+// TPR returns the true-positive rate (malware detection rate).
+func (c Confusion) TPR() float64 {
+	pos := c.TP + c.FN
+	if pos == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(pos)
+}
+
+// TNR returns the true-negative rate.
+func (c Confusion) TNR() float64 {
+	neg := c.FP + c.TN
+	if neg == 0 {
+		return 0
+	}
+	return float64(c.TN) / float64(neg)
+}
+
+// Precision returns TP/(TP+FP), 0 when nothing was flagged.
+func (c Confusion) Precision() float64 {
+	flagged := c.TP + c.FP
+	if flagged == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(flagged)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.TPR()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix and headline rates on one line.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d acc=%.4f fpr=%.4f fnr=%.4f",
+		c.TP, c.TN, c.FP, c.FN, c.Accuracy(), c.FPR(), c.FNR())
+}

@@ -1,0 +1,71 @@
+// Package trace is the program-execution substrate standing in for the
+// paper's malware/benign corpus and Intel-Pin feature collection.
+//
+// The paper traces 3000 real malware samples (backdoors, rogues,
+// password stealers, trojans, worms — from the Zoo malware database)
+// and 600 benign programs on an isolated Windows 7 machine, extracting
+// per-window instruction-category frequencies. That corpus cannot be
+// redistributed, so this package synthesizes programs with the same
+// statistical structure the detector consumes:
+//
+//   - each program is a seeded, deterministic generator ("we get the
+//     exact same trace in every run when we supply the same input" —
+//     Section IV) over execution phases;
+//   - each phase carries an instruction-mixture, branch-behaviour and
+//     memory-stride profile;
+//   - malware families share family-characteristic signature tilts,
+//     benign programs form a broader, partially overlapping family;
+//   - traces expose per-window instruction counts, exactly what the
+//     Pin-based extractor of the paper aggregates.
+package trace
+
+import "fmt"
+
+// Class labels a program: benign or one of the paper's five malware
+// families.
+type Class int
+
+// The dataset classes (Section IV).
+const (
+	Benign Class = iota
+	Backdoor
+	Rogue
+	PasswordStealer
+	Trojan
+	Worm
+
+	// NumClasses counts benign plus the five malware families.
+	NumClasses = int(Worm) + 1
+	// NumMalwareFamilies is the number of malware classes.
+	NumMalwareFamilies = NumClasses - 1
+)
+
+var classNames = [NumClasses]string{
+	"benign", "backdoor", "rogue", "password-stealer", "trojan", "worm",
+}
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c < 0 || int(c) >= NumClasses {
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// IsMalware reports whether the class is one of the malware families.
+func (c Class) IsMalware() bool { return c != Benign }
+
+// MalwareFamilies lists the five malware classes.
+func MalwareFamilies() []Class {
+	return []Class{Backdoor, Rogue, PasswordStealer, Trojan, Worm}
+}
+
+// ParseClass resolves a class name.
+func ParseClass(name string) (Class, error) {
+	for i, n := range classNames {
+		if n == name {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown class %q", name)
+}

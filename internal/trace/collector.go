@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+
+	"shmd/internal/isa"
+	"shmd/internal/rng"
+)
+
+// Collector is the Pin-tool side of the substrate: it consumes an
+// instruction stream one instruction at a time — exactly what a
+// dynamic binary instrumentation callback sees — and accumulates
+// per-window counts. The dataset pipeline uses Program.Trace directly
+// for speed; Collector exists for stream-level tooling (the
+// characterization and latency paths) and as the executable
+// specification of how windows relate to instruction streams.
+type Collector struct {
+	windowSize int
+	current    WindowCounts
+	filled     int
+	windows    []WindowCounts
+
+	takenRate float64
+	strideMix [StrideBuckets]float64
+	rnd       interface{ Float64() float64 }
+}
+
+// NewCollector builds a collector with the given window size. The
+// branch-taken rate and stride mixture parameterize the side channels
+// a real tracer would observe from addresses and outcomes; the
+// defaults match a typical phase.
+func NewCollector(windowSize int, seed uint64) (*Collector, error) {
+	if windowSize < 16 {
+		return nil, fmt.Errorf("trace: window size %d too small", windowSize)
+	}
+	return &Collector{
+		windowSize: windowSize,
+		takenRate:  0.55,
+		strideMix:  [StrideBuckets]float64{0.5, 0.2, 0.1, 0.08, 0.05, 0.03, 0.02, 0.02},
+		rnd:        rng.NewRand(seed, 0xC011EC7),
+	}, nil
+}
+
+// Observe records one executed instruction. When the window fills, it
+// is sealed and a new one starts.
+func (c *Collector) Observe(ins isa.Instruction) {
+	c.current.Opcode[ins.Opcode]++
+	if ins.Branch && c.rnd.Float64() < c.takenRate {
+		c.current.Taken++
+	}
+	if ins.Load || ins.Store {
+		// Bucket the access by a draw from the stride mixture.
+		u := c.rnd.Float64()
+		acc := 0.0
+		bucket := StrideBuckets - 1
+		for b, p := range c.strideMix {
+			acc += p
+			if u < acc {
+				bucket = b
+				break
+			}
+		}
+		c.current.Stride[bucket]++
+	}
+	c.filled++
+	if c.filled == c.windowSize {
+		c.windows = append(c.windows, c.current)
+		c.current = WindowCounts{}
+		c.filled = 0
+	}
+}
+
+// ObserveAll feeds a whole instruction slice.
+func (c *Collector) ObserveAll(stream []isa.Instruction) {
+	for _, ins := range stream {
+		c.Observe(ins)
+	}
+}
+
+// Windows returns the sealed windows collected so far. A trailing
+// partial window is not included (detectors only fire on full
+// windows).
+func (c *Collector) Windows() []WindowCounts {
+	return append([]WindowCounts(nil), c.windows...)
+}
+
+// Pending returns how many instructions sit in the unsealed window.
+func (c *Collector) Pending() int { return c.filled }

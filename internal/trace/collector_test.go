@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"testing"
+
+	"shmd/internal/isa"
+)
+
+func TestCollectorValidation(t *testing.T) {
+	if _, err := NewCollector(4, 1); err == nil {
+		t.Error("tiny window must be rejected")
+	}
+}
+
+func TestCollectorSealsWindows(t *testing.T) {
+	c, err := NewCollector(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mov, _ := isa.ByMnemonic("mov")
+	for i := 0; i < 64*3+10; i++ {
+		c.Observe(mov)
+	}
+	ws := c.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("sealed windows = %d, want 3", len(ws))
+	}
+	if c.Pending() != 10 {
+		t.Errorf("pending = %d, want 10", c.Pending())
+	}
+	for i, w := range ws {
+		if w.Total() != 64 {
+			t.Errorf("window %d total = %d", i, w.Total())
+		}
+		if w.Opcode[mov.Opcode] != 64 {
+			t.Errorf("window %d mov count = %d", i, w.Opcode[mov.Opcode])
+		}
+	}
+}
+
+func TestCollectorMatchesTraceCounts(t *testing.T) {
+	// Feeding a window's materialized instruction stream back through
+	// the collector must reproduce the opcode counts exactly (the
+	// side channels are re-sampled, so only Opcode is compared).
+	p, err := NewProgram(Worm, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := p.Trace(2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range traced {
+		c.ObserveAll(p.InstructionStream(w))
+	}
+	collected := c.Windows()
+	if len(collected) != len(traced) {
+		t.Fatalf("collected %d windows, want %d", len(collected), len(traced))
+	}
+	for i := range traced {
+		if collected[i].Opcode != traced[i].Opcode {
+			t.Errorf("window %d opcode counts diverge", i)
+		}
+	}
+}
+
+func TestCollectorSideChannelsConsistent(t *testing.T) {
+	p, err := NewProgram(Benign, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := p.Trace(1, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(2048, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveAll(p.InstructionStream(traced[0]))
+	ws := c.Windows()
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	w := ws[0]
+	if w.Taken < 0 || w.Taken > w.Branches() {
+		t.Errorf("taken %d outside [0, %d]", w.Taken, w.Branches())
+	}
+	strideTotal := 0
+	for _, n := range w.Stride {
+		strideTotal += n
+	}
+	if strideTotal != w.MemOps() {
+		t.Errorf("stride total %d != mem ops %d", strideTotal, w.MemOps())
+	}
+}
+
+func TestCollectorWindowsReturnsCopy(t *testing.T) {
+	c, err := NewCollector(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mov, _ := isa.ByMnemonic("mov")
+	for i := 0; i < 16; i++ {
+		c.Observe(mov)
+	}
+	ws := c.Windows()
+	ws[0].Taken = -99
+	if c.Windows()[0].Taken == -99 {
+		t.Error("Windows must return a copy")
+	}
+}

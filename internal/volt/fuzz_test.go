@@ -1,0 +1,43 @@
+package volt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeOffsetWrite checks that arbitrary MSR values decode to an
+// error or an in-range (plane, offset) pair — the regulator's first
+// line of defense against hostile writes.
+func FuzzDecodeOffsetWrite(f *testing.F) {
+	valid, err := EncodeOffsetWrite(PlaneCore, -130)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(valid &^ msrExecute)
+
+	f.Fuzz(func(t *testing.T, msr uint64) {
+		plane, offsetMV, err := DecodeOffsetWrite(msr)
+		if err != nil {
+			return
+		}
+		if plane < 0 || plane > 7 {
+			t.Fatalf("decoded plane %d out of range", plane)
+		}
+		// 11-bit signed units cover about ±1000 mV.
+		if math.Abs(offsetMV) > 1001 {
+			t.Fatalf("decoded offset %v mV out of range", offsetMV)
+		}
+		// Decoded writes must re-encode losslessly.
+		msr2, err := EncodeOffsetWrite(plane, offsetMV)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		p2, o2, err := DecodeOffsetWrite(msr2)
+		if err != nil || p2 != plane || math.Abs(o2-offsetMV) > 0.5 {
+			t.Fatalf("round trip drifted: (%d,%v) -> (%d,%v) err=%v", plane, offsetMV, p2, o2, err)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+// Package volt models the undervolting plane of the Stochastic-HMD:
+// the software-visible voltage-offset interface (MSR 0x150, as used by
+// the paper's characterization on an i7-5557U), per-device calibration
+// curves mapping undervolt depth to multiplier fault rate, temperature
+// dependence, and the trusted-control regulator that owns a core's
+// voltage on behalf of the detector.
+package volt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Voltage plane indices for the MSR 0x150 overclocking mailbox. The
+// paper sets the plane index to 0 "to scale the core's voltage
+// exclusively".
+const (
+	PlaneCore   = 0
+	PlaneGPU    = 1
+	PlaneCache  = 2
+	PlaneUncore = 3
+	PlaneAnalog = 4
+)
+
+// MSR 0x150 field layout (the overclocking mailbox, as documented by
+// the Plundervolt analysis the paper cites for its undervolting
+// mechanism):
+//
+//	bit  63     : command-execute flag (must be 1)
+//	bits 42..40 : voltage plane index
+//	bits 39..32 : command — 0x11 write voltage offset, 0x10 read
+//	bits 31..21 : offset, 11-bit two's complement in units of 1/1024 V
+const (
+	msrExecute    = uint64(1) << 63
+	msrPlaneShift = 40
+	msrCmdShift   = 32
+	msrCmdWrite   = 0x11
+	msrCmdRead    = 0x10
+	msrOffShift   = 21
+	msrOffBits    = 11
+)
+
+// Errors returned by MSR encoding/decoding.
+var (
+	ErrBadPlane    = errors.New("volt: plane index outside 0..7")
+	ErrBadOffset   = errors.New("volt: offset outside the 11-bit range")
+	ErrNotExecute  = errors.New("volt: MSR value missing the execute flag")
+	ErrNotWriteCmd = errors.New("volt: MSR value is not a voltage-offset write")
+)
+
+// OffsetUnits converts a voltage offset in millivolts to the mailbox's
+// 1/1024-V units, rounding to nearest.
+func OffsetUnits(offsetMV float64) int {
+	return int(math.Round(offsetMV * 1.024))
+}
+
+// UnitsToMV converts mailbox units back to millivolts.
+func UnitsToMV(units int) float64 {
+	return float64(units) / 1.024
+}
+
+// EncodeOffsetWrite builds the MSR 0x150 value that writes the given
+// voltage offset (negative = undervolt) to a plane.
+func EncodeOffsetWrite(plane int, offsetMV float64) (uint64, error) {
+	if plane < 0 || plane > 7 {
+		return 0, ErrBadPlane
+	}
+	units := OffsetUnits(offsetMV)
+	min := -(1 << (msrOffBits - 1))
+	max := 1<<(msrOffBits-1) - 1
+	if units < min || units > max {
+		return 0, fmt.Errorf("%w: %d units", ErrBadOffset, units)
+	}
+	enc := uint64(units) & ((1 << msrOffBits) - 1)
+	return msrExecute |
+		uint64(plane)<<msrPlaneShift |
+		uint64(msrCmdWrite)<<msrCmdShift |
+		enc<<msrOffShift, nil
+}
+
+// DecodeOffsetWrite validates an MSR 0x150 write and extracts the plane
+// and offset in millivolts.
+func DecodeOffsetWrite(msr uint64) (plane int, offsetMV float64, err error) {
+	if msr&msrExecute == 0 {
+		return 0, 0, ErrNotExecute
+	}
+	if cmd := (msr >> msrCmdShift) & 0xFF; cmd != msrCmdWrite {
+		return 0, 0, fmt.Errorf("%w: command %#x", ErrNotWriteCmd, cmd)
+	}
+	plane = int((msr >> msrPlaneShift) & 0x7)
+	raw := (msr >> msrOffShift) & ((1 << msrOffBits) - 1)
+	units := int(raw)
+	if units >= 1<<(msrOffBits-1) { // sign-extend 11-bit value
+		units -= 1 << msrOffBits
+	}
+	return plane, UnitsToMV(units), nil
+}

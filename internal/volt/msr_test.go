@@ -1,0 +1,99 @@
+package volt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetUnitsRoundTrip(t *testing.T) {
+	for _, mv := range []float64{0, -130, -103, -145, 100, -999} {
+		units := OffsetUnits(mv)
+		back := UnitsToMV(units)
+		if math.Abs(back-mv) > 0.5 {
+			t.Errorf("offset %v mV -> %d units -> %v mV", mv, units, back)
+		}
+	}
+}
+
+func TestEncodeDecodeOffsetWrite(t *testing.T) {
+	msr, err := EncodeOffsetWrite(PlaneCore, -130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msr&msrExecute == 0 {
+		t.Error("execute flag missing")
+	}
+	plane, mv, err := DecodeOffsetWrite(msr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plane != PlaneCore {
+		t.Errorf("plane = %d", plane)
+	}
+	if math.Abs(mv-(-130)) > 0.5 {
+		t.Errorf("offset = %v mV", mv)
+	}
+}
+
+func TestEncodeOffsetWriteAllPlanes(t *testing.T) {
+	for plane := 0; plane <= 4; plane++ {
+		msr, err := EncodeOffsetWrite(plane, -50)
+		if err != nil {
+			t.Fatalf("plane %d: %v", plane, err)
+		}
+		got, _, err := DecodeOffsetWrite(msr)
+		if err != nil || got != plane {
+			t.Errorf("plane %d decoded as %d (err %v)", plane, got, err)
+		}
+	}
+}
+
+func TestEncodeOffsetWriteValidation(t *testing.T) {
+	if _, err := EncodeOffsetWrite(-1, 0); !errors.Is(err, ErrBadPlane) {
+		t.Errorf("negative plane err = %v", err)
+	}
+	if _, err := EncodeOffsetWrite(8, 0); !errors.Is(err, ErrBadPlane) {
+		t.Errorf("plane 8 err = %v", err)
+	}
+	// The 11-bit signed field covers about ±1000 mV.
+	if _, err := EncodeOffsetWrite(0, -1200); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("deep offset err = %v", err)
+	}
+	if _, err := EncodeOffsetWrite(0, 1200); !errors.Is(err, ErrBadOffset) {
+		t.Errorf("high offset err = %v", err)
+	}
+}
+
+func TestDecodeOffsetWriteValidation(t *testing.T) {
+	msr, _ := EncodeOffsetWrite(0, -100)
+	if _, _, err := DecodeOffsetWrite(msr &^ msrExecute); !errors.Is(err, ErrNotExecute) {
+		t.Errorf("missing execute err = %v", err)
+	}
+	readCmd := (msr &^ (uint64(0xFF) << msrCmdShift)) | uint64(msrCmdRead)<<msrCmdShift
+	if _, _, err := DecodeOffsetWrite(readCmd); !errors.Is(err, ErrNotWriteCmd) {
+		t.Errorf("read command err = %v", err)
+	}
+}
+
+// Property: encode/decode round-trips plane and offset for the whole
+// representable range.
+func TestMSRRoundTripProperty(t *testing.T) {
+	check := func(planeRaw uint8, offRaw int16) bool {
+		plane := int(planeRaw % 8)
+		offset := float64(offRaw % 900) // stay inside the 11-bit span
+		msr, err := EncodeOffsetWrite(plane, offset)
+		if err != nil {
+			return false
+		}
+		gotPlane, gotOff, err := DecodeOffsetWrite(msr)
+		if err != nil {
+			return false
+		}
+		return gotPlane == plane && math.Abs(gotOff-offset) <= 0.5
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

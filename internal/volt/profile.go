@@ -1,0 +1,170 @@
+package volt
+
+import (
+	"fmt"
+	"math"
+
+	"shmd/internal/rng"
+)
+
+// Characterization reference conditions (Section II: i7-5557U at
+// 2.2 GHz, CPU temperature 49 °C, nominal core voltage 1.18 V).
+const (
+	NominalVoltage = 1.18 // volts
+	NominalFreqGHz = 2.2
+	ReferenceTempC = 49.0
+)
+
+// Fault-onset window from Section II: with fixed operands, the first
+// multiplication faults appeared between −103 mV and −145 mV of
+// undervolting, depending on the inputs.
+const (
+	OnsetMinMV = 103.0
+	OnsetMaxMV = 145.0
+)
+
+// DeviceProfile is the per-device calibration the paper's Section IX
+// calls for ("undervolting-induced faults vary across devices;
+// a separate calibration needs to be done for each device"). It maps
+// undervolt depth and temperature to the multiplier fault rate.
+//
+// The curve is a logistic in undervolt depth u (millivolts below
+// nominal):
+//
+//	er(u, T) = 1 / (1 + exp(-(u - u50(T)) / slope))
+//
+// clamped to zero inside the guard band where no timing path fails.
+// u50 shifts with temperature (ref [8]: mobility/threshold-voltage
+// temperature effects move the failing-path delay) and with
+// device-to-device process variation.
+type DeviceProfile struct {
+	// U50MV is the undervolt depth at which half the multiplications
+	// fault, at the reference temperature.
+	U50MV float64
+	// SlopeMV controls how fast the fault rate grows with depth.
+	SlopeMV float64
+	// GuardBandMV is the depth below which no fault ever occurs
+	// (shortest failing path still meets timing).
+	GuardBandMV float64
+	// TempCoeffMVPerC shifts U50 per degree above the reference
+	// temperature: hotter silicon faults at shallower undervolt.
+	TempCoeffMVPerC float64
+	// FreezeMV is the depth at which the modeled system hangs; the
+	// regulator refuses to go deeper (Section II: "until a fault or
+	// system freeze occurred").
+	FreezeMV float64
+}
+
+// Calibration: DefaultProfile reproduces the paper's operating point —
+// an error rate of ~0.10 at the Fig 1 measurement level of −130 mV and
+// an onset window matching the −103..−145 mV observation — and is the
+// second half of the reproduction's calibration surface (the first is
+// the fault-location distribution in internal/faults).
+func DefaultProfile() DeviceProfile {
+	return DeviceProfile{
+		U50MV:           170.0,
+		SlopeMV:         18.0,
+		GuardBandMV:     95.0,
+		TempCoeffMVPerC: 0.4,
+		FreezeMV:        260.0,
+	}
+}
+
+// NewDeviceProfile derives a device-specific profile from a seed,
+// modeling process variation: U50 shifts by up to ±8 mV and the guard
+// band by up to ±5 mV across devices. Seed 0 yields the default device.
+func NewDeviceProfile(seed uint64) DeviceProfile {
+	p := DefaultProfile()
+	if seed == 0 {
+		return p
+	}
+	r := rng.NewRand(seed, 0x0de71ce)
+	p.U50MV += (r.Float64()*2 - 1) * 8
+	p.GuardBandMV += (r.Float64()*2 - 1) * 5
+	return p
+}
+
+// Validate reports whether the profile is physically sensible.
+func (p DeviceProfile) Validate() error {
+	if p.SlopeMV <= 0 {
+		return fmt.Errorf("volt: non-positive slope %v", p.SlopeMV)
+	}
+	if p.GuardBandMV < 0 || p.GuardBandMV >= p.U50MV {
+		return fmt.Errorf("volt: guard band %v outside (0, U50=%v)", p.GuardBandMV, p.U50MV)
+	}
+	if p.FreezeMV <= p.U50MV {
+		return fmt.Errorf("volt: freeze depth %v must exceed U50 %v", p.FreezeMV, p.U50MV)
+	}
+	return nil
+}
+
+// u50At returns the temperature-adjusted logistic midpoint.
+func (p DeviceProfile) u50At(tempC float64) float64 {
+	return p.U50MV - p.TempCoeffMVPerC*(tempC-ReferenceTempC)
+}
+
+// ErrorRate returns the per-multiplication fault rate at the given
+// undervolt depth (millivolts below nominal, positive number) and
+// temperature. Depths inside the guard band never fault.
+func (p DeviceProfile) ErrorRate(depthMV, tempC float64) float64 {
+	if depthMV <= p.GuardBandMV {
+		return 0
+	}
+	er := 1 / (1 + math.Exp(-(depthMV-p.u50At(tempC))/p.SlopeMV))
+	if er < 0 {
+		return 0
+	}
+	if er > 1 {
+		return 1
+	}
+	return er
+}
+
+// DepthForRate inverts ErrorRate: the undervolt depth (mV) that yields
+// the requested fault rate at the given temperature. Rates at or below
+// the guard-band floor return the guard band; a rate of 1 returns the
+// freeze depth (the curve only reaches 1 asymptotically).
+func (p DeviceProfile) DepthForRate(rate, tempC float64) (float64, error) {
+	if rate < 0 || rate > 1 || math.IsNaN(rate) {
+		return 0, fmt.Errorf("volt: rate %v outside [0,1]", rate)
+	}
+	if rate == 0 {
+		return p.GuardBandMV, nil
+	}
+	if rate == 1 {
+		return p.FreezeMV, nil
+	}
+	depth := p.u50At(tempC) + p.SlopeMV*math.Log(rate/(1-rate))
+	if depth < p.GuardBandMV {
+		depth = p.GuardBandMV
+	}
+	if depth > p.FreezeMV {
+		depth = p.FreezeMV
+	}
+	return depth, nil
+}
+
+// OperandOnsetMV reproduces the Section II per-operand fault-onset
+// observation: the undervolt depth at which a specific operand pair
+// first faults, spread deterministically across the measured
+// −103..−145 mV window (longer effective carry chains fail earlier).
+func (p DeviceProfile) OperandOnsetMV(a, b int32) float64 {
+	h := rng.DeriveSeed(uint64(uint32(a)), uint64(uint32(b)))
+	frac := float64(h%10000) / 9999.0
+	span := OnsetMaxMV - OnsetMinMV
+	// Re-center the window for devices whose guard band moved.
+	shift := p.GuardBandMV - DefaultProfile().GuardBandMV
+	return OnsetMinMV + frac*span + shift
+}
+
+// SupplyVoltageAt converts an undervolt depth to the absolute supply
+// voltage.
+func SupplyVoltageAt(depthMV float64) float64 {
+	return NominalVoltage - depthMV/1000
+}
+
+// DepthAtVoltage converts an absolute supply voltage to undervolt depth
+// in millivolts.
+func DepthAtVoltage(supplyV float64) float64 {
+	return (NominalVoltage - supplyV) * 1000
+}

@@ -1,0 +1,173 @@
+package volt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultProfileValid(t *testing.T) {
+	if err := DefaultProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := DefaultProfile()
+	p.SlopeMV = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero slope must be invalid")
+	}
+	p = DefaultProfile()
+	p.GuardBandMV = p.U50MV + 1
+	if err := p.Validate(); err == nil {
+		t.Error("guard band above U50 must be invalid")
+	}
+	p = DefaultProfile()
+	p.FreezeMV = p.U50MV - 1
+	if err := p.Validate(); err == nil {
+		t.Error("freeze below U50 must be invalid")
+	}
+}
+
+func TestErrorRateGuardBand(t *testing.T) {
+	p := DefaultProfile()
+	for _, depth := range []float64{0, 10, 50, p.GuardBandMV} {
+		if er := p.ErrorRate(depth, ReferenceTempC); er != 0 {
+			t.Errorf("depth %v mV inside guard band gave er %v", depth, er)
+		}
+	}
+}
+
+func TestErrorRateMonotoneInDepth(t *testing.T) {
+	p := DefaultProfile()
+	prev := -1.0
+	for depth := 0.0; depth <= 300; depth += 5 {
+		er := p.ErrorRate(depth, ReferenceTempC)
+		if er < prev {
+			t.Fatalf("error rate not monotone at depth %v: %v < %v", depth, er, prev)
+		}
+		if er < 0 || er > 1 {
+			t.Fatalf("error rate %v outside [0,1]", er)
+		}
+		prev = er
+	}
+}
+
+func TestCalibrationOperatingPoint(t *testing.T) {
+	// The paper's selected configuration: ~10% error rate at the Fig 1
+	// measurement level of −130 mV (49 °C).
+	p := DefaultProfile()
+	er := p.ErrorRate(130, ReferenceTempC)
+	if er < 0.07 || er > 0.14 {
+		t.Errorf("er(-130 mV) = %v, want ≈ 0.10", er)
+	}
+	// Inside the measured onset window the rate is small but nonzero.
+	if er := p.ErrorRate(OnsetMinMV, ReferenceTempC); er <= 0 || er > 0.05 {
+		t.Errorf("er at onset-min = %v, want small nonzero", er)
+	}
+}
+
+func TestDepthForRateInvertsErrorRate(t *testing.T) {
+	p := DefaultProfile()
+	for _, rate := range []float64{0.01, 0.05, 0.1, 0.3, 0.5, 0.9} {
+		depth, err := p.DepthForRate(rate, ReferenceTempC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := p.ErrorRate(depth, ReferenceTempC)
+		if math.Abs(back-rate) > 0.01 {
+			t.Errorf("rate %v -> depth %v -> rate %v", rate, depth, back)
+		}
+	}
+}
+
+func TestDepthForRateEdges(t *testing.T) {
+	p := DefaultProfile()
+	if d, err := p.DepthForRate(0, ReferenceTempC); err != nil || d != p.GuardBandMV {
+		t.Errorf("rate 0: depth=%v err=%v", d, err)
+	}
+	if d, err := p.DepthForRate(1, ReferenceTempC); err != nil || d != p.FreezeMV {
+		t.Errorf("rate 1: depth=%v err=%v", d, err)
+	}
+	if _, err := p.DepthForRate(-0.1, ReferenceTempC); err == nil {
+		t.Error("negative rate must error")
+	}
+	if _, err := p.DepthForRate(1.1, ReferenceTempC); err == nil {
+		t.Error("rate > 1 must error")
+	}
+}
+
+func TestTemperatureShiftsOnset(t *testing.T) {
+	// Hotter silicon faults at shallower undervolt: at fixed depth the
+	// error rate must not decrease with temperature.
+	p := DefaultProfile()
+	cold := p.ErrorRate(150, 30)
+	ref := p.ErrorRate(150, ReferenceTempC)
+	hot := p.ErrorRate(150, 80)
+	if !(cold <= ref && ref <= hot) {
+		t.Errorf("temperature ordering violated: 30°C=%v 49°C=%v 80°C=%v", cold, ref, hot)
+	}
+	if cold == hot {
+		t.Error("temperature must have an effect")
+	}
+}
+
+func TestDeviceVariation(t *testing.T) {
+	base := NewDeviceProfile(0)
+	if base != DefaultProfile() {
+		t.Error("seed 0 must be the default device")
+	}
+	distinct := 0
+	for seed := uint64(1); seed <= 10; seed++ {
+		p := NewDeviceProfile(seed)
+		if err := p.Validate(); err != nil {
+			t.Errorf("device %d invalid: %v", seed, err)
+		}
+		if p.U50MV != base.U50MV {
+			distinct++
+		}
+		if math.Abs(p.U50MV-base.U50MV) > 8.001 {
+			t.Errorf("device %d U50 drift too large: %v", seed, p.U50MV-base.U50MV)
+		}
+	}
+	if distinct < 8 {
+		t.Errorf("only %d/10 devices differ from default", distinct)
+	}
+	// Determinism: same seed, same device.
+	if NewDeviceProfile(3) != NewDeviceProfile(3) {
+		t.Error("device profiles must be deterministic per seed")
+	}
+}
+
+func TestOperandOnsetWindow(t *testing.T) {
+	p := DefaultProfile()
+	seen := map[float64]bool{}
+	for i := int32(0); i < 500; i++ {
+		onset := p.OperandOnsetMV(i*268435399, ^i)
+		if onset < OnsetMinMV-0.001 || onset > OnsetMaxMV+0.001 {
+			t.Fatalf("onset %v outside [%v, %v]", onset, OnsetMinMV, OnsetMaxMV)
+		}
+		seen[onset] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("onsets insufficiently input-dependent: %d distinct", len(seen))
+	}
+	// Deterministic per operand pair.
+	if p.OperandOnsetMV(7, 9) != p.OperandOnsetMV(7, 9) {
+		t.Error("onset must be deterministic per operands")
+	}
+}
+
+func TestVoltageDepthConversions(t *testing.T) {
+	if v := SupplyVoltageAt(130); math.Abs(v-1.05) > 1e-9 {
+		t.Errorf("SupplyVoltageAt(130) = %v", v)
+	}
+	if d := DepthAtVoltage(0.68); math.Abs(d-500) > 1e-9 {
+		t.Errorf("DepthAtVoltage(0.68) = %v", d)
+	}
+	for _, depth := range []float64{0, 130, 500} {
+		if got := DepthAtVoltage(SupplyVoltageAt(depth)); math.Abs(got-depth) > 1e-9 {
+			t.Errorf("depth round trip %v -> %v", depth, got)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package volt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newTestRegulator(t *testing.T) *Regulator {
+	t.Helper()
+	r, err := NewRegulator(PlaneCore, DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRegulatorValidation(t *testing.T) {
+	if _, err := NewRegulator(9, DefaultProfile()); !errors.Is(err, ErrBadPlane) {
+		t.Errorf("bad plane err = %v", err)
+	}
+	bad := DefaultProfile()
+	bad.SlopeMV = -1
+	if _, err := NewRegulator(PlaneCore, bad); err == nil {
+		t.Error("invalid profile must be rejected")
+	}
+}
+
+func TestRegulatorDefaults(t *testing.T) {
+	r := newTestRegulator(t)
+	if r.SupplyVoltage() != NominalVoltage {
+		t.Errorf("fresh regulator voltage = %v", r.SupplyVoltage())
+	}
+	if r.ErrorRate() != 0 {
+		t.Errorf("fresh regulator error rate = %v", r.ErrorRate())
+	}
+	if r.Temperature() != ReferenceTempC {
+		t.Errorf("fresh regulator temperature = %v", r.Temperature())
+	}
+	if r.Plane() != PlaneCore {
+		t.Errorf("plane = %d", r.Plane())
+	}
+}
+
+func TestRegulatorMSRWrite(t *testing.T) {
+	r := newTestRegulator(t)
+	msr, err := EncodeOffsetWrite(PlaneCore, -130)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMSR("hmd", msr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.UndervoltMV()-130) > 0.5 {
+		t.Errorf("undervolt = %v mV", r.UndervoltMV())
+	}
+	if math.Abs(r.SupplyVoltage()-1.05) > 0.001 {
+		t.Errorf("voltage = %v", r.SupplyVoltage())
+	}
+	if er := r.ErrorRate(); er < 0.07 || er > 0.14 {
+		t.Errorf("error rate at -130 mV = %v", er)
+	}
+}
+
+func TestRegulatorRejectsWrongPlane(t *testing.T) {
+	r := newTestRegulator(t)
+	msr, _ := EncodeOffsetWrite(PlaneCache, -100)
+	if err := r.WriteMSR("hmd", msr); !errors.Is(err, ErrWrongPlane) {
+		t.Errorf("wrong plane err = %v", err)
+	}
+}
+
+func TestRegulatorRejectsOvervolt(t *testing.T) {
+	r := newTestRegulator(t)
+	msr, _ := EncodeOffsetWrite(PlaneCore, 50)
+	if err := r.WriteMSR("hmd", msr); !errors.Is(err, ErrOvervolt) {
+		t.Errorf("overvolt err = %v", err)
+	}
+	if err := r.SetUndervolt("hmd", -5); !errors.Is(err, ErrOvervolt) {
+		t.Errorf("negative depth err = %v", err)
+	}
+}
+
+func TestRegulatorFreezeThreshold(t *testing.T) {
+	r := newTestRegulator(t)
+	if err := r.SetUndervolt("hmd", r.Profile().FreezeMV+10); !errors.Is(err, ErrWouldFreeze) {
+		t.Errorf("freeze err = %v", err)
+	}
+	// Depth just below freeze is accepted.
+	if err := r.SetUndervolt("hmd", r.Profile().FreezeMV-1); err != nil {
+		t.Errorf("near-freeze write rejected: %v", err)
+	}
+}
+
+func TestTrustedControl(t *testing.T) {
+	r := newTestRegulator(t)
+	if err := r.Lock("stochastic-hmd"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner() != "stochastic-hmd" {
+		t.Errorf("owner = %q", r.Owner())
+	}
+	// Re-locking by the same owner is idempotent.
+	if err := r.Lock("stochastic-hmd"); err != nil {
+		t.Errorf("re-lock by owner failed: %v", err)
+	}
+	// Another party cannot take the lock, write, or unlock —
+	// the adversary cannot simply disable the defense.
+	if err := r.Lock("malware"); !errors.Is(err, ErrLocked) {
+		t.Errorf("adversary lock err = %v", err)
+	}
+	if err := r.SetUndervolt("malware", 0); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("adversary write err = %v", err)
+	}
+	if err := r.Unlock("malware"); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("adversary unlock err = %v", err)
+	}
+	// The owner can still drive the voltage.
+	if err := r.SetUndervolt("stochastic-hmd", 130); err != nil {
+		t.Errorf("owner write failed: %v", err)
+	}
+	if err := r.Unlock("stochastic-hmd"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Owner() != "" {
+		t.Errorf("owner after unlock = %q", r.Owner())
+	}
+	// Unlock when already unlocked is a no-op.
+	if err := r.Unlock("anyone"); err != nil {
+		t.Errorf("unlock of unlocked regulator: %v", err)
+	}
+	// Empty owner names are rejected.
+	if err := r.Lock(""); err == nil {
+		t.Error("empty owner must be rejected")
+	}
+}
+
+func TestSetTemperatureValidation(t *testing.T) {
+	r := newTestRegulator(t)
+	if err := r.SetTemperature(200); err == nil {
+		t.Error("absurd temperature must be rejected")
+	}
+	if err := r.SetTemperature(-100); err == nil {
+		t.Error("absurd temperature must be rejected")
+	}
+	if err := r.SetTemperature(80); err != nil || r.Temperature() != 80 {
+		t.Errorf("SetTemperature: err=%v temp=%v", err, r.Temperature())
+	}
+}
+
+func TestCalibrateToRate(t *testing.T) {
+	r := newTestRegulator(t)
+	depth, err := r.CalibrateToRate("hmd", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ErrorRate()-0.1) > 0.005 {
+		t.Errorf("calibrated rate = %v, want 0.1 (depth %v)", r.ErrorRate(), depth)
+	}
+
+	// Recalibration after a temperature change lands on the same rate
+	// at a different depth — the Section IX dynamic adjustment.
+	if err := r.SetTemperature(80); err != nil {
+		t.Fatal(err)
+	}
+	depthHot, err := r.CalibrateToRate("hmd", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.ErrorRate()-0.1) > 0.005 {
+		t.Errorf("hot calibrated rate = %v", r.ErrorRate())
+	}
+	if depthHot >= depth {
+		t.Errorf("hotter device must need shallower undervolt: %v vs %v", depthHot, depth)
+	}
+
+	// Rate 1 maps to the freeze depth and must be clamped below it.
+	if _, err := r.CalibrateToRate("hmd", 1); err != nil {
+		t.Errorf("CalibrateToRate(1) = %v", err)
+	}
+	if r.UndervoltMV() >= r.Profile().FreezeMV {
+		t.Error("calibration must stay below the freeze threshold")
+	}
+	if _, err := r.CalibrateToRate("hmd", 2); err == nil {
+		t.Error("rate 2 must error")
+	}
+}
