@@ -8,7 +8,15 @@
 //	shmd train    [-seed N] [-scale quick|full] -out model.fann
 //	shmd detect   [-seed N] [-scale quick|full] -model model.fann
 //	              [-class trojan] [-index 0] [-rate 0.1 | -undervolt 130]
+//	              [-chaos] [-supervise]
 //	shmd inspect  -model model.fann
+//
+// With -chaos the detector runs on a fault-injecting environment
+// (transient MSR failures, lock contention, thermal drift, supply
+// droop, crash risk) instead of the ideal regulator; with -supervise a
+// self-healing supervisor rides through those faults — retrying,
+// recalibrating on drift, and degrading to flagged nominal-voltage
+// detection rather than erroring out.
 package main
 
 import (
@@ -16,9 +24,12 @@ import (
 	"fmt"
 	"os"
 
+	"shmd/internal/chaos"
 	"shmd/internal/core"
 	"shmd/internal/dataset"
+	"shmd/internal/faults"
 	"shmd/internal/hmd"
+	"shmd/internal/rng"
 	"shmd/internal/trace"
 	"shmd/internal/volt"
 )
@@ -158,6 +169,8 @@ func cmdDetect(args []string) error {
 	rate := fs.Float64("rate", 0, "target multiplier error rate (0 = nominal)")
 	undervolt := fs.Float64("undervolt", 0, "explicit undervolt depth in mV")
 	repeats := fs.Int("repeats", 5, "detection repetitions (shows stochasticity)")
+	withChaos := fs.Bool("chaos", false, "run on a fault-injecting environment instead of the ideal regulator")
+	supervise := fs.Bool("supervise", false, "wrap detection in the self-healing supervisor")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,13 +202,63 @@ func cmdDetect(args []string) error {
 		return err
 	}
 
-	s, err := core.New(det, core.Options{ErrorRate: *rate, UndervoltMV: *undervolt, Seed: *seed})
-	if err != nil {
-		return err
+	opts := core.Options{ErrorRate: *rate, UndervoltMV: *undervolt, Seed: *seed}
+	var s *core.StochasticHMD
+	var env *chaos.Env
+	if *withChaos {
+		reg, err := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
+		if err != nil {
+			return err
+		}
+		env, err = chaos.NewEnv(reg, chaos.DefaultConfig(*seed))
+		if err != nil {
+			return err
+		}
+		inj, err := faults.NewInjector(0, nil, rng.NewRand(*seed, 0x5BD))
+		if err != nil {
+			return err
+		}
+		s, err = core.NewWithHardware(det, env, inj, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		s, err = core.New(det, opts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("program %s (ground truth: malware=%v)\n", prog.Name, prog.IsMalware())
 	fmt.Printf("detector: supply %.3f V (undervolt %.1f mV), error rate %.4f\n",
 		s.SupplyVoltage(), volt.DepthAtVoltage(s.SupplyVoltage()), s.ErrorRate())
+
+	if *supervise {
+		sup, err := core.NewSupervisor(s, core.SupervisorConfig{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < *repeats; i++ {
+			v, err := sup.DetectProgram(windows)
+			if err != nil {
+				return err
+			}
+			mode := "protected"
+			if v.Unprotected {
+				mode = "UNPROTECTED"
+			}
+			fmt.Printf("  run %d: malware=%v score=%.4f [%s, attempts %d]\n",
+				i+1, v.Malware, v.Score, mode, v.Attempts)
+		}
+		h := sup.Health()
+		fmt.Printf("supervisor: state=%v protected=%d unprotected=%d retries=%d trips=%d recalibrations=%d\n",
+			h.State, h.Protected, h.Unprotected, h.Retries, h.Trips, h.Recalibrations)
+		if env != nil {
+			ev := env.Events()
+			fmt.Printf("chaos: writes=%d transients=%d contentions=%d excursions=%d droops=%d crashes=%d\n",
+				ev.Writes, ev.Transients, ev.Contentions, ev.Excursions, ev.Droops, ev.Crashes)
+		}
+		return nil
+	}
 	for i := 0; i < *repeats; i++ {
 		dec := s.DetectProgram(windows)
 		fmt.Printf("  run %d: malware=%v score=%.4f\n", i+1, dec.Malware, dec.Score)

@@ -44,6 +44,17 @@ func TestTrainDetectInspectRoundTrip(t *testing.T) {
 	if err := cmdDetect([]string{"-model", model, "-class", "worm", "-undervolt", "130", "-repeats", "2"}); err != nil {
 		t.Fatal(err)
 	}
+	// Supervised detection on the chaos environment: must return a
+	// decision per repeat despite injected faults.
+	if err := cmdDetect([]string{"-model", model, "-class", "trojan", "-rate", "0.1",
+		"-chaos", "-supervise", "-repeats", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	// Supervisor without chaos (ideal hardware) is a no-op wrapper.
+	if err := cmdDetect([]string{"-model", model, "-class", "benign", "-rate", "0.1",
+		"-supervise", "-repeats", "2"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCmdErrors(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"shmd/internal/faults"
+	"shmd/internal/fxp"
 	"shmd/internal/hmd"
 	"shmd/internal/rng"
 	"shmd/internal/trace"
@@ -24,6 +25,36 @@ import (
 // Owner is the lock identity the Stochastic-HMD holds on its voltage
 // regulator (Section III "Trusted control").
 const Owner = "stochastic-hmd"
+
+// Plane is the voltage-plane surface the detector drives. It is the
+// method set of *volt.Regulator that the detection path uses;
+// environmental wrappers (internal/chaos) implement it to interpose
+// faults and drift between the detector and the ideal device.
+type Plane interface {
+	Lock(owner string) error
+	Unlock(owner string) error
+	Owner() string
+	SetUndervolt(caller string, depthMV float64) error
+	CalibrateToRate(caller string, rate float64) (float64, error)
+	SetTemperature(tempC float64) error
+	Temperature() float64
+	UndervoltMV() float64
+	SupplyVoltage() float64
+	ErrorRate() float64
+	Profile() volt.DeviceProfile
+}
+
+var _ Plane = (*volt.Regulator)(nil)
+
+// FaultUnit is the stochastic multiplier surface: an arithmetic unit
+// whose per-multiplication fault rate tracks the supply voltage.
+type FaultUnit interface {
+	fxp.Unit
+	Rate() float64
+	SetRate(rate float64) error
+}
+
+var _ FaultUnit = (*faults.Injector)(nil)
 
 // Options configures a Stochastic-HMD.
 type Options struct {
@@ -52,15 +83,40 @@ type Options struct {
 // path.
 type StochasticHMD struct {
 	base *hmd.HMD
-	reg  *volt.Regulator
-	inj  *faults.Injector
+	reg  Plane
+	inj  FaultUnit
 }
 
-// New builds a Stochastic-HMD around base. The regulator is locked to
-// the detector (trusted control) and calibrated per the options.
+// New builds a Stochastic-HMD around base on ideal hardware: a fresh
+// volt.Regulator for the core plane and a faults.Injector seeded from
+// the options. The regulator is locked to the detector (trusted
+// control) and calibrated per the options.
 func New(base *hmd.HMD, opts Options) (*StochasticHMD, error) {
+	reg, err := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(0, opts.Dist, rng.NewRand(opts.Seed, 0x5BD))
+	if err != nil {
+		return nil, err
+	}
+	return NewWithHardware(base, reg, inj, opts)
+}
+
+// NewWithHardware builds a Stochastic-HMD on caller-supplied hardware:
+// any Plane (an ideal regulator, or a chaos.Env wrapping one) and any
+// FaultUnit. The DeviceSeed, Seed, and Dist options are ignored — they
+// configure the hardware New would have built. The plane is locked to
+// the detector and calibrated per the remaining options.
+func NewWithHardware(base *hmd.HMD, reg Plane, inj FaultUnit, opts Options) (*StochasticHMD, error) {
 	if base == nil {
 		return nil, fmt.Errorf("core: nil base detector")
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("core: nil voltage plane")
+	}
+	if inj == nil {
+		return nil, fmt.Errorf("core: nil fault unit")
 	}
 	if opts.ErrorRate != 0 && opts.UndervoltMV != 0 {
 		return nil, fmt.Errorf("core: set ErrorRate or UndervoltMV, not both")
@@ -74,19 +130,10 @@ func New(base *hmd.HMD, opts Options) (*StochasticHMD, error) {
 	if opts.TempC == 0 {
 		opts.TempC = volt.ReferenceTempC
 	}
-
-	reg, err := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
-	if err != nil {
-		return nil, err
-	}
 	if err := reg.Lock(Owner); err != nil {
 		return nil, err
 	}
 	if err := reg.SetTemperature(opts.TempC); err != nil {
-		return nil, err
-	}
-	inj, err := faults.NewInjector(0, opts.Dist, rng.NewRand(opts.Seed, 0x5BD))
-	if err != nil {
 		return nil, err
 	}
 	s := &StochasticHMD{base: base, reg: reg, inj: inj}
@@ -106,11 +153,11 @@ func New(base *hmd.HMD, opts Options) (*StochasticHMD, error) {
 // Base returns the protected baseline detector.
 func (s *StochasticHMD) Base() *hmd.HMD { return s.base }
 
-// Regulator exposes the (locked) voltage regulator.
-func (s *StochasticHMD) Regulator() *volt.Regulator { return s.reg }
+// Regulator exposes the (locked) voltage plane.
+func (s *StochasticHMD) Regulator() Plane { return s.reg }
 
-// Injector exposes the fault injector, mainly for statistics.
-func (s *StochasticHMD) Injector() *faults.Injector { return s.inj }
+// Injector exposes the fault unit, mainly for statistics.
+func (s *StochasticHMD) Injector() FaultUnit { return s.inj }
 
 // ErrorRate returns the current per-multiplication fault rate.
 func (s *StochasticHMD) ErrorRate() float64 { return s.inj.Rate() }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
+	"shmd/internal/fxp"
 	"shmd/internal/hmd"
 	"shmd/internal/trace"
 )
@@ -17,8 +20,13 @@ import (
 // A Session wraps a StochasticHMD; every detection enters (undervolts),
 // infers, and exits (restores nominal) — even on panic — and the
 // voltage is verifiably nominal between detections.
+//
+// A Session is safe for concurrent use: detections serialize on an
+// internal mutex, so the enter/infer/exit protocol state can never be
+// corrupted by overlapping calls.
 type Session struct {
-	s *StochasticHMD
+	mu sync.Mutex
+	s  *StochasticHMD
 	// depthMV is the calibrated detection-time undervolt depth.
 	depthMV float64
 	// entered tracks protocol state for misuse detection.
@@ -38,7 +46,15 @@ func NewSession(s *StochasticHMD) (*Session, error) {
 	return sess, nil
 }
 
-// enter scales the voltage down for detection.
+// Depth returns the detection-time undervolt depth the session applies
+// on enter.
+func (sess *Session) Depth() float64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.depthMV
+}
+
+// enter scales the voltage down for detection. Callers hold sess.mu.
 func (sess *Session) enter() error {
 	if sess.entered {
 		return fmt.Errorf("core: session already entered")
@@ -48,6 +64,11 @@ func (sess *Session) enter() error {
 	}
 	// The fault rate follows the device curve at the restored depth.
 	if err := sess.s.inj.SetRate(sess.s.reg.ErrorRate()); err != nil {
+		// Roll the plane back to nominal: it must never be left
+		// undervolted while the protocol state says "not entered".
+		if rbErr := sess.s.reg.SetUndervolt(Owner, 0); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
 		return err
 	}
 	sess.entered = true
@@ -55,16 +76,46 @@ func (sess *Session) enter() error {
 }
 
 // exit restores nominal voltage; the injector rate drops to zero with
-// it, so any computation outside detection is exact.
+// it, so any computation outside detection is exact. The protocol
+// state always clears — a failed restore must not wedge the session —
+// and both restores are attempted even if the first fails, so a
+// partial failure degrades as little as possible. Callers hold
+// sess.mu.
 func (sess *Session) exit() error {
-	if err := sess.s.reg.SetUndervolt(Owner, 0); err != nil {
-		return err
-	}
-	if err := sess.s.inj.SetRate(0); err != nil {
-		return err
-	}
 	sess.entered = false
-	return nil
+	errV := sess.s.reg.SetUndervolt(Owner, 0)
+	errR := sess.s.inj.SetRate(0)
+	return errors.Join(errV, errR)
+}
+
+// ForceNominal unconditionally restores nominal voltage and a zero
+// fault rate, clearing any in-flight protocol state. Supervisors call
+// it as the fail-safe after a faulted detection cycle.
+func (sess *Session) ForceNominal() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.exit()
+}
+
+// Recalibrate re-derives the detection-time undervolt depth so the
+// device produces the target fault rate at the current temperature —
+// the dynamic adjustment Section IX calls for when the environment
+// drifts — and adopts it as the session operating point. Outside a
+// detection the plane is returned to nominal.
+func (sess *Session) Recalibrate(rate float64) (float64, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	depth, err := sess.s.reg.CalibrateToRate(Owner, rate)
+	if err != nil {
+		return 0, err
+	}
+	sess.depthMV = depth
+	if !sess.entered {
+		if err := sess.s.reg.SetUndervolt(Owner, 0); err != nil {
+			return depth, err
+		}
+	}
+	return depth, nil
 }
 
 // AtNominal reports whether the plane currently sits at nominal
@@ -75,6 +126,8 @@ func (sess *Session) AtNominal() bool {
 
 // DetectProgram runs one enter → infer → exit cycle.
 func (sess *Session) DetectProgram(windows []trace.WindowCounts) (dec hmd.Decision, err error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := sess.enter(); err != nil {
 		return hmd.Decision{}, err
 	}
@@ -89,6 +142,8 @@ func (sess *Session) DetectProgram(windows []trace.WindowCounts) (dec hmd.Decisi
 
 // ScoreWindows runs one enter → score → exit cycle.
 func (sess *Session) ScoreWindows(windows []trace.WindowCounts) (scores []float64, err error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := sess.enter(); err != nil {
 		return nil, err
 	}
@@ -98,4 +153,37 @@ func (sess *Session) ScoreWindows(windows []trace.WindowCounts) (scores []float6
 		}
 	}()
 	return sess.s.ScoreWindows(windows), nil
+}
+
+// ObserveRate runs one enter → probe → exit cycle that streams n
+// known-answer multiplications through the undervolted multiplier and
+// returns the observed fault fraction. This is the canary a
+// supervisor uses to detect that the effective operating point has
+// drifted away from calibration: any product differing from the exact
+// one is a fault (a timing-violation flip always changes the product).
+func (sess *Session) ObserveRate(n int) (rate float64, err error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("core: canary length %d < 1", n)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.enter(); err != nil {
+		return 0, err
+	}
+	defer func() {
+		if exitErr := sess.exit(); exitErr != nil && err == nil {
+			err = exitErr
+		}
+	}()
+	// Arbitrary non-trivial operands; the injector's flips are
+	// operand-independent, so any fixed pair measures the true rate.
+	const a, b = fxp.Value(24571), fxp.Value(-13007)
+	want := fxp.Exact{}.Mul(a, b)
+	faulted := 0
+	for i := 0; i < n; i++ {
+		if sess.s.inj.Mul(a, b) != want {
+			faulted++
+		}
+	}
+	return float64(faulted) / float64(n), nil
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
+	"shmd/internal/fxp"
 	"shmd/internal/volt"
 )
 
@@ -143,5 +146,182 @@ func TestSessionDoubleEnter(t *testing.T) {
 	}
 	if err := sess.exit(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// flakyUnit is a FaultUnit whose SetRate can be made to fail for any
+// non-zero rate — the injector-side failure that used to leak an
+// undervolted plane out of a half-completed enter.
+type flakyUnit struct {
+	rate        float64
+	failNonZero bool
+}
+
+func (f *flakyUnit) Mul(a, b fxp.Value) fxp.Product { return fxp.Exact{}.Mul(a, b) }
+func (f *flakyUnit) Rate() float64                  { return f.rate }
+func (f *flakyUnit) SetRate(r float64) error {
+	if f.failNonZero && r != 0 {
+		return errors.New("flaky: injector refused the rate")
+	}
+	f.rate = r
+	return nil
+}
+
+func TestSessionEnterRollsBackOnInjectorFailure(t *testing.T) {
+	_, base := fixtures(t)
+	reg, err := volt.NewRegulator(volt.PlaneCore, volt.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &flakyUnit{}
+	s, err := NewWithHardware(base, reg, unit, Options{UndervoltMV: 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit.failNonZero = true
+	if _, err := sess.DetectProgram(nil); err == nil {
+		t.Fatal("enter must fail when the injector rejects the rate")
+	}
+	// The plane must have been rolled back to nominal: a failed enter
+	// may never leave the system undervolted with entered == false.
+	if !sess.AtNominal() {
+		t.Fatalf("partial enter leaked an undervolted plane: depth %v mV", reg.UndervoltMV())
+	}
+	if sess.entered {
+		t.Error("entered flag set after failed enter")
+	}
+	// The session recovers once the injector does.
+	unit.failNonZero = false
+	if err := sess.enter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.exit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionExitNeverWedges(t *testing.T) {
+	_, base := fixtures(t)
+	reg, err := volt.NewRegulator(volt.PlaneCore, volt.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := &flakyUnit{}
+	s, err := NewWithHardware(base, reg, unit, Options{UndervoltMV: 130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.enter(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlock the regulator out from under the session so exit's
+	// voltage restore fails, then relock: the protocol state must
+	// have cleared anyway, and the next cycle must work.
+	if err := reg.Unlock(Owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Lock("intruder"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.exit(); err == nil {
+		t.Fatal("exit with a stolen lock must report the failure")
+	}
+	if sess.entered {
+		t.Error("failed exit wedged the session")
+	}
+	if err := reg.Unlock("intruder"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Lock(Owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.ForceNominal(); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.AtNominal() {
+		t.Error("ForceNominal did not restore nominal")
+	}
+}
+
+func TestSessionConcurrentDetections(t *testing.T) {
+	d, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.1, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the session from many goroutines; run under -race this
+	// verifies the enter/infer/exit protocol serializes correctly and
+	// the entered flag is never corrupted.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		prog := d.Programs[g%len(d.Programs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				dec, err := sess.DetectProgram(prog.Windows)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if dec.Score < 0 || dec.Score > 1 {
+					t.Errorf("score = %v", dec.Score)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !sess.AtNominal() {
+		t.Error("voltage not nominal after concurrent detections")
+	}
+	if s.ErrorRate() != 0 {
+		t.Errorf("injector rate after concurrent detections = %v", s.ErrorRate())
+	}
+}
+
+func TestSessionRecalibrate(t *testing.T) {
+	_, base := fixtures(t)
+	s, err := New(base, Options{ErrorRate: 0.1, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldDepth := sess.Depth()
+	// Hotter silicon: the same rate needs a shallower depth.
+	if err := s.Regulator().SetTemperature(volt.ReferenceTempC + 30); err != nil {
+		t.Fatal(err)
+	}
+	depth, err := sess.Recalibrate(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth >= oldDepth {
+		t.Errorf("recalibrated depth %v not shallower than %v", depth, oldDepth)
+	}
+	if sess.Depth() != depth {
+		t.Errorf("session depth %v != returned %v", sess.Depth(), depth)
+	}
+	if !sess.AtNominal() {
+		t.Error("recalibration outside detection must leave the plane nominal")
+	}
+	// Unreachable rate propagates the calibration error.
+	if _, err := sess.Recalibrate(math.NaN()); err == nil {
+		t.Error("NaN rate must be rejected")
 	}
 }

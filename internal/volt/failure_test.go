@@ -1,0 +1,125 @@
+package volt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Failure-path coverage for the regulator: the supervisor work in
+// internal/core leans on these exact error behaviors, so they are
+// pinned here at the device level.
+
+func TestLockContentionSequences(t *testing.T) {
+	r := newTestRegulator(t)
+	if err := r.Lock("hmd"); err != nil {
+		t.Fatal(err)
+	}
+	// A contended CalibrateToRate is rejected before touching state.
+	if _, err := r.CalibrateToRate("intruder", 0.1); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("contended calibrate err = %v", err)
+	}
+	if r.UndervoltMV() != 0 {
+		t.Errorf("rejected calibrate moved the depth to %v", r.UndervoltMV())
+	}
+	// Lock hand-off: unlock then relock by a new owner works, and the
+	// old owner loses write access.
+	if err := r.Unlock("hmd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Lock("next"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetUndervolt("hmd", 50); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("stale owner write err = %v", err)
+	}
+	// ErrLocked carries the holder for diagnostics.
+	err := r.Lock("hmd")
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("relock err = %v", err)
+	}
+	// An unlocked regulator accepts writes from anyone (no trusted
+	// control armed yet) — the deployment must lock before relying on
+	// the defense.
+	if err := r.Unlock("next"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetUndervolt("anyone", 100); err != nil {
+		t.Errorf("unlocked write err = %v", err)
+	}
+}
+
+func TestCalibrateToRateUnreachable(t *testing.T) {
+	r := newTestRegulator(t)
+	for _, rate := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := r.CalibrateToRate("hmd", rate); err == nil {
+			t.Errorf("rate %v must be unreachable", rate)
+		}
+		if r.UndervoltMV() != 0 {
+			t.Errorf("failed calibration moved the depth to %v", r.UndervoltMV())
+		}
+	}
+	// Rate 0 parks at the guard band: no timing path fails there.
+	depth, err := r.CalibrateToRate("hmd", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != r.Profile().GuardBandMV {
+		t.Errorf("rate-0 depth = %v, want guard band %v", depth, r.Profile().GuardBandMV)
+	}
+	if r.ErrorRate() != 0 {
+		t.Errorf("rate at guard band = %v", r.ErrorRate())
+	}
+	// Rate 1 is only reached asymptotically: the calibration clamps
+	// just inside the freeze depth instead of freezing the system.
+	depth, err = r.CalibrateToRate("hmd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth >= r.Profile().FreezeMV {
+		t.Errorf("rate-1 depth %v at or beyond freeze %v", depth, r.Profile().FreezeMV)
+	}
+	if r.ErrorRate() >= 1 {
+		t.Errorf("rate at clamped depth = %v", r.ErrorRate())
+	}
+	// A rate below the guard-band floor clamps to the guard band
+	// rather than reporting an error: the curve cannot go lower.
+	depth, err = r.CalibrateToRate("hmd", 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != r.Profile().GuardBandMV {
+		t.Errorf("tiny-rate depth = %v, want guard band %v", depth, r.Profile().GuardBandMV)
+	}
+}
+
+func TestSetUndervoltBeyondCrashMargin(t *testing.T) {
+	r := newTestRegulator(t)
+	freeze := r.Profile().FreezeMV
+	// At or beyond the freeze depth the write is refused and the
+	// previous depth survives.
+	if err := r.SetUndervolt("hmd", 130); err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []float64{freeze, freeze + 1, freeze * 10} {
+		if err := r.SetUndervolt("hmd", depth); !errors.Is(err, ErrWouldFreeze) {
+			t.Errorf("depth %v err = %v, want ErrWouldFreeze", depth, err)
+		}
+		if r.UndervoltMV() != 130 {
+			t.Errorf("refused write moved the depth to %v", r.UndervoltMV())
+		}
+	}
+	// Just inside the freeze depth is legal — the crash-margin policy
+	// lives a layer up (internal/chaos models the actual crash risk).
+	if err := r.SetUndervolt("hmd", freeze-0.5); err != nil {
+		t.Errorf("depth just inside freeze refused: %v", err)
+	}
+	// The MSR path enforces the same ceiling.
+	msr, err := EncodeOffsetWrite(PlaneCore, -(freeze + 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteMSR("hmd", msr); !errors.Is(err, ErrWouldFreeze) {
+		t.Errorf("MSR freeze write err = %v", err)
+	}
+}
