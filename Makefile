@@ -4,6 +4,7 @@
 #   make test     tier-1 tests
 #   make race     suite under the race detector
 #   make verify   vet + build + test + race, in that order
+#   make bench    A/B inference benchmarks -> BENCH_inference.json
 #
 # The race pass is part of `verify` because the deployment layer
 # (core.Session / core.Supervisor / chaos.Env) is explicitly
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify
+.PHONY: build test race vet verify bench
 
 build:
 	$(GO) build ./...
@@ -32,3 +33,10 @@ vet:
 
 verify: vet build test race
 	@echo "verify: OK"
+
+# bench regenerates BENCH_inference.json: ns/op, muls/s and allocs/op
+# for the fused vs scalar exact kernels and the skip-ahead vs
+# per-multiplication Bernoulli fault injectors, plus the headline
+# speedup ratios.
+bench:
+	$(GO) run ./cmd/bench -count 3 -out BENCH_inference.json

@@ -20,6 +20,7 @@ import (
 	"shmd/internal/experiments"
 	"shmd/internal/faults"
 	"shmd/internal/fxp"
+	"shmd/internal/hmd"
 	"shmd/internal/rng"
 	"shmd/internal/trace"
 )
@@ -309,6 +310,116 @@ func BenchmarkExactMul(b *testing.B) {
 		sink += u.Mul(fxp.Value(i), 12345)
 	}
 	_ = sink
+}
+
+// scalarUnit hides a unit's BulkUnit implementation, forcing fxp.Dot
+// down the per-element scalar loop — the pre-fused-kernel code path,
+// kept measurable for A/B comparison.
+type scalarUnit struct{ u fxp.Unit }
+
+func (s scalarUnit) Mul(a, b fxp.Value) fxp.Product { return s.u.Mul(a, b) }
+
+// benchInput builds a deterministic input vector for the deployed
+// network.
+func benchInput(n int) []float64 {
+	in := make([]float64, n)
+	r := rng.NewRand(0xB13)
+	for i := range in {
+		in[i] = r.Float64()
+	}
+	return in
+}
+
+// BenchmarkInferenceExactFused measures one exact forward pass through
+// the fused MAC kernel (the BulkUnit fast path).
+func BenchmarkInferenceExactFused(b *testing.B) {
+	e := env(b)
+	fn := e.Base.Fixed().Clone()
+	in := benchInput(fn.NumInputs())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Run(fxp.Exact{}, in)
+	}
+	b.ReportMetric(float64(fn.NumMuls())*float64(b.N)/b.Elapsed().Seconds(), "muls/s")
+}
+
+// BenchmarkInferenceExactScalar is the same pass through the scalar
+// per-element reference loop.
+func BenchmarkInferenceExactScalar(b *testing.B) {
+	e := env(b)
+	fn := e.Base.Fixed().Clone()
+	in := benchInput(fn.NumInputs())
+	u := scalarUnit{fxp.Exact{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Run(u, in)
+	}
+	b.ReportMetric(float64(fn.NumMuls())*float64(b.N)/b.Elapsed().Seconds(), "muls/s")
+}
+
+// BenchmarkInferenceFaultySkipAhead measures one undervolted forward
+// pass at the operating point through the geometric skip-ahead
+// injector (fused kernel between fault sites).
+func BenchmarkInferenceFaultySkipAhead(b *testing.B) {
+	e := env(b)
+	fn := e.Base.Fixed().Clone()
+	in := benchInput(fn.NumInputs())
+	inj, err := faults.NewInjector(experiments.OperatingErrorRate, nil, rng.NewRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Run(inj, in)
+	}
+	b.ReportMetric(float64(fn.NumMuls())*float64(b.N)/b.Elapsed().Seconds(), "muls/s")
+}
+
+// BenchmarkInferenceFaultyBernoulli is the same undervolted pass
+// through the per-multiplication Bernoulli reference injector (one RNG
+// draw per mul, scalar loop).
+func BenchmarkInferenceFaultyBernoulli(b *testing.B) {
+	e := env(b)
+	fn := e.Base.Fixed().Clone()
+	in := benchInput(fn.NumInputs())
+	inj, err := faults.NewBernoulliInjector(experiments.OperatingErrorRate, nil, rng.NewRand(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn.Run(inj, in)
+	}
+	b.ReportMetric(float64(fn.NumMuls())*float64(b.N)/b.Elapsed().Seconds(), "muls/s")
+}
+
+// BenchmarkEvaluateSharded measures a full stochastic evaluation over
+// the test corpus through the program-sharded parallel path.
+func BenchmarkEvaluateSharded(b *testing.B) {
+	e := env(b)
+	s, err := e.Stochastic(experiments.OperatingErrorRate, 0xE7A1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := e.Test()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hmd.Evaluate(s, test)
+	}
+}
+
+// BenchmarkEvaluateSerial is the same evaluation pinned to one worker.
+func BenchmarkEvaluateSerial(b *testing.B) {
+	e := env(b)
+	s, err := e.Stochastic(experiments.OperatingErrorRate, 0xE7A1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test := e.Test()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hmd.EvaluateParallel(s, test, 1)
+	}
 }
 
 // BenchmarkTraceGeneration measures synthesizing and tracing one

@@ -1,0 +1,225 @@
+// Command bench measures the inference hot paths A/B — fused vs scalar
+// exact kernels, geometric skip-ahead vs per-multiplication Bernoulli
+// fault injection, sharded vs serial evaluation — and writes the
+// results to a JSON file (BENCH_inference.json by default) so the
+// speedups are recorded alongside the code that produced them.
+//
+// Usage:
+//
+//	bench [-scale quick|full] [-seed N] [-count N] [-out BENCH_inference.json]
+//
+// Each benchmark is run -count times through testing.Benchmark and the
+// fastest repetition is kept (per-machine noise only ever slows a run
+// down). Speedups are computed within the same report, so the pairs
+// share the trained network, the input vector, and the machine state.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"shmd/internal/experiments"
+	"shmd/internal/faults"
+	"shmd/internal/fxp"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+)
+
+// Result is one benchmark row of the report.
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// MulsPerSec is the multiply-accumulate throughput (0 for the
+	// corpus-level evaluation rows, where ops are evaluations).
+	MulsPerSec  float64 `json:"muls_per_sec,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Speedups are the headline ratios of the A/B pairs.
+type Speedups struct {
+	// ExactFusedVsScalar is scalar-loop ns/op over fused-kernel ns/op
+	// for a nominal-voltage forward pass.
+	ExactFusedVsScalar float64 `json:"exact_fused_vs_scalar"`
+	// FaultySkipAheadVsBernoulli is per-mul-Bernoulli ns/op over
+	// skip-ahead ns/op for an undervolted forward pass at the
+	// operating error rate.
+	FaultySkipAheadVsBernoulli float64 `json:"faulty_skipahead_vs_bernoulli"`
+	// EvaluateShardedVsSerial is 1-worker ns/op over sharded ns/op for
+	// a full test-corpus stochastic evaluation.
+	EvaluateShardedVsSerial float64 `json:"evaluate_sharded_vs_serial"`
+}
+
+// Report is the JSON document written to -out.
+type Report struct {
+	Scale     string  `json:"scale"`
+	Seed      uint64  `json:"seed"`
+	ErrorRate float64 `json:"error_rate"`
+	// NumMuls is the multiplication count of one forward pass through
+	// the deployed network (weights including bias terms).
+	NumMuls   int      `json:"num_muls"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Count     int      `json:"count"`
+	Results   []Result `json:"results"`
+	Speedups  Speedups `json:"speedups"`
+}
+
+// scalarUnit hides a unit's BulkUnit implementation, forcing fxp.Dot
+// down the per-element scalar loop — the pre-fused-kernel code path.
+type scalarUnit struct{ u fxp.Unit }
+
+func (s scalarUnit) Mul(a, b fxp.Value) fxp.Product { return s.u.Mul(a, b) }
+
+// measure runs f through testing.Benchmark count times and keeps the
+// fastest repetition.
+func measure(name string, count int, f func(b *testing.B)) Result {
+	best := Result{Name: name}
+	for i := 0; i < count; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			f(b)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if best.Iterations == 0 || ns < best.NsPerOp {
+			best.NsPerOp = ns
+			best.AllocsPerOp = r.AllocsPerOp()
+			best.BytesPerOp = r.AllocedBytesPerOp()
+			best.Iterations = r.N
+		}
+	}
+	return best
+}
+
+// run executes the whole A/B suite and assembles the report.
+func run(scale experiments.Scale, count int) (*Report, error) {
+	env, err := experiments.NewEnv(scale, 0)
+	if err != nil {
+		return nil, err
+	}
+	fn := env.Base.Fixed().Clone()
+	in := make([]float64, fn.NumInputs())
+	r := rng.NewRand(0xB13)
+	for i := range in {
+		in[i] = r.Float64()
+	}
+	muls := fn.NumMuls()
+
+	skip, err := faults.NewInjector(experiments.OperatingErrorRate, nil, rng.NewRand(2))
+	if err != nil {
+		return nil, err
+	}
+	bern, err := faults.NewBernoulliInjector(experiments.OperatingErrorRate, nil, rng.NewRand(2))
+	if err != nil {
+		return nil, err
+	}
+	stoch, err := env.Stochastic(experiments.OperatingErrorRate, 0xE7A1)
+	if err != nil {
+		return nil, err
+	}
+	test := env.Test()
+
+	forwardPass := func(u fxp.Unit) func(b *testing.B) {
+		net := fn.Clone()
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.Run(u, in)
+			}
+		}
+	}
+
+	rep := &Report{
+		Scale:     scale.Name,
+		Seed:      scale.Seed,
+		ErrorRate: experiments.OperatingErrorRate,
+		NumMuls:   muls,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Count:     count,
+	}
+	add := func(res Result, withMuls bool) Result {
+		if withMuls {
+			res.MulsPerSec = float64(muls) / (res.NsPerOp * 1e-9)
+		}
+		rep.Results = append(rep.Results, res)
+		return res
+	}
+
+	fused := add(measure("inference_exact_fused", count, forwardPass(fxp.Exact{})), true)
+	scalar := add(measure("inference_exact_scalar", count, forwardPass(scalarUnit{fxp.Exact{}})), true)
+	faulty := add(measure("inference_faulty_skipahead", count, forwardPass(skip)), true)
+	bernoulli := add(measure("inference_faulty_bernoulli", count, forwardPass(scalarUnit{bern})), true)
+	sharded := add(measure("evaluate_sharded", count, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hmd.Evaluate(stoch, test)
+		}
+	}), false)
+	serial := add(measure("evaluate_serial_1worker", count, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hmd.EvaluateParallel(stoch, test, 1)
+		}
+	}), false)
+
+	rep.Speedups = Speedups{
+		ExactFusedVsScalar:         scalar.NsPerOp / fused.NsPerOp,
+		FaultySkipAheadVsBernoulli: bernoulli.NsPerOp / faulty.NsPerOp,
+		EvaluateShardedVsSerial:    serial.NsPerOp / sharded.NsPerOp,
+	}
+	return rep, nil
+}
+
+// write renders the report as indented JSON to path.
+func write(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	scaleName := flag.String("scale", "quick", "benchmark scale (quick|full)")
+	seed := flag.Uint64("seed", 1, "root seed")
+	count := flag.Int("count", 3, "repetitions per benchmark (fastest kept)")
+	out := flag.String("out", "BENCH_inference.json", "output JSON path")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick(*seed)
+	case "full":
+		scale = experiments.Full(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	rep, err := run(scale, *count)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := write(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-28s %12.1f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.MulsPerSec > 0 {
+			fmt.Printf("  %8.1f Mmuls/s", r.MulsPerSec/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("exact fused vs scalar:        %.2fx\n", rep.Speedups.ExactFusedVsScalar)
+	fmt.Printf("faulty skip-ahead vs bernoulli: %.2fx\n", rep.Speedups.FaultySkipAheadVsBernoulli)
+	fmt.Printf("evaluate sharded vs serial:   %.2fx\n", rep.Speedups.EvaluateShardedVsSerial)
+	fmt.Printf("wrote %s\n", *out)
+}

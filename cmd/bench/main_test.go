@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shmd/internal/experiments"
+)
+
+func TestRunAndWriteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~6 one-second benchmarks")
+	}
+	rep, err := run(experiments.Quick(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+	if rep.Speedups.ExactFusedVsScalar <= 0 || rep.Speedups.FaultySkipAheadVsBernoulli <= 0 {
+		t.Errorf("speedups not computed: %+v", rep.Speedups)
+	}
+	if rep.NumMuls <= 0 {
+		t.Errorf("NumMuls = %d", rep.NumMuls)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := write(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Speedups != rep.Speedups || len(back.Results) != len(rep.Results) {
+		t.Errorf("round-trip mismatch")
+	}
+}

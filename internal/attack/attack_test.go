@@ -218,25 +218,37 @@ func TestStochasticHMDCatchesEvasiveMalware(t *testing.T) {
 	}
 
 	// Attack the stochastic victim end to end: reverse-engineer it,
-	// craft on that proxy, test against it.
-	victim := stochasticVictim(t, base, 8)
-	stochProxy, err := ReverseEngineer(victim, attacker, REConfig{Kind: ProxyMLP, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
+	// craft on that proxy, test against it. Pooled over three
+	// independently seeded victims — a single roll is dominated by
+	// that roll's proxy quality (the same variance Fig 4 averages
+	// over), not by the defense.
+	detected, total := 0.0, 0
+	for r := uint64(0); r < 3; r++ {
+		victim := stochasticVictim(t, base, 8+100*r)
+		stochProxy, err := ReverseEngineer(victim, attacker, REConfig{Kind: ProxyMLP, Seed: 7 + 100*r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stochResults, err := EvadeAll(stochProxy, targets, EvasionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(stochResults) == 0 {
+			continue
+		}
+		roll, err := DetectionRate(stochResults, victim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected += roll * float64(len(stochResults))
+		total += len(stochResults)
 	}
-	stochResults, err := EvadeAll(stochProxy, targets, EvasionConfig{})
-	if err != nil {
-		t.Fatal(err)
+	if total == 0 {
+		t.Skip("no samples evaded any stochastic proxy at test scale")
 	}
-	if len(stochResults) == 0 {
-		t.Skip("no samples evaded the stochastic proxy at test scale")
-	}
-	stochDetect, err := DetectionRate(stochResults, victim)
-	if err != nil {
-		t.Fatal(err)
-	}
+	stochDetect := detected / float64(total)
 	t.Logf("evasive-malware detection: baseline %.4f, stochastic %.4f (n=%d/%d)",
-		baseDetect, stochDetect, len(baseResults), len(stochResults))
+		baseDetect, stochDetect, len(baseResults), total)
 	if stochDetect <= baseDetect {
 		t.Errorf("stochastic detection %v must beat baseline %v", stochDetect, baseDetect)
 	}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"shmd/internal/faults"
 	"shmd/internal/fxp"
@@ -85,6 +86,15 @@ type StochasticHMD struct {
 	base *hmd.HMD
 	reg  Plane
 	inj  FaultUnit
+
+	// Sharded-evaluation support (hmd.ProgramSharder): the root seed
+	// and fault-location distribution from which per-program fault
+	// streams are derived. Only populated by New, where the fault unit
+	// is known to be a standard injector; detectors on caller-supplied
+	// hardware decline sharding.
+	shardable bool
+	seed      uint64
+	dist      *faults.Distribution
 }
 
 // New builds a Stochastic-HMD around base on ideal hardware: a fresh
@@ -96,11 +106,22 @@ func New(base *hmd.HMD, opts Options) (*StochasticHMD, error) {
 	if err != nil {
 		return nil, err
 	}
-	inj, err := faults.NewInjector(0, opts.Dist, rng.NewRand(opts.Seed, 0x5BD))
+	dist := opts.Dist
+	if dist == nil {
+		dist = faults.Fig1Distribution()
+	}
+	inj, err := faults.NewInjector(0, dist, rng.NewRand(opts.Seed, 0x5BD))
 	if err != nil {
 		return nil, err
 	}
-	return NewWithHardware(base, reg, inj, opts)
+	s, err := NewWithHardware(base, reg, inj, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.shardable = true
+	s.seed = opts.Seed
+	s.dist = dist
+	return s, nil
 }
 
 // NewWithHardware builds a Stochastic-HMD on caller-supplied hardware:
@@ -210,4 +231,30 @@ func (s *StochasticHMD) DetectProgram(windows []trace.WindowCounts) hmd.Decision
 	return s.base.DecideFromScores(s.ScoreWindows(windows))
 }
 
+// shardStreamLabel separates per-program evaluation fault streams from
+// the detector's own stream (label 0x5BD in New).
+const shardStreamLabel = 0x5A4D
+
+// DetectorForProgram implements hmd.ProgramSharder: an independent
+// detector for program idx whose fault stream is derived from the
+// detector's root seed, the current error rate, and idx. Evaluation
+// results are therefore a pure function of (seed, rate, programs) —
+// independent of worker count and shard order — and evaluating never
+// consumes the detector's own fault stream. Detectors built on
+// caller-supplied hardware (NewWithHardware) return nil: an arbitrary
+// FaultUnit cannot be re-derived per program.
+func (s *StochasticHMD) DetectorForProgram(idx int) hmd.Detector {
+	if !s.shardable {
+		return nil
+	}
+	rate := s.inj.Rate()
+	inj, err := faults.NewInjector(rate, s.dist,
+		rng.NewRand(s.seed, shardStreamLabel, math.Float64bits(rate), uint64(idx)))
+	if err != nil {
+		return nil
+	}
+	return s.base.WithUnit(inj)
+}
+
 var _ hmd.Detector = (*StochasticHMD)(nil)
+var _ hmd.ProgramSharder = (*StochasticHMD)(nil)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"shmd/internal/dataset"
+	"shmd/internal/faults"
 	"shmd/internal/hmd"
 	"shmd/internal/rng"
 	"shmd/internal/stats"
@@ -70,6 +71,12 @@ func AccuracySweep(base *hmd.HMD, programs []dataset.TracedProgram, rates []floa
 // ConfidenceDistributions computes the Fig 2(b) view: the distribution
 // of program-level malware-class confidence for benign samples and for
 // malware samples, at a given error rate, pooled over repeats.
+//
+// Work is sharded over every (repeat, program) cell: each cell scores
+// through its own injector on a stream derived from (seed, repeat,
+// program index), so the pooled histograms are a pure function of the
+// arguments — independent of GOMAXPROCS and of the order shards
+// complete in.
 func ConfidenceDistributions(base *hmd.HMD, programs []dataset.TracedProgram, rate float64, repeats, bins int, seed uint64) (benign, malware *stats.Histogram, err error) {
 	if len(programs) == 0 {
 		return nil, nil, fmt.Errorf("core: no evaluation programs")
@@ -77,33 +84,30 @@ func ConfidenceDistributions(base *hmd.HMD, programs []dataset.TracedProgram, ra
 	if repeats < 1 || bins < 1 {
 		return nil, nil, fmt.Errorf("core: invalid repeats %d / bins %d", repeats, bins)
 	}
+	if rate < 0 || rate > 1 {
+		return nil, nil, fmt.Errorf("core: error rate %v outside [0,1]", rate)
+	}
 	benign = stats.NewHistogram(0, 1, bins)
 	malware = stats.NewHistogram(0, 1, bins)
-	perRepeatBenign := make([][]float64, repeats)
-	perRepeatMalware := make([][]float64, repeats)
-	if err := forEachRepeat(repeats, func(rep int) error {
-		s, err := New(base.WithFreshBuffers(), Options{
-			ErrorRate: rate,
-			Seed:      rng.DeriveSeed(seed, 0xC0F, uint64(rep)+1),
-		})
+	scores := make([]float64, repeats*len(programs))
+	if err := forEachRepeat(repeats*len(programs), func(job int) error {
+		rep, pi := job/len(programs), job%len(programs)
+		inj, err := faults.NewInjector(rate, nil,
+			rng.NewRand(seed, 0xC0F, uint64(rep)+1, uint64(pi)))
 		if err != nil {
 			return err
 		}
-		for _, p := range programs {
-			score := s.DetectProgram(p.Windows).Score
-			if p.IsMalware() {
-				perRepeatMalware[rep] = append(perRepeatMalware[rep], score)
-			} else {
-				perRepeatBenign[rep] = append(perRepeatBenign[rep], score)
-			}
-		}
+		scores[job] = base.WithUnit(inj).DetectProgram(programs[pi].Windows).Score
 		return nil
 	}); err != nil {
 		return nil, nil, err
 	}
-	for rep := 0; rep < repeats; rep++ {
-		benign.AddAll(perRepeatBenign[rep])
-		malware.AddAll(perRepeatMalware[rep])
+	for job, score := range scores {
+		if programs[job%len(programs)].IsMalware() {
+			malware.Add(score)
+		} else {
+			benign.Add(score)
+		}
 	}
 	return benign, malware, nil
 }

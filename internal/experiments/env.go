@@ -30,6 +30,13 @@ type Scale struct {
 	EvadeTargets int
 	// ProxyEpochs bounds reverse-engineering training.
 	ProxyEpochs int
+	// AttackRepeats is how many independent stochastic victims the
+	// transferability experiment (Fig 4) attacks per cell, averaging
+	// the success rate. One roll is extremely high-variance: the
+	// reverse-engineered proxy's quality — and with it the crafted
+	// samples' depth past the decision boundary — swings the per-cell
+	// rate between 0 and 1 at quick scale.
+	AttackRepeats int
 	// Rotations is how many of the three cross-validation rotations
 	// to run (the paper uses all three).
 	Rotations int
@@ -40,14 +47,15 @@ type Scale struct {
 // Quick is the test-sized scale.
 func Quick(seed uint64) Scale {
 	return Scale{
-		Name:         "quick",
-		Dataset:      dataset.QuickConfig(seed),
-		SweepRepeats: 5,
-		ConfRepeats:  5,
-		EvadeTargets: 30,
-		ProxyEpochs:  60,
-		Rotations:    1,
-		Seed:         seed,
+		Name:          "quick",
+		Dataset:       dataset.QuickConfig(seed),
+		SweepRepeats:  5,
+		ConfRepeats:   5,
+		EvadeTargets:  30,
+		ProxyEpochs:   60,
+		AttackRepeats: 3,
+		Rotations:     1,
+		Seed:          seed,
 	}
 }
 
@@ -55,14 +63,15 @@ func Quick(seed uint64) Scale {
 // sweeps, 3-fold cross-validation.
 func Full(seed uint64) Scale {
 	return Scale{
-		Name:         "full",
-		Dataset:      dataset.PaperConfig(seed),
-		SweepRepeats: 50,
-		ConfRepeats:  20,
-		EvadeTargets: 200,
-		ProxyEpochs:  150,
-		Rotations:    3,
-		Seed:         seed,
+		Name:          "full",
+		Dataset:       dataset.PaperConfig(seed),
+		SweepRepeats:  50,
+		ConfRepeats:   20,
+		EvadeTargets:  200,
+		ProxyEpochs:   150,
+		AttackRepeats: 3,
+		Rotations:     3,
+		Seed:          seed,
 	}
 }
 

@@ -119,8 +119,21 @@ type Fig4Row struct {
 // Fig4 runs the transferability experiment: evasive malware is crafted
 // against each cell's proxy (reverse-engineered from the respective
 // victim) and its success rate in evading that victim is measured.
+//
+// The stochastic half of each cell is averaged over
+// Scale.AttackRepeats independently seeded victims (each with its own
+// reverse-engineered proxy and crafted samples). A single roll is a
+// near-Bernoulli draw per cell — proxy quality decides whether the
+// crafted samples clear the victim's noisy boundary, so cell rates
+// swing between 0 and 1 across seeds; averaging rolls measures the
+// defense, not the roll. The baseline victim is deterministic, so its
+// half needs no repeats.
 func Fig4(env *Env) ([]Fig4Row, *Table, error) {
 	targets := env.TestMalware(env.Scale.EvadeTargets)
+	repeats := env.Scale.AttackRepeats
+	if repeats < 1 {
+		repeats = 1
+	}
 	t := &Table{
 		Title:   "Fig 4 — 'transferability attack' success rate",
 		Headers: []string{"proxy", "attacker data", "baseline HMD", "Stochastic-HMD"},
@@ -128,6 +141,7 @@ func Fig4(env *Env) ([]Fig4Row, *Table, error) {
 			fmt.Sprintf("Stochastic-HMD at error rate %.2f; persistent detection over %d classifications",
 				OperatingErrorRate, attack.PersistentRuns),
 			fmt.Sprintf("%d malware targets per cell", len(targets)),
+			fmt.Sprintf("stochastic column averaged over %d victim re-rolls per cell", repeats),
 		},
 	}
 	var rows []Fig4Row
@@ -148,32 +162,41 @@ func Fig4(env *Env) ([]Fig4Row, *Table, error) {
 			}
 		}
 
-		victim, err := env.Stochastic(OperatingErrorRate, uint64(400+i))
-		if err != nil {
-			return nil, nil, err
-		}
-		stochProxy, err := reverseEngineerCell(env, victim, cell, uint64(500+i))
-		if err != nil {
-			return nil, nil, err
-		}
-		stochResults, err := attack.EvadeAll(stochProxy, targets, attack.EvasionConfig{})
-		if err != nil {
-			return nil, nil, err
-		}
 		stochTrans := 0.0
-		if len(stochResults) > 0 {
-			stochTrans, err = attack.Transferability(stochResults, victim)
+		stochSamples := 0
+		for r := 0; r < repeats; r++ {
+			// Each roll gets its own victim stream and proxy-training
+			// stream; the +1000*r offsets keep the labels disjoint from
+			// every other cell and roll.
+			victim, err := env.Stochastic(OperatingErrorRate, uint64(400+i+1000*r))
 			if err != nil {
 				return nil, nil, err
 			}
+			stochProxy, err := reverseEngineerCell(env, victim, cell, uint64(500+i+1000*r))
+			if err != nil {
+				return nil, nil, err
+			}
+			stochResults, err := attack.EvadeAll(stochProxy, targets, attack.EvasionConfig{})
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(stochResults) > 0 {
+				roll, err := attack.Transferability(stochResults, victim)
+				if err != nil {
+					return nil, nil, err
+				}
+				stochTrans += roll
+			}
+			stochSamples += len(stochResults)
 		}
+		stochTrans /= float64(repeats)
 
 		rows = append(rows, Fig4Row{
 			Cell:              cell,
 			Baseline:          baseTrans,
 			Stochastic:        stochTrans,
 			BaselineSamples:   len(baseResults),
-			StochasticSamples: len(stochResults),
+			StochasticSamples: stochSamples,
 		})
 		t.AddRow(cell.Kind.String(), cell.dataName(), pct(baseTrans), pct(stochTrans))
 	}

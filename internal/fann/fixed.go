@@ -78,11 +78,14 @@ func (fn *FixedNetwork) NumOutputs() int { return fn.layers[len(fn.layers)-1] }
 
 // NumMuls returns the number of multiplications one forward pass
 // issues — the quantity the TRNG-overhead comparison charges one RNG
-// query per (a MAC per weight, biases excluded).
+// query per. Each neuron's MAC row is fanIn+1 long because the bias is
+// a constant-1 input that multiplies like any other weight (FANN's
+// representation), so bias multiplications are included; the count
+// equals exactly what a fault injector observes over one Run.
 func (fn *FixedNetwork) NumMuls() int {
 	total := 0
 	for l := 0; l < len(fn.weights); l++ {
-		total += fn.layers[l] * fn.layers[l+1]
+		total += (fn.layers[l] + 1) * fn.layers[l+1]
 	}
 	return total
 }

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"shmd/internal/fxp"
@@ -41,6 +42,20 @@ func (c Counters) BitRates() [ProductBits]float64 {
 // suffer stochastic single-bit timing-violation flips at a configured
 // error rate, with locations drawn from a Distribution.
 //
+// Fault sites are sampled by geometric skip-ahead: instead of one
+// Bernoulli(rate) draw per multiplication, the injector draws the gap
+// to the *next* faulty multiplication from Geometric(rate) and runs
+// exactly until that site. Because a sequence of i.i.d. Bernoulli(p)
+// trials has i.i.d. Geometric(p) gaps between successes, the per-mul
+// fault process is distributionally identical to the per-mul draw
+// (DESIGN.md §9 gives the argument; BernoulliInjector keeps the
+// per-mul reference implementation, and a statistical test holds the
+// two to the same observed rate and per-bit distribution) while the
+// RNG cost drops from O(muls) to O(faults). The injector also
+// implements fxp.BulkUnit, running the fused exact kernel between
+// fault sites, so a whole MAC row at the paper's operating points
+// costs barely more than exact inference.
+//
 // An Injector is not safe for concurrent use; give each goroutine its
 // own (they are cheap, and independent streams keep runs reproducible).
 type Injector struct {
@@ -48,6 +63,80 @@ type Injector struct {
 	dist  *Distribution
 	rnd   *rand.Rand
 	stats Counters
+	// gap is the number of fault-free multiplications remaining before
+	// the next fault site. Negative means "not drawn yet": the gap is
+	// drawn lazily so construction consumes no randomness, and SetRate
+	// invalidates it so a pending gap never outlives the rate it was
+	// drawn for.
+	gap int64
+	// invLog1mRate caches 1/ln(1-rate), the constant factor of the
+	// geometric inversion (0 when rate is 0 or 1 and no draw happens).
+	invLog1mRate float64
+	// gapTable is the O(1) geometric sampler for the current rate, nil
+	// when the rate is too small to tabulate (or 0/1, where no draw is
+	// needed). See newGeomTable.
+	gapTable *geomTable
+}
+
+// Geometric gap-table parameters: 512 alias rows indexed by 9 random
+// bits, leaving 23 bits of acceptance fraction from a 32-bit half of
+// one RNG output. Rows 0..510 are exact gaps; row 511 is the tail
+// "gap ≥ 511", which adds 511 and resamples (geometric tails are
+// geometric). Below gapTableMinRate the tail is hit often enough that
+// the log-inversion sampler is used instead — at those rates faults
+// are so rare the per-fault log cost is irrelevant anyway.
+const (
+	gapTableBits    = 9
+	gapTableSize    = 1 << gapTableBits
+	gapTableTail    = gapTableSize - 1
+	gapFracBits     = 32 - gapTableBits
+	gapFracMask     = 1<<gapFracBits - 1
+	gapTableMinRate = 1.0 / 128
+)
+
+// geomTable is a Walker alias table over the (truncated) Geometric(p)
+// gap law. Sampling costs one table row per 32 random bits — no log,
+// no division, no data-dependent search.
+type geomTable struct {
+	prob  [gapTableSize]float64
+	alias [gapTableSize]uint16
+}
+
+// newGeomTable tabulates Geometric(rate) for rate in
+// [gapTableMinRate, 1).
+func newGeomTable(rate float64) *geomTable {
+	w := make([]float64, gapTableSize)
+	q := 1.0
+	for k := 0; k < gapTableTail; k++ {
+		w[k] = rate * q
+		q *= 1 - rate
+	}
+	w[gapTableTail] = q // P(gap >= gapTableTail)
+	t := &geomTable{}
+	prob, alias := aliasBuild(w)
+	copy(t.prob[:], prob)
+	for i, a := range alias {
+		t.alias[i] = uint16(a)
+	}
+	return t
+}
+
+// next samples a gap from 32 pre-drawn random bits, pulling fresh
+// draws only on the (rare) tail rows.
+func (t *geomTable) next(u uint32, rnd *rand.Rand) int64 {
+	var base int64
+	for {
+		i := u >> gapFracBits
+		k := int64(i)
+		if float64(u&gapFracMask)*(1.0/(1<<gapFracBits)) >= t.prob[i] {
+			k = int64(t.alias[i])
+		}
+		if k < gapTableTail {
+			return base + k
+		}
+		base += gapTableTail
+		u = uint32(rnd.Uint64() >> 32)
+	}
 }
 
 // NewInjector builds an injector with the given per-multiplication
@@ -63,19 +152,41 @@ func NewInjector(rate float64, dist *Distribution, rnd *rand.Rand) (*Injector, e
 	if dist == nil {
 		dist = Fig1Distribution()
 	}
-	return &Injector{rate: rate, dist: dist, rnd: rnd}, nil
+	// gap -2 marks a never-configured injector so the SetRate below
+	// always initializes, even for rate 0 (the zero value of rate).
+	in := &Injector{dist: dist, rnd: rnd, gap: -2}
+	if err := in.SetRate(rate); err != nil {
+		return nil, err
+	}
+	return in, nil
 }
 
 // Rate returns the configured per-multiplication error rate.
 func (in *Injector) Rate() float64 { return in.rate }
 
 // SetRate changes the error rate; the voltage regulator calls this when
-// the supply voltage (and hence the fault rate) changes.
+// the supply voltage (and hence the fault rate) changes. Any pending
+// fault gap is discarded — it was drawn from the old rate's geometric
+// distribution. Re-setting the identical rate is a no-op: the pending
+// gap stays valid (a geometric gap in progress is exactly the state of
+// the equivalent Bernoulli stream), and the gap table is not rebuilt.
 func (in *Injector) SetRate(rate float64) error {
 	if rate < 0 || rate > 1 {
 		return fmt.Errorf("faults: error rate %v outside [0,1]", rate)
 	}
+	if rate == in.rate && in.gap >= -1 {
+		return nil
+	}
 	in.rate = rate
+	in.gap = -1
+	in.invLog1mRate = 0
+	in.gapTable = nil
+	if rate > 0 && rate < 1 {
+		in.invLog1mRate = 1 / math.Log1p(-rate)
+		if rate >= gapTableMinRate {
+			in.gapTable = newGeomTable(rate)
+		}
+	}
 	return nil
 }
 
@@ -85,16 +196,192 @@ func (in *Injector) Stats() Counters { return in.stats }
 // ResetStats clears the injection counters.
 func (in *Injector) ResetStats() { in.stats = Counters{} }
 
-// Mul multiplies two fixed-point values, then — with probability equal
-// to the error rate — flips one product bit sampled from the
-// fault-location distribution. The flip is an XOR of the chosen bit,
-// exactly how a timing violation manifests: the latch captures a stale
-// value for that output line.
+// drawGap samples Geometric(rate): the number of fault-free
+// multiplications before the next faulty one. With the gap table
+// active this is two table lookups on 32 random bits; otherwise it
+// inverts the geometric CDF: K = floor(ln(U)/ln(1-rate)) with U
+// uniform on (0, 1) has P(K = k) = (1-rate)^k * rate, exactly the gap
+// law of an i.i.d. Bernoulli(rate) fault sequence (the 1/ln(1-rate)
+// factor is cached by SetRate).
+func (in *Injector) drawGap() int64 {
+	if in.rate >= 1 {
+		return 0
+	}
+	if in.gapTable != nil {
+		return in.gapTable.next(uint32(in.rnd.Uint64()>>32), in.rnd)
+	}
+	u := in.rnd.Float64()
+	if u == 0 {
+		return math.MaxInt64
+	}
+	k := math.Log(u) * in.invLog1mRate
+	if k >= float64(math.MaxInt64) {
+		return math.MaxInt64
+	}
+	return int64(k)
+}
+
+// fault applies one single-bit timing-violation fault to p — an XOR of
+// a bit sampled from the fault-location distribution, exactly how a
+// timing violation manifests (the latch captures a stale value for
+// that output line) — and draws the gap to the next fault site. With
+// the gap table active, one 64-bit RNG output covers both: the low 32
+// bits pick the bit, the high 32 the gap. This fused draw is the whole
+// per-fault cost of the skip-ahead sampler.
+func (in *Injector) fault(p fxp.Product) fxp.Product {
+	var bit int
+	if in.gapTable != nil {
+		r := in.rnd.Uint64()
+		bit = in.dist.sampleBits32(uint32(r))
+		in.gap = in.gapTable.next(uint32(r>>32), in.rnd)
+	} else {
+		bit = in.dist.Sample(in.rnd)
+		in.gap = in.drawGap()
+	}
+	in.stats.Faults++
+	in.stats.PerBit[bit]++
+	return p ^ fxp.Product(1)<<uint(bit)
+}
+
+// Mul multiplies two fixed-point values, faulting when the
+// multiplication counter reaches the sampled next fault site.
 func (in *Injector) Mul(a, b fxp.Value) fxp.Product {
 	p := fxp.Product(int64(a) * int64(b))
 	in.stats.Muls++
+	if in.rate <= 0 {
+		return p
+	}
+	if in.gap < 0 {
+		in.gap = in.drawGap()
+	}
+	if in.gap == 0 {
+		return in.fault(p)
+	}
+	in.gap--
+	return p
+}
+
+// DotRow implements fxp.BulkUnit: the fused exact kernel runs between
+// sampled fault sites, and only the sampled sites pay for a fault
+// draw. The RNG stream is consumed through the same helpers in the
+// same order as the scalar Mul path, so scalar and bulk execution of
+// the same multiplication sequence produce bit-identical products.
+func (in *Injector) DotRow(f fxp.Format, w, x []fxp.Value) fxp.Value {
+	n := len(w)
+	in.stats.Muls += uint64(n)
+	if in.rate <= 0 {
+		return f.ScaleProduct(fxp.AccumExact(0, w, x))
+	}
+	x = x[:n] // one bounds check for the whole row
+	a := int64(0)
+	i := 0
+	for i < n {
+		if in.gap < 0 {
+			in.gap = in.drawGap()
+		}
+		if in.gap >= int64(n-i) {
+			// No fault lands in the rest of the row. The MAC loop is
+			// the AccumExact kernel inlined: at the paper's operating
+			// rates segments average only a handful of elements, so the
+			// per-segment call and slice-header cost would rival the
+			// arithmetic.
+			in.gap -= int64(n - i)
+			for ; i < n; i++ {
+				p := int64(w[i]) * int64(x[i])
+				s := a + p
+				if (a^s)&(p^s) < 0 {
+					if a > 0 {
+						a = math.MaxInt64
+					} else {
+						a = math.MinInt64
+					}
+					continue
+				}
+				a = s
+			}
+			break
+		}
+		site := i + int(in.gap)
+		for ; i < site; i++ {
+			p := int64(w[i]) * int64(x[i])
+			s := a + p
+			if (a^s)&(p^s) < 0 {
+				if a > 0 {
+					a = math.MaxInt64
+				} else {
+					a = math.MinInt64
+				}
+				continue
+			}
+			a = s
+		}
+		fp := in.fault(fxp.Product(int64(w[site]) * int64(x[site])))
+		a = int64(fxp.SatAdd(fxp.Product(a), fp))
+		i = site + 1
+	}
+	return f.ScaleProduct(fxp.Product(a))
+}
+
+var _ fxp.Unit = (*Injector)(nil)
+var _ fxp.BulkUnit = (*Injector)(nil)
+
+// BernoulliInjector is the scalar reference implementation of the
+// undervolted multiplier: one Bernoulli(rate) draw per multiplication,
+// the direct transcription of the paper's fault model. The production
+// Injector replaces it with geometric skip-ahead sampling; this type
+// remains as the ground truth the statistical-equivalence test and the
+// A/B benchmarks compare against. It intentionally does not implement
+// fxp.BulkUnit, so it always exercises the scalar Dot path.
+type BernoulliInjector struct {
+	rate  float64
+	dist  *Distribution
+	rnd   *rand.Rand
+	stats Counters
+}
+
+// NewBernoulliInjector builds the per-mul reference injector with the
+// same parameters as NewInjector.
+func NewBernoulliInjector(rate float64, dist *Distribution, rnd *rand.Rand) (*BernoulliInjector, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("faults: error rate %v outside [0,1]", rate)
+	}
+	if rnd == nil {
+		return nil, fmt.Errorf("faults: injector needs a random stream")
+	}
+	if dist == nil {
+		dist = Fig1Distribution()
+	}
+	return &BernoulliInjector{rate: rate, dist: dist, rnd: rnd}, nil
+}
+
+// Rate returns the configured per-multiplication error rate.
+func (in *BernoulliInjector) Rate() float64 { return in.rate }
+
+// SetRate changes the error rate.
+func (in *BernoulliInjector) SetRate(rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("faults: error rate %v outside [0,1]", rate)
+	}
+	in.rate = rate
+	return nil
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *BernoulliInjector) Stats() Counters { return in.stats }
+
+// ResetStats clears the injection counters.
+func (in *BernoulliInjector) ResetStats() { in.stats = Counters{} }
+
+// Mul multiplies two fixed-point values, then — with probability equal
+// to the error rate — flips one product bit sampled from the
+// fault-location distribution. The bit is drawn with the original
+// CDF binary search, so this type is the pre-skip-ahead implementation
+// preserved end to end.
+func (in *BernoulliInjector) Mul(a, b fxp.Value) fxp.Product {
+	p := fxp.Product(int64(a) * int64(b))
+	in.stats.Muls++
 	if in.rate > 0 && in.rnd.Float64() < in.rate {
-		bit := in.dist.Sample(in.rnd)
+		bit := in.dist.sampleCDF(in.rnd)
 		p ^= fxp.Product(1) << uint(bit)
 		in.stats.Faults++
 		in.stats.PerBit[bit]++
@@ -102,7 +389,7 @@ func (in *Injector) Mul(a, b fxp.Value) fxp.Product {
 	return p
 }
 
-var _ fxp.Unit = (*Injector)(nil)
+var _ fxp.Unit = (*BernoulliInjector)(nil)
 
 // TruncatedUnit is a *deterministic* approximate multiplier that drops
 // the low DropBits of each operand before multiplying — the classic

@@ -1,0 +1,141 @@
+package fxp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// scalarOnly hides a unit's BulkUnit implementation, forcing Dot down
+// the scalar reference loop. Benchmarks and differential tests use it
+// to compare the fused fast path against the reference path.
+type scalarOnly struct{ u Unit }
+
+func (s scalarOnly) Mul(a, b Value) Product { return s.u.Mul(a, b) }
+
+// refDot is the scalar reference dot product: the exact code Dot runs
+// for a non-BulkUnit unit.
+func refDot(f Format, w, x []Value) Value {
+	return Dot(scalarOnly{Exact{}}, f, w, x)
+}
+
+func TestDotExactMatchesReferenceTargeted(t *testing.T) {
+	f := DefaultFormat
+	max, min := Value(math.MaxInt32), Value(math.MinInt32)
+	cases := [][2][]Value{
+		{{}, {}},
+		{{0}, {0}},
+		{{max}, {max}}, // single saturating-scale product
+		{{min}, {min}}, // MinInt32² = 2^62
+		{{min}, {max}}, // most negative single product
+		{{max, max, max, max}, {max, max, max, max}}, // accumulator saturates positive
+		{{min, min, min, min}, {min, min, min, min}}, // products all +2^62, saturates
+		{{max, min, max, min}, {max, max, min, min}}, // saturate then pull back
+		{{min, min, min}, {max, max, max}},           // saturates negative
+		{{max, min}, {max, max}},                     // cancel to ~0
+	}
+	// A long row that drives the accumulator to MaxInt64 and then keeps
+	// adding: SatAdd semantics (sticky until an opposite sign arrives)
+	// must match exactly.
+	long := make([][2][]Value, 0)
+	w := make([]Value, 64)
+	x := make([]Value, 64)
+	for i := range w {
+		w[i], x[i] = max, max
+	}
+	w[40], x[40] = min, max // one huge negative product mid-row
+	long = append(long, [2][]Value{w, x})
+	cases = append(cases, long...)
+
+	for i, c := range cases {
+		got := DotExact(f, c[0], c[1])
+		want := refDot(f, c[0], c[1])
+		if got != want {
+			t.Errorf("case %d: DotExact = %d, reference = %d", i, got, want)
+		}
+		// The BulkUnit fast path through Dot must take the same kernel.
+		if fast := Dot(Exact{}, f, c[0], c[1]); fast != want {
+			t.Errorf("case %d: Dot(Exact) fast path = %d, reference = %d", i, fast, want)
+		}
+	}
+}
+
+// Property: for random rows (including extreme magnitudes), the fused
+// kernel, the BulkUnit fast path, and the scalar reference agree
+// bit-exactly across formats.
+func TestDotExactMatchesReferenceProperty(t *testing.T) {
+	check := func(raw []int32, fracBits uint8) bool {
+		f := Format{FracBits: uint(fracBits%30) + 1}
+		n := len(raw) / 2
+		w := make([]Value, n)
+		x := make([]Value, n)
+		for i := 0; i < n; i++ {
+			w[i] = Value(raw[i])
+			x[i] = Value(raw[n+i])
+			// Push some elements to the extremes so saturation paths
+			// are exercised, not just the common small-value regime.
+			switch raw[i] % 7 {
+			case 1:
+				w[i] = math.MaxInt32
+			case 2:
+				w[i] = math.MinInt32
+			case 3:
+				x[i] = math.MinInt32
+			}
+		}
+		want := refDot(f, w, x)
+		return DotExact(f, w, x) == want && Dot(Exact{}, f, w, x) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzDotExact differentially fuzzes the fused exact kernel against
+// the generic scalar Dot loop, including saturation edge cases fed via
+// the seed corpus.
+func FuzzDotExact(f *testing.F) {
+	f.Add([]byte{}, uint8(12))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0xFF, 0xFF, 0xFF, 0x7F}, uint8(12))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x80, 0x00, 0x00, 0x00, 0x80}, uint8(1))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x80, 0xFF, 0xFF, 0xFF, 0x7F,
+		0x00, 0x00, 0x00, 0x80, 0x00, 0x00, 0x00, 0x80}, uint8(30))
+	f.Fuzz(func(t *testing.T, data []byte, fracBits uint8) {
+		format := Format{FracBits: uint(fracBits%30) + 1}
+		// Decode pairs of int32s: first half weights, second half inputs.
+		vals := make([]Value, len(data)/4)
+		for i := range vals {
+			v := uint32(data[4*i]) | uint32(data[4*i+1])<<8 |
+				uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+			vals[i] = Value(int32(v))
+		}
+		n := len(vals) / 2
+		w, x := vals[:n], vals[n:2*n]
+		want := refDot(format, w, x)
+		if got := DotExact(format, w, x); got != want {
+			t.Fatalf("DotExact = %d, scalar reference = %d (w=%v x=%v F=%d)",
+				got, want, w, x, format.FracBits)
+		}
+		if got := Dot(Exact{}, format, w, x); got != want {
+			t.Fatalf("Dot fast path = %d, scalar reference = %d", got, want)
+		}
+	})
+}
+
+// The accumulator-continuation kernel must compose: splitting a row at
+// any point and chaining AccumExact equals one fused pass.
+func TestAccumExactComposes(t *testing.T) {
+	f := DefaultFormat
+	w := []Value{math.MaxInt32, 12345, math.MinInt32, -987654, math.MaxInt32, 7}
+	x := []Value{math.MaxInt32, -54321, math.MaxInt32, 123456, math.MaxInt32, -7}
+	whole := AccumExact(0, w, x)
+	for split := 0; split <= len(w); split++ {
+		part := AccumExact(AccumExact(0, w[:split], x[:split]), w[split:], x[split:])
+		if part != whole {
+			t.Errorf("split at %d: %d != %d", split, part, whole)
+		}
+	}
+	if got := f.ScaleProduct(whole); got != DotExact(f, w, x) {
+		t.Error("DotExact must equal ScaleProduct(AccumExact)")
+	}
+}
