@@ -9,6 +9,8 @@
 //	shmd detect   [-seed N] [-scale quick|full] -model model.fann
 //	              [-class trojan] [-index 0] [-rate 0.1 | -undervolt 130]
 //	              [-chaos] [-supervise]
+//	shmd serve    -model model.fann [-addr 127.0.0.1:8080] [-pool 4]
+//	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
 //	shmd inspect  -model model.fann
 //
 // With -chaos the detector runs on a fault-injecting environment
@@ -47,6 +49,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "detect":
 		err = cmdDetect(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,6 +73,7 @@ commands:
   dataset   synthesize the evaluation corpus and print its composition
   train     train a baseline HMD on the victim fold and save the model
   detect    classify a program, optionally undervolted
+  serve     run the HTTP/JSON detection service off a session pool
   inspect   print a saved model's structure and footprint`)
 }
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"shmd/internal/hmd"
+	"shmd/internal/serve"
+)
+
+// serveReady, when non-nil, receives the bound listen address once the
+// service is accepting connections (tests hook it to find the port).
+var serveReady func(addr string)
+
+// cmdServe runs the long-running detection service until SIGINT or
+// SIGTERM, then shuts down gracefully: in-flight requests drain and
+// every pooled session's voltage plane rolls back to nominal.
+func cmdServe(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serveRun(ctx, args)
+}
+
+// serveRun is cmdServe with a caller-owned lifetime (tests cancel the
+// context instead of sending signals).
+func serveRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.fann", "trained model path")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	pool := fs.Int("pool", 4, "pooled detection sessions")
+	queue := fs.Int("queue", 0, "waiting requests beyond in-service before 429 (0 = 2x pool)")
+	rate := fs.Float64("rate", 0.1, "target multiplier error rate (0 = nominal)")
+	undervolt := fs.Float64("undervolt", 0, "explicit undervolt depth in mV (overrides -rate)")
+	seed := fs.Uint64("seed", 1, "root seed for the per-session fault streams")
+	withChaos := fs.Bool("chaos", false, "run sessions on fault-injecting environments")
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	det, err := hmd.LoadBundle(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Pool: serve.PoolConfig{
+			Size:      *pool,
+			ErrorRate: *rate,
+			Seed:      *seed,
+			Chaos:     *withChaos,
+		},
+		QueueDepth:  *queue,
+		EnablePprof: *withPprof,
+	}
+	if *undervolt > 0 {
+		cfg.Pool.ErrorRate = 0
+		cfg.Pool.UndervoltMV = *undervolt
+	}
+	srv, err := serve.New(det, cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	qd := cfg.QueueDepth
+	if qd == 0 {
+		qd = 2 * cfg.Pool.Size
+	}
+	fmt.Printf("shmd serve: listening on %s (pool %d, queue %d, rate %g, chaos %v)\n",
+		ln.Addr(), cfg.Pool.Size, qd, cfg.Pool.ErrorRate, cfg.Pool.Chaos)
+	if serveReady != nil {
+		serveReady(ln.Addr().String())
+	}
+	err = srv.Serve(ctx, ln)
+	fmt.Println("shmd serve: shut down, voltage planes at nominal")
+	return err
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shmd/internal/fann"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/serve"
+	"shmd/internal/trace"
+)
+
+// writeTestModel saves a small untrained (but deterministic) detector
+// bundle — the serve command only needs a loadable model, not a
+// trained one.
+func writeTestModel(t *testing.T) string {
+	t.Helper()
+	net, err := fann.New(fann.Config{
+		Layers: []int{features.DimInstrFreq, 4, 1},
+		Hidden: fann.Sigmoid,
+		Output: fann.Sigmoid,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := hmd.FromNetwork(net, hmd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.fann")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := det.SaveBundle(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCmdServe boots the service on an ephemeral port, round-trips a
+// detection, scrapes health and metrics, and shuts down via context
+// cancellation (the test stand-in for SIGTERM).
+func TestCmdServe(t *testing.T) {
+	model := writeTestModel(t)
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-pool", "2", "-seed", "3",
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	// Round-trip a detection.
+	prog, err := trace.NewProgram(trace.Trojan, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := prog.Trace(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{
+		{ID: "cli-smoke", Windows: serve.EncodeWindows(windows)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect = %d (%s)", resp.StatusCode, raw)
+	}
+	var dr serve.DetectResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if len(dr.Results) != 1 || dr.Results[0].ID != "cli-smoke" {
+		t.Fatalf("results = %+v", dr.Results)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d (%s)", path, r.StatusCode, b)
+		}
+	}
+	// pprof is off by default.
+	r, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode == http.StatusOK {
+		t.Error("pprof mounted without -pprof")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never shut down")
+	}
+}
+
+func TestCmdServeErrors(t *testing.T) {
+	if err := serveRun(context.Background(), []string{"-model", "/nonexistent/model.fann"}); err == nil {
+		t.Error("missing model must error")
+	}
+	model := writeTestModel(t)
+	if err := serveRun(context.Background(), []string{"-model", model, "-pool", "-1"}); err == nil {
+		t.Error("negative pool must error")
+	}
+	if err := serveRun(context.Background(), []string{"-model", model, "-addr", "256.0.0.1:bad"}); err == nil {
+		t.Error("bad listen address must error")
+	}
+}

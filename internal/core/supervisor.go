@@ -166,6 +166,10 @@ type Health struct {
 	Canaries       uint64
 	Drifts         uint64
 	Recalibrations uint64
+	// LastCanaryRate is the fault rate the most recent successful
+	// canary probe observed (meaningful once Canaries > 0) — the online
+	// fault-rate reading monitoring systems compare against the target.
+	LastCanaryRate float64
 }
 
 // Verdict is a supervised detection result.
@@ -333,6 +337,7 @@ func (sup *Supervisor) canary() {
 		sup.failSafe()
 		return
 	}
+	sup.h.LastCanaryRate = observed
 	lo := sup.targetRate * (1 - sup.cfg.RateTolerance)
 	hi := sup.targetRate * (1 + sup.cfg.RateTolerance)
 	if observed >= lo && observed <= hi {

@@ -3,6 +3,7 @@ package experiments
 import "testing"
 
 func TestAblationFaultDistribution(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	rows, tab, err := AblationFaultDistribution(env)
 	if err != nil {
@@ -50,6 +51,7 @@ func TestAblationDeterministicAC(t *testing.T) {
 }
 
 func TestAblationPersistence(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	rows, tab, err := AblationPersistence(env)
 	if err != nil {
@@ -74,6 +76,7 @@ func TestAblationPersistence(t *testing.T) {
 }
 
 func TestAblationAdaptiveAttacker(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	rows, tab, err := AblationAdaptiveAttacker(env)
 	if err != nil {
@@ -103,6 +106,7 @@ func TestAblationAdaptiveAttacker(t *testing.T) {
 }
 
 func TestAblationEvasionMargin(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	rows, tab, err := AblationEvasionMargin(env)
 	if err != nil {

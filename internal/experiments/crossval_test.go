@@ -3,6 +3,7 @@ package experiments
 import "testing"
 
 func TestCrossValidate(t *testing.T) {
+	skipCampaign(t)
 	scale := Quick(1)
 	scale.Rotations = 3
 	scale.SweepRepeats = 2

@@ -23,6 +23,20 @@ func quickEnv(t *testing.T) *Env {
 	return envVal
 }
 
+// skipCampaign gates the heavy attack-campaign and retraining tests
+// out of the -short fast path. `make race` runs `go test -race -short
+// ./...` over every package — including this one — so the fast path
+// must keep the concurrency-bearing tests (Fig2a/Fig2b drive the
+// sharded parallel evaluators) while shedding the multi-proxy
+// campaigns whose race-instrumented runtime would blow the package
+// timeout.
+func skipCampaign(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("attack campaign skipped with -short (race fast path runs the concurrent evaluators only)")
+	}
+}
+
 func TestScaleConfigs(t *testing.T) {
 	q := Quick(1)
 	f := Full(1)
@@ -153,6 +167,7 @@ func TestFig2b(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	rows, tab, err := Fig3(env)
 	if err != nil {

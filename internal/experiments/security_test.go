@@ -8,11 +8,8 @@ import (
 // own test functions so -run can select them independently.
 
 func TestFig4(t *testing.T) {
-	env := quickEnv(t)
-	rows, tab, err := Fig4(env)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipCampaign(t)
+	rows, tab := fig4Results(t)
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 6", len(rows))
 	}
@@ -43,11 +40,8 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig5And6(t *testing.T) {
-	env := quickEnv(t)
-	rows, fig5, fig6, err := Fig5And6(env)
-	if err != nil {
-		t.Fatal(err)
-	}
+	skipCampaign(t)
+	rows, fig5, fig6 := fig56Results(t)
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d, want 4 RHMDs + Stochastic-HMD", len(rows))
 	}
@@ -82,6 +76,7 @@ func TestFig5And6(t *testing.T) {
 }
 
 func TestFig8(t *testing.T) {
+	skipCampaign(t)
 	env := quickEnv(t)
 	// A reduced rate axis keeps the quick run fast while preserving
 	// the regions the figure annotates (area 1 vs area 2).

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"shmd/internal/trace"
+)
+
+// FuzzDetectRequestDecode drives arbitrary request bodies through the
+// decoder. Invariants: never panic; every rejection carries a 4xx
+// status (malformed input must map to a client error, not a 5xx or a
+// zero status); every accepted request survives an encode/decode
+// round-trip unchanged.
+func FuzzDetectRequestDecode(f *testing.F) {
+	// Seed with a fully valid request built from a real synthesized
+	// trace, so the fuzzer starts inside the accepted grammar...
+	prog, err := trace.NewProgram(trace.Trojan, 0, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	windows, err := prog.Trace(4, 256)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(DetectRequest{Programs: []ProgramJSON{
+		{ID: "seed", Windows: EncodeWindows(windows)},
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// ...and with representative rejections so each validation branch
+	// is in the corpus.
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"programs":[]}`))
+	f.Add([]byte(`{"programs":[{"windows":[]}]}`))
+	f.Add([]byte(`{"programs":[{"windows":[{"opcode":[1,2]}]}]}`))
+	f.Add([]byte(`{"programs":[{"windows":[{"opcode":[-1],"taken":5}]}]}`))
+	f.Add([]byte(`{"programs":[{"id":"x","windows":[{"stride":[1,2,3]}]}]}`))
+	f.Add(append(valid, []byte("{}")...))
+
+	lim := Limits{MaxPrograms: 8, MaxWindows: 16, MinWindows: 1}.withDefaults()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		programs, err := DecodeDetectRequest(bytes.NewReader(body), lim)
+		if err != nil {
+			// Rejections must map to client-error statuses.
+			if code := StatusOf(err); code < 400 || code > 499 {
+				t.Fatalf("decode error %q mapped to status %d", err, code)
+			}
+			return
+		}
+		// Accepted: the batch respects the limits...
+		if len(programs) < 1 || len(programs) > lim.MaxPrograms {
+			t.Fatalf("accepted batch of %d programs (limit %d)", len(programs), lim.MaxPrograms)
+		}
+		for _, p := range programs {
+			if len(p.Windows) < lim.MinWindows || len(p.Windows) > lim.MaxWindows {
+				t.Fatalf("accepted %d windows (limits %d..%d)", len(p.Windows), lim.MinWindows, lim.MaxWindows)
+			}
+			for _, wc := range p.Windows {
+				if wc.Total() <= 0 {
+					t.Fatalf("accepted empty window %+v", wc)
+				}
+				if wc.Taken < 0 || wc.Taken > wc.Branches() {
+					t.Fatalf("accepted taken %d outside [0, %d]", wc.Taken, wc.Branches())
+				}
+			}
+		}
+		// ...and round-trips: re-encoding and re-decoding reproduces
+		// the same window counts.
+		req := DetectRequest{}
+		for _, p := range programs {
+			req.Programs = append(req.Programs, ProgramJSON{ID: p.ID, Windows: EncodeWindows(p.Windows)})
+		}
+		encoded, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodeDetectRequest(bytes.NewReader(encoded), lim)
+		if err != nil {
+			t.Fatalf("accepted request failed round-trip: %v\nbody: %s", err, encoded)
+		}
+		if len(again) != len(programs) {
+			t.Fatalf("round-trip program count %d != %d", len(again), len(programs))
+		}
+		for i := range programs {
+			if again[i].ID != programs[i].ID {
+				t.Fatalf("program %d id %q != %q", i, again[i].ID, programs[i].ID)
+			}
+			if len(again[i].Windows) != len(programs[i].Windows) {
+				t.Fatalf("program %d window count changed", i)
+			}
+			for j := range programs[i].Windows {
+				if again[i].Windows[j] != programs[i].Windows[j] {
+					t.Fatalf("program %d window %d changed: %+v != %+v",
+						i, j, again[i].Windows[j], programs[i].Windows[j])
+				}
+			}
+		}
+	})
+}
+
+// TestStatusOf pins the error-to-status mapping the fuzz target relies
+// on.
+func TestStatusOf(t *testing.T) {
+	if got := StatusOf(&RequestError{Status: 422, Msg: "x"}); got != 422 {
+		t.Errorf("RequestError status = %d", got)
+	}
+	if got := StatusOf(&http.MaxBytesError{Limit: 1}); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("MaxBytesError status = %d", got)
+	}
+	if got := StatusOf(bytes.ErrTooLarge); got != http.StatusBadRequest {
+		t.Errorf("generic error status = %d", got)
+	}
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numLatencyBuckets sizes the fixed histogram.
+const numLatencyBuckets = 12
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache-warm inference to multi-second degraded
+// batches.
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Metrics is the service's hand-rolled counter block, rendered in the
+// Prometheus text exposition format. Hot-path updates are lock-free
+// atomics; the status-code map takes a mutex only on a code's first
+// appearance.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[int]*atomic.Uint64
+
+	decisionsMalware atomic.Uint64
+	decisionsBenign  atomic.Uint64
+	unprotected      atomic.Uint64
+	queueRejects     atomic.Uint64
+
+	latencyCount atomic.Uint64
+	latencySumNS atomic.Uint64
+	latency      [numLatencyBuckets]atomic.Uint64 // non-cumulative per-bucket counts
+	latencyOver  atomic.Uint64                    // observations above the last bound
+}
+
+// NewMetrics builds an empty counter block.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[int]*atomic.Uint64)}
+}
+
+// Request records one served HTTP request by final status code.
+func (m *Metrics) Request(code int) {
+	m.mu.Lock()
+	c, ok := m.requests[code]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.requests[code] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// Decision records one program verdict.
+func (m *Metrics) Decision(malware, unprotected bool) {
+	if malware {
+		m.decisionsMalware.Add(1)
+	} else {
+		m.decisionsBenign.Add(1)
+	}
+	if unprotected {
+		m.unprotected.Add(1)
+	}
+}
+
+// QueueReject records one request shed with a 429.
+func (m *Metrics) QueueReject() { m.queueRejects.Add(1) }
+
+// Observe records one /v1/detect latency.
+func (m *Metrics) Observe(d time.Duration) {
+	m.latencyCount.Add(1)
+	m.latencySumNS.Add(uint64(d.Nanoseconds()))
+	s := d.Seconds()
+	for i, le := range latencyBuckets {
+		if s <= le {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latencyOver.Add(1)
+}
+
+// WriteProm renders every counter plus per-session pool gauges in the
+// Prometheus text format.
+func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
+	fmt.Fprintln(w, "# HELP shmd_requests_total HTTP requests served, by final status code.")
+	fmt.Fprintln(w, "# TYPE shmd_requests_total counter")
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.requests))
+	for code := range m.requests {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	counts := make(map[int]uint64, len(codes))
+	for _, code := range codes {
+		counts[code] = m.requests[code].Load()
+	}
+	m.mu.Unlock()
+	for _, code := range codes {
+		fmt.Fprintf(w, "shmd_requests_total{code=\"%d\"} %d\n", code, counts[code])
+	}
+
+	fmt.Fprintln(w, "# HELP shmd_decisions_total Program verdicts returned, by class.")
+	fmt.Fprintln(w, "# TYPE shmd_decisions_total counter")
+	fmt.Fprintf(w, "shmd_decisions_total{verdict=\"malware\"} %d\n", m.decisionsMalware.Load())
+	fmt.Fprintf(w, "shmd_decisions_total{verdict=\"benign\"} %d\n", m.decisionsBenign.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_unprotected_decisions_total Verdicts served degraded at nominal voltage.")
+	fmt.Fprintln(w, "# TYPE shmd_unprotected_decisions_total counter")
+	fmt.Fprintf(w, "shmd_unprotected_decisions_total %d\n", m.unprotected.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_queue_rejects_total Requests shed with 429 at the backpressure limit.")
+	fmt.Fprintln(w, "# TYPE shmd_queue_rejects_total counter")
+	fmt.Fprintf(w, "shmd_queue_rejects_total %d\n", m.queueRejects.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_detect_duration_seconds /v1/detect handling latency.")
+	fmt.Fprintln(w, "# TYPE shmd_detect_duration_seconds histogram")
+	cum := uint64(0)
+	for i, le := range latencyBuckets {
+		cum += m.latency[i].Load()
+		fmt.Fprintf(w, "shmd_detect_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.latencyOver.Load()
+	fmt.Fprintf(w, "shmd_detect_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "shmd_detect_duration_seconds_sum %g\n", float64(m.latencySumNS.Load())/1e9)
+	fmt.Fprintf(w, "shmd_detect_duration_seconds_count %d\n", m.latencyCount.Load())
+
+	if pool != nil {
+		writePoolProm(w, pool)
+	}
+}
+
+// writePoolProm renders the per-session supervisor gauges: recovery
+// state, health counters, and the fault-rate canary readings.
+func writePoolProm(w io.Writer, pool *Pool) {
+	fmt.Fprintln(w, "# HELP shmd_pool_sessions Pooled supervised sessions.")
+	fmt.Fprintln(w, "# TYPE shmd_pool_sessions gauge")
+	fmt.Fprintf(w, "shmd_pool_sessions %d\n", pool.Size())
+
+	fmt.Fprintln(w, "# HELP shmd_pool_double_checkouts_total Session-exclusivity violations (must be 0).")
+	fmt.Fprintln(w, "# TYPE shmd_pool_double_checkouts_total counter")
+	fmt.Fprintf(w, "shmd_pool_double_checkouts_total %d\n", pool.DoubleCheckouts())
+
+	type row struct {
+		name  string
+		value func(*Slot) string
+	}
+	rows := []row{
+		{"shmd_session_state", func(s *Slot) string { return fmt.Sprintf("%d", int(s.Sup.State())) }},
+		{"shmd_session_target_fault_rate", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.TargetRate()) }},
+		{"shmd_session_undervolt_mv", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.Session().Depth()) }},
+		{"shmd_session_supply_volts", func(s *Slot) string { return fmt.Sprintf("%g", s.Det.SupplyVoltage()) }},
+	}
+	help := map[string]string{
+		"shmd_session_state":             "Supervisor recovery state (0 healthy, 1 retrying, 2 degraded).",
+		"shmd_session_target_fault_rate": "Calibrated fault rate the canary defends.",
+		"shmd_session_undervolt_mv":      "Detection-time undervolt depth applied on enter.",
+		"shmd_session_supply_volts":      "Current supply voltage (nominal between detections).",
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n", r.name, help[r.name])
+		fmt.Fprintf(w, "# TYPE %s gauge\n", r.name)
+		for _, slot := range pool.Slots() {
+			fmt.Fprintf(w, "%s{session=\"%d\"} %s\n", r.name, slot.ID, r.value(slot))
+		}
+	}
+
+	counters := []struct {
+		name, help string
+		value      func(h healthSnapshot) uint64
+	}{
+		{"shmd_session_detections_total", "Detection requests served.", func(h healthSnapshot) uint64 { return h.Detections }},
+		{"shmd_session_protected_total", "Detections served undervolted.", func(h healthSnapshot) uint64 { return h.Protected }},
+		{"shmd_session_unprotected_total", "Detections served degraded.", func(h healthSnapshot) uint64 { return h.Unprotected }},
+		{"shmd_session_retries_total", "Faulted cycle retries.", func(h healthSnapshot) uint64 { return h.Retries }},
+		{"shmd_session_failures_total", "Detection requests whose protected attempts all faulted.", func(h healthSnapshot) uint64 { return h.Failures }},
+		{"shmd_session_breaker_trips_total", "Circuit-breaker trips into degraded mode.", func(h healthSnapshot) uint64 { return h.Trips }},
+		{"shmd_session_recoveries_total", "Breaker recoveries back to protected mode.", func(h healthSnapshot) uint64 { return h.Recoveries }},
+		{"shmd_session_canaries_total", "Known-answer fault-rate canary probes run.", func(h healthSnapshot) uint64 { return h.Canaries }},
+		{"shmd_session_drifts_total", "Canary probes that found the rate outside tolerance.", func(h healthSnapshot) uint64 { return h.Drifts }},
+		{"shmd_session_recalibrations_total", "Successful undervolt-depth recalibrations.", func(h healthSnapshot) uint64 { return h.Recalibrations }},
+	}
+	snaps := make([]healthSnapshot, pool.Size())
+	for i, slot := range pool.Slots() {
+		snaps[i] = snapshotHealth(slot)
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n", c.name, c.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		for i := range snaps {
+			fmt.Fprintf(w, "%s{session=\"%d\"} %d\n", c.name, i, c.value(snaps[i]))
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP shmd_session_canary_fault_rate Last observed known-answer canary fault rate (-1 before the first probe).")
+	fmt.Fprintln(w, "# TYPE shmd_session_canary_fault_rate gauge")
+	for i := range snaps {
+		rate := -1.0
+		if snaps[i].CanaryValid {
+			rate = snaps[i].LastCanaryRate
+		}
+		fmt.Fprintf(w, "shmd_session_canary_fault_rate{session=\"%d\"} %g\n", i, rate)
+	}
+}
+
+// healthSnapshot mirrors core.Health plus derived fields, decoupling
+// the renderer from lock-holding reads.
+type healthSnapshot struct {
+	Detections, Protected, Unprotected   uint64
+	Retries, Failures, Trips, Recoveries uint64
+	Canaries, Drifts, Recalibrations     uint64
+	LastCanaryRate                       float64
+	CanaryValid                          bool
+}
+
+// snapshotHealth reads one slot's supervisor counters.
+func snapshotHealth(slot *Slot) healthSnapshot {
+	h := slot.Sup.Health()
+	return healthSnapshot{
+		Detections:     h.Detections,
+		Protected:      h.Protected,
+		Unprotected:    h.Unprotected,
+		Retries:        h.Retries,
+		Failures:       h.Failures,
+		Trips:          h.Trips,
+		Recoveries:     h.Recoveries,
+		Canaries:       h.Canaries,
+		Drifts:         h.Drifts,
+		Recalibrations: h.Recalibrations,
+		LastCanaryRate: h.LastCanaryRate,
+		CanaryValid:    h.Canaries > 0,
+	}
+}

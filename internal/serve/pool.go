@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"shmd/internal/chaos"
+	"shmd/internal/core"
+	"shmd/internal/faults"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+	"shmd/internal/volt"
+)
+
+// poolStreamLabel separates the pool slots' fault streams from every
+// other labelled stream in the repo (0x5BD detector, 0x5A4D sharding).
+const poolStreamLabel = 0x5E54
+
+// PoolConfig sizes and seeds a session pool.
+type PoolConfig struct {
+	// Size is the number of pooled sessions (default 4). Each slot owns
+	// a buffer-fresh copy of the detector, its own voltage plane, its
+	// own fault stream, and its own supervisor, so slots never contend
+	// on anything but the checkout channel.
+	Size int
+	// ErrorRate / UndervoltMV select the operating point, exactly as
+	// core.Options (mutually exclusive; both zero means nominal).
+	ErrorRate   float64
+	UndervoltMV float64
+	// Seed roots the per-slot fault streams.
+	Seed uint64
+	// Chaos builds each slot on a fault-injecting chaos.Env instead of
+	// the ideal regulator, so the supervisors have faults to ride out.
+	Chaos bool
+	// ChaosConfig overrides the per-slot chaos configuration (implies
+	// Chaos; a zero Seed is replaced with the slot's derived seed).
+	// Tests use an empty-rule config plus scripted Env triggers.
+	ChaosConfig *chaos.Config
+	// Supervisor tunes the per-slot recovery machinery.
+	Supervisor core.SupervisorConfig
+}
+
+// withDefaults fills unset fields.
+func (cfg PoolConfig) withDefaults() PoolConfig {
+	if cfg.Size == 0 {
+		cfg.Size = 4
+	}
+	return cfg
+}
+
+// Slot is one pooled supervised session.
+type Slot struct {
+	// ID is the slot index, echoed in responses and metrics labels.
+	ID int
+	// Sup is the slot's self-healing supervisor.
+	Sup *core.Supervisor
+	// Det is the slot's stochastic detector (metrics read its voltage).
+	Det *core.StochasticHMD
+
+	// busy guards the exclusivity invariant: 0 parked, 1 checked out.
+	busy atomic.Int32
+}
+
+// Pool is a fixed set of supervised stochastic sessions with
+// channel-based checkout. Every slot wraps its own buffer-fresh
+// detector copy (hmd.WithFreshBuffers via core construction), so two
+// in-flight requests can never share scratch buffers, fault streams,
+// or voltage planes.
+type Pool struct {
+	slots  chan *Slot
+	all    []*Slot
+	closed atomic.Bool
+	// doubleCheckouts counts violations of the exclusivity invariant
+	// (always zero unless the checkout discipline is broken).
+	doubleCheckouts atomic.Uint64
+}
+
+// NewPool builds cfg.Size supervised sessions around base.
+func NewPool(base *hmd.HMD, cfg PoolConfig) (*Pool, error) {
+	if base == nil {
+		return nil, fmt.Errorf("serve: nil base detector")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Size < 1 {
+		return nil, fmt.Errorf("serve: pool size %d < 1", cfg.Size)
+	}
+	p := &Pool{slots: make(chan *Slot, cfg.Size)}
+	for i := 0; i < cfg.Size; i++ {
+		slot, err := newSlot(base, cfg, i)
+		if err != nil {
+			return nil, fmt.Errorf("serve: building pool slot %d: %w", i, err)
+		}
+		p.all = append(p.all, slot)
+		p.slots <- slot
+	}
+	return p, nil
+}
+
+// newSlot builds one pooled session: detector copy, hardware, and
+// supervisor.
+func newSlot(base *hmd.HMD, cfg PoolConfig, i int) (*Slot, error) {
+	opts := core.Options{
+		ErrorRate:   cfg.ErrorRate,
+		UndervoltMV: cfg.UndervoltMV,
+		Seed:        rng.DeriveSeed(cfg.Seed, poolStreamLabel, uint64(i)),
+	}
+	var det *core.StochasticHMD
+	var err error
+	if cfg.Chaos || cfg.ChaosConfig != nil {
+		reg, rErr := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
+		if rErr != nil {
+			return nil, rErr
+		}
+		chaosCfg := chaos.DefaultConfig(opts.Seed)
+		if cfg.ChaosConfig != nil {
+			chaosCfg = *cfg.ChaosConfig
+			if chaosCfg.Seed == 0 {
+				chaosCfg.Seed = opts.Seed
+			}
+		}
+		env, eErr := chaos.NewEnv(reg, chaosCfg)
+		if eErr != nil {
+			return nil, eErr
+		}
+		inj, iErr := faults.NewInjector(0, nil, rng.NewRand(opts.Seed, 0x5BD))
+		if iErr != nil {
+			return nil, iErr
+		}
+		det, err = core.NewWithHardware(base.WithFreshBuffers(), env, inj, opts)
+	} else {
+		det, err = core.New(base.WithFreshBuffers(), opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sup, err := core.NewSupervisor(det, cfg.Supervisor)
+	if err != nil {
+		return nil, err
+	}
+	return &Slot{ID: i, Sup: sup, Det: det}, nil
+}
+
+// Size returns the number of pooled sessions.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Slots returns every slot for read-only inspection (health, metrics).
+// Callers must not detect through a slot they have not acquired.
+func (p *Pool) Slots() []*Slot { return p.all }
+
+// ErrPoolClosed is returned by Acquire after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Acquire checks a session out of the pool, blocking until one parks
+// or ctx is done. The returned slot is exclusively owned until
+// Release.
+func (p *Pool) Acquire(ctx context.Context) (*Slot, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	select {
+	case slot := <-p.slots:
+		if !slot.busy.CompareAndSwap(0, 1) {
+			// The invariant is broken (a slot was parked while checked
+			// out); count it and refuse the slot rather than hand out a
+			// shared session.
+			p.doubleCheckouts.Add(1)
+			return nil, fmt.Errorf("serve: pool handed out a busy session (slot %d)", slot.ID)
+		}
+		return slot, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release parks a session back into the pool.
+func (p *Pool) Release(slot *Slot) {
+	if slot == nil {
+		return
+	}
+	if !slot.busy.CompareAndSwap(1, 0) {
+		p.doubleCheckouts.Add(1)
+		return
+	}
+	select {
+	case p.slots <- slot:
+	default:
+		// Cannot happen with CAS-disciplined checkout (the channel has
+		// capacity for every slot); tolerate rather than block.
+		p.doubleCheckouts.Add(1)
+	}
+}
+
+// DoubleCheckouts reports violations of the session-exclusivity
+// invariant (must stay zero).
+func (p *Pool) DoubleCheckouts() uint64 { return p.doubleCheckouts.Load() }
+
+// Close marks the pool closed and rolls every session's voltage plane
+// back to nominal via ForceNominal — the fail-safe half of graceful
+// shutdown. Safe to call more than once.
+func (p *Pool) Close() error {
+	p.closed.Store(true)
+	var errs []error
+	for _, slot := range p.all {
+		if err := slot.Sup.Session().ForceNominal(); err != nil {
+			errs = append(errs, fmt.Errorf("slot %d: %w", slot.ID, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Degraded reports whether every pooled supervisor sits in the
+// Degraded breaker state (the service has lost all moving-target
+// protection).
+func (p *Pool) Degraded() bool {
+	for _, slot := range p.all {
+		if slot.Sup.State() != core.Degraded {
+			return false
+		}
+	}
+	return true
+}

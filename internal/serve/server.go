@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"shmd/internal/hmd"
+)
+
+// Config configures the detection service.
+type Config struct {
+	// Pool sizes and seeds the session pool.
+	Pool PoolConfig
+	// Limits bounds request decoding. MinWindows is overridden from the
+	// model's detection period.
+	Limits Limits
+	// QueueDepth is how many requests may wait for a session beyond the
+	// ones being served (default 2×pool). A request arriving with the
+	// queue full is shed immediately with a 429 — overload produces
+	// fast rejections, not queue growth.
+	QueueDepth int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// withDefaults fills unset fields (pool defaults resolve first so the
+// queue depth can key off the final size).
+func (cfg Config) withDefaults() Config {
+	cfg.Pool = cfg.Pool.withDefaults()
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2 * cfg.Pool.Size
+	}
+	return cfg
+}
+
+// Server is the detection service: an http.Handler serving /v1/detect,
+// /healthz, and /metrics off a session pool.
+type Server struct {
+	cfg       Config
+	pool      *Pool
+	metrics   *Metrics
+	mux       *http.ServeMux
+	threshold float64
+	// queue is the admission semaphore: in-service plus waiting
+	// requests. Full queue → 429.
+	queue chan struct{}
+	// inflight tracks requests holding a queue token, for the drain in
+	// Shutdown (http.Server.Shutdown already waits on connections; this
+	// guards the direct-handler path tests use).
+	inflight chan struct{}
+}
+
+// New builds a Server around a trained baseline detector.
+func New(base *hmd.HMD, cfg Config) (*Server, error) {
+	if base == nil {
+		return nil, fmt.Errorf("serve: nil base detector")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("serve: negative queue depth %d", cfg.QueueDepth)
+	}
+	pool, err := NewPool(base, cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Limits = cfg.Limits.withDefaults()
+	cfg.Limits.MinWindows = base.Config().Period
+	s := &Server{
+		cfg:       cfg,
+		pool:      pool,
+		metrics:   NewMetrics(),
+		threshold: base.Config().Threshold,
+		queue:     make(chan struct{}, pool.Size()+cfg.QueueDepth),
+		inflight:  make(chan struct{}, pool.Size()+cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/detect", s.handleDetect)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the session pool (tests and metrics inspect it).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Metrics exposes the counter block.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// status writes an error reply and records the request.
+func (s *Server) status(w http.ResponseWriter, code int, msg string) {
+	s.metrics.Request(code)
+	http.Error(w, msg, code)
+}
+
+// handleDetect serves POST /v1/detect.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.status(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+
+	// Admission control before any decode work: shed at the
+	// backpressure limit so overload costs the caller one channel probe.
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+	default:
+		s.metrics.QueueReject()
+		w.Header().Set("Retry-After", "1")
+		s.status(w, http.StatusTooManyRequests, "detection queue full")
+		return
+	}
+	s.inflight <- struct{}{}
+	defer func() { <-s.inflight }()
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
+	programs, err := DecodeDetectRequest(body, s.cfg.Limits)
+	if err != nil {
+		s.status(w, StatusOf(err), err.Error())
+		return
+	}
+
+	slot, err := s.pool.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client went away while queued.
+			s.metrics.Request(statusClientClosedRequest)
+			return
+		}
+		s.status(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	defer s.pool.Release(slot)
+
+	resp := DetectResponse{Results: make([]DetectResult, len(programs)), Session: slot.ID}
+	for i, p := range programs {
+		v, err := slot.Sup.DetectProgram(p.Windows)
+		if err != nil {
+			s.status(w, http.StatusInternalServerError, fmt.Sprintf("program %d: %v", i, err))
+			return
+		}
+		s.metrics.Decision(v.Malware, v.Unprotected)
+		resp.Results[i] = DetectResult{
+			ID:          p.ID,
+			Malware:     v.Malware,
+			Score:       v.Score,
+			Confidence:  confidence(v.Score, s.threshold, v.Malware),
+			Unprotected: v.Unprotected,
+			Attempts:    v.Attempts,
+			Windows:     len(p.Windows),
+		}
+	}
+	s.metrics.Request(http.StatusOK)
+	s.metrics.Observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// statusClientClosedRequest is the de-facto code (nginx's 499) used
+// only as a metrics label for requests abandoned while queued.
+const statusClientClosedRequest = 499
+
+// confidence normalizes the decision margin into [0, 1]: the distance
+// between the mean window score and the threshold, relative to the
+// room on the decided side. Scores at the threshold — the ones a
+// stochastic re-roll could flip — report 0; saturated scores report 1.
+func confidence(score, threshold float64, malware bool) float64 {
+	var c float64
+	if malware {
+		c = (score - threshold) / (1 - threshold)
+	} else {
+		c = (threshold - score) / threshold
+	}
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// HealthReport is the GET /healthz body.
+type HealthReport struct {
+	// Status is "ok" while any session retains protected detection,
+	// "degraded" when every breaker is open.
+	Status string `json:"status"`
+	// Sessions reports each pooled supervisor.
+	Sessions []SessionHealth `json:"sessions"`
+}
+
+// SessionHealth is one pooled session's health snapshot.
+type SessionHealth struct {
+	Session        int     `json:"session"`
+	State          string  `json:"state"`
+	TargetRate     float64 `json:"targetRate"`
+	Detections     uint64  `json:"detections"`
+	Protected      uint64  `json:"protected"`
+	Unprotected    uint64  `json:"unprotected"`
+	Retries        uint64  `json:"retries"`
+	Failures       uint64  `json:"failures"`
+	Trips          uint64  `json:"trips"`
+	Recoveries     uint64  `json:"recoveries"`
+	Canaries       uint64  `json:"canaries"`
+	Drifts         uint64  `json:"drifts"`
+	Recalibrations uint64  `json:"recalibrations"`
+	// LastCanaryRate is the most recent observed fault rate (null
+	// semantics: omitted until the first canary runs).
+	LastCanaryRate *float64 `json:"lastCanaryRate,omitempty"`
+}
+
+// handleHealthz serves GET /healthz: 200 while at least one session
+// can still detect protected, 503 when the whole pool is degraded.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	report := HealthReport{Status: "ok"}
+	for _, slot := range s.pool.Slots() {
+		h := slot.Sup.Health()
+		sh := SessionHealth{
+			Session:        slot.ID,
+			State:          h.State.String(),
+			TargetRate:     slot.Sup.TargetRate(),
+			Detections:     h.Detections,
+			Protected:      h.Protected,
+			Unprotected:    h.Unprotected,
+			Retries:        h.Retries,
+			Failures:       h.Failures,
+			Trips:          h.Trips,
+			Recoveries:     h.Recoveries,
+			Canaries:       h.Canaries,
+			Drifts:         h.Drifts,
+			Recalibrations: h.Recalibrations,
+		}
+		if h.Canaries > 0 {
+			rate := h.LastCanaryRate
+			sh.LastCanaryRate = &rate
+		}
+		report.Sessions = append(report.Sessions, sh)
+	}
+	code := http.StatusOK
+	if s.pool.Degraded() {
+		report.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	s.metrics.Request(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(report)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.metrics.Request(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteProm(w, s.pool)
+}
+
+// Serve accepts connections on ln until Shutdown. It returns the
+// error from the embedded http.Server (http.ErrServerClosed after a
+// clean shutdown is filtered to nil).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	httpSrv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		err := httpSrv.Shutdown(shCtx) // drains in-flight requests
+		if closeErr := s.Close(); err == nil {
+			err = closeErr
+		}
+		<-done
+		return err
+	case err := <-done:
+		closeErr := s.Close()
+		if errors.Is(err, http.ErrServerClosed) || err == nil {
+			return closeErr
+		}
+		return err
+	}
+}
+
+// Drain waits until no request holds a queue token, then rolls every
+// pooled session back to nominal voltage. Tests drive the handler
+// directly (no http.Server), so this is their graceful-shutdown
+// entry point; Serve gets the same drain from http.Server.Shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	for i := 0; i < cap(s.inflight); i++ {
+		select {
+		case s.inflight <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// All tokens held: no handler is past admission. Release them and
+	// roll the pool to nominal.
+	for i := 0; i < cap(s.inflight); i++ {
+		<-s.inflight
+	}
+	return s.Close()
+}
+
+// Close rolls every pooled session's plane back to nominal voltage.
+func (s *Server) Close() error { return s.pool.Close() }
