@@ -18,8 +18,10 @@
 # parallel evaluators. The full campaigns run race-free in `make test`.
 
 GO ?= go
+SOAK_DURATION ?= 30s
+SOAK_REPORT ?= soak_report.json
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench soak
 
 build:
 	$(GO) build ./...
@@ -42,3 +44,11 @@ verify: vet build test race
 # speedup ratios.
 bench:
 	$(GO) run ./cmd/bench -count 3 -out BENCH_inference.json
+
+# soak chaos-soaks the full detection service under the race detector:
+# concurrent clients against a real listener while a scripted storm
+# injects faults (including one permanent regulator death). Asserts
+# zero double-checkouts, bounded 5xx, and that every quarantined slot
+# respawned; writes $(SOAK_REPORT).
+soak:
+	$(GO) run -race ./cmd/shmd soak -duration $(SOAK_DURATION) -report $(SOAK_REPORT)

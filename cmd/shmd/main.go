@@ -11,6 +11,9 @@
 //	              [-chaos] [-supervise]
 //	shmd serve    -model model.fann [-addr 127.0.0.1:8080] [-pool 4]
 //	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
+//	              [-journal cal.journal] [-lifecycle] [-hedge-after 0]
+//	              [-deadline 0]
+//	shmd soak     [-duration 30s] [-clients 4] [-pool 3] [-report soak_report.json]
 //	shmd inspect  -model model.fann
 //
 // With -chaos the detector runs on a fault-injecting environment
@@ -51,6 +54,8 @@ func main() {
 		err = cmdDetect(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "-h", "--help", "help":
@@ -74,6 +79,7 @@ commands:
   train     train a baseline HMD on the victim fold and save the model
   detect    classify a program, optionally undervolted
   serve     run the HTTP/JSON detection service off a session pool
+  soak      chaos-soak the full service and assert lifecycle invariants
   inspect   print a saved model's structure and footprint`)
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"shmd/internal/hmd"
 	"shmd/internal/serve"
@@ -39,6 +41,12 @@ func serveRun(ctx context.Context, args []string) error {
 	seed := fs.Uint64("seed", 1, "root seed for the per-session fault streams")
 	withChaos := fs.Bool("chaos", false, "run sessions on fault-injecting environments")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	lifecycle := fs.Bool("lifecycle", true, "quarantine and respawn terminally degraded sessions")
+	journalPath := fs.String("journal", "", "calibration journal path (empty = journaling off)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "re-dispatch a slow batch to a second slot after this budget (0 = off)")
+	deadline := fs.Duration("deadline", 0, "default per-request detection deadline (0 = unbounded)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,13 +63,20 @@ func serveRun(ctx context.Context, args []string) error {
 
 	cfg := serve.Config{
 		Pool: serve.PoolConfig{
-			Size:      *pool,
-			ErrorRate: *rate,
-			Seed:      *seed,
-			Chaos:     *withChaos,
+			Size:        *pool,
+			ErrorRate:   *rate,
+			Seed:        *seed,
+			Chaos:       *withChaos,
+			Lifecycle:   serve.LifecycleConfig{Enabled: *lifecycle},
+			JournalPath: *journalPath,
+			Logf:        log.Printf,
 		},
-		QueueDepth:  *queue,
-		EnablePprof: *withPprof,
+		QueueDepth:        *queue,
+		EnablePprof:       *withPprof,
+		DefaultDeadline:   *deadline,
+		HedgeAfter:        *hedgeAfter,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ShutdownTimeout:   *shutdownTimeout,
 	}
 	if *undervolt > 0 {
 		cfg.Pool.ErrorRate = 0

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shmd/internal/journal"
+)
+
+// TestCmdSoak runs a short full-service soak — scripted chaos storm,
+// permanent fault, quarantine, respawn — and checks the report the
+// driver would gate on.
+func TestCmdSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak takes seconds; skipped under -short")
+	}
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	jpath := filepath.Join(dir, "cal.journal")
+	err := soakRun(context.Background(), []string{
+		"-duration", "2s",
+		"-clients", "3",
+		"-pool", "2",
+		"-permanent-at", "0.25",
+		"-report", report,
+		"-journal", jpath,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep soakReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, raw)
+	}
+	if !rep.Pass || len(rep.Failures) != 0 {
+		t.Errorf("report failures: %v", rep.Failures)
+	}
+	if rep.Requests == 0 || rep.Status["2xx"] == 0 {
+		t.Errorf("no successful traffic: %+v", rep)
+	}
+	if rep.DoubleCheckouts != 0 {
+		t.Errorf("double checkouts = %d", rep.DoubleCheckouts)
+	}
+	if rep.Quarantines == 0 || rep.Respawns < rep.Quarantines {
+		t.Errorf("lifecycle arc incomplete: quarantines %d, respawns %d", rep.Quarantines, rep.Respawns)
+	}
+	// The soak journaled its calibration; the file must verify.
+	if _, err := journal.Load(jpath); err != nil {
+		t.Errorf("soak journal: %v", err)
+	}
+}
+
+// TestCmdSoakBadModel surfaces a missing model file as an error.
+func TestCmdSoakBadModel(t *testing.T) {
+	err := soakRun(context.Background(), []string{
+		"-duration", "1s", "-model", filepath.Join(t.TempDir(), "nope.fann"),
+	})
+	if err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

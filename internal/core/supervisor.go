@@ -46,11 +46,12 @@ type Supervisor struct {
 	// canary defends.
 	targetRate float64
 
-	state       State
-	consecFails int
-	cooldown    int
-	sinceCanary int
-	h           Health
+	state             State
+	consecFails       int
+	cooldown          int
+	sinceCanary       int
+	consecCanaryFails int
+	h                 Health
 }
 
 // State is the supervisor's position in its recovery state machine.
@@ -166,6 +167,13 @@ type Health struct {
 	Canaries       uint64
 	Drifts         uint64
 	Recalibrations uint64
+	// CanaryFailures counts probes whose every attempt faulted (no rate
+	// reading obtained); CanaryFailStreak is the current run of
+	// consecutive failed probes — a rising streak means the plane can no
+	// longer be measured at all, the terminal-degradation signal pool
+	// lifecycle management quarantines on.
+	CanaryFailures   uint64
+	CanaryFailStreak uint64
 	// LastCanaryRate is the fault rate the most recent successful
 	// canary probe observed (meaningful once Canaries > 0) — the online
 	// fault-rate reading monitoring systems compare against the target.
@@ -334,9 +342,14 @@ func (sup *Supervisor) canary() {
 		}
 	}
 	if err != nil {
+		sup.h.CanaryFailures++
+		sup.consecCanaryFails++
+		sup.h.CanaryFailStreak = uint64(sup.consecCanaryFails)
 		sup.failSafe()
 		return
 	}
+	sup.consecCanaryFails = 0
+	sup.h.CanaryFailStreak = 0
 	sup.h.LastCanaryRate = observed
 	lo := sup.targetRate * (1 - sup.cfg.RateTolerance)
 	hi := sup.targetRate * (1 + sup.cfg.RateTolerance)

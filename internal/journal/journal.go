@@ -1,0 +1,193 @@
+// Package journal persists calibrated operating points across process
+// restarts. Section IX's calibration flow — sweep the undervolt depth
+// until the device produces the target fault rate at the current
+// temperature — is the expensive part of bringing a Stochastic-HMD
+// slot up; a service that recalibrates every slot from scratch on
+// every restart pays it again and again for an answer that rarely
+// changes. The journal records the depth each (device, rate) pair
+// calibrated to, so a restart can jump straight to the journaled depth
+// and merely *verify* it with a cheap known-answer canary read.
+//
+// The journal is crash-safe, never trusted blindly:
+//
+//   - writes go to a temp file in the same directory, fsync, then an
+//     atomic rename — a crash mid-write leaves the previous journal
+//     intact, never a half-written one;
+//   - the file carries a magic header and a CRC32 (IEEE) trailer over
+//     everything before it; any flipped bit fails the checksum and the
+//     load reports ErrCorrupt, after which the caller recalibrates and
+//     regenerates the file;
+//   - entries carry their save time so callers can age them out
+//     (temperature and supply conditions drift; an old depth is a
+//     hypothesis to verify, not a fact).
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+
+	"shmd/internal/volt"
+)
+
+// Magic identifies a calibration journal file (8 bytes, version in the
+// last byte).
+const Magic = "SHMDJNL1"
+
+// maxPayload bounds the JSON payload a loader will accept, so a
+// corrupt length field cannot drive a huge allocation.
+const maxPayload = 1 << 20
+
+// ErrCorrupt marks a journal that failed structural or checksum
+// validation. Callers must discard it and recalibrate.
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Entry is one journaled operating point: the undervolt depth that
+// produced Rate on the device identified by Device at TempC.
+type Entry struct {
+	// Device fingerprints the device calibration profile (DeviceKey);
+	// a journal written on one device is never applied to another.
+	Device string `json:"device"`
+	// Rate is the calibrated target fault rate.
+	Rate float64 `json:"rate"`
+	// DepthMV is the undervolt depth CalibrateToRate landed on.
+	DepthMV float64 `json:"depthMV"`
+	// TempC is the die temperature the calibration ran at.
+	TempC float64 `json:"tempC"`
+	// SavedUnix is when the entry was written (Unix seconds), for
+	// staleness checks.
+	SavedUnix int64 `json:"savedUnix"`
+}
+
+// validate rejects entries no device could have produced, so a
+// structurally intact but semantically absurd journal is still refused.
+func (e Entry) validate() error {
+	if e.Device == "" {
+		return fmt.Errorf("%w: entry with empty device key", ErrCorrupt)
+	}
+	if !(e.Rate > 0 && e.Rate <= 1) || math.IsNaN(e.Rate) {
+		return fmt.Errorf("%w: rate %v outside (0, 1]", ErrCorrupt, e.Rate)
+	}
+	if !(e.DepthMV >= 0 && e.DepthMV < 10000) {
+		return fmt.Errorf("%w: depth %v mV implausible", ErrCorrupt, e.DepthMV)
+	}
+	if e.TempC < -40 || e.TempC > 110 || math.IsNaN(e.TempC) {
+		return fmt.Errorf("%w: temperature %v outside operating range", ErrCorrupt, e.TempC)
+	}
+	return nil
+}
+
+// payload is the JSON body between header and trailer.
+type payload struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Save writes entries atomically: temp file in the same directory,
+// fsync, rename over path. A reader concurrent with Save sees either
+// the old journal or the new one, never a mixture, and a crash at any
+// point leaves a loadable file.
+func Save(path string, entries []Entry) error {
+	for _, e := range entries {
+		if err := e.validate(); err != nil {
+			return fmt.Errorf("journal: refusing to save invalid entry: %w", err)
+		}
+	}
+	body, err := json.Marshal(payload{Entries: entries})
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(body) > maxPayload {
+		return fmt.Errorf("journal: payload %d bytes exceeds %d", len(body), maxPayload)
+	}
+	buf := make([]byte, 0, len(Magic)+4+len(body)+4)
+	buf = append(buf, Magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("journal: rename: %w", err)
+	}
+	// Durability of the rename itself (best effort: some filesystems
+	// refuse directory fsync).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and verifies a journal. A missing file returns the
+// underlying fs.ErrNotExist (callers treat it as a cold start); any
+// structural damage — bad magic, bad length, checksum mismatch,
+// invalid JSON, implausible entries — returns an error wrapping
+// ErrCorrupt so callers can recalibrate and regenerate.
+func Load(path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	const overhead = len(Magic) + 4 + 4
+	if len(raw) < overhead {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than header+trailer", ErrCorrupt, len(raw))
+	}
+	if string(raw[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[:len(Magic)])
+	}
+	n := binary.BigEndian.Uint32(raw[len(Magic):])
+	if n > maxPayload || int(n) != len(raw)-overhead {
+		return nil, fmt.Errorf("%w: payload length %d does not match file size %d", ErrCorrupt, n, len(raw))
+	}
+	bodyEnd := len(raw) - 4
+	want := binary.BigEndian.Uint32(raw[bodyEnd:])
+	if got := crc32.ChecksumIEEE(raw[:bodyEnd]); got != want {
+		return nil, fmt.Errorf("%w: CRC32 %08x, trailer says %08x", ErrCorrupt, got, want)
+	}
+	var p payload
+	if err := json.Unmarshal(raw[len(Magic)+4:bodyEnd], &p); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	for _, e := range p.Entries {
+		if err := e.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return p.Entries, nil
+}
+
+// DeviceKey fingerprints a device calibration profile. Two devices
+// whose fault-rate curves differ in any parameter get distinct keys,
+// so a journal can never apply one device's depth to another.
+func DeviceKey(p volt.DeviceProfile) string {
+	h := fnv.New64a()
+	for _, f := range []float64{p.U50MV, p.SlopeMV, p.GuardBandMV, p.TempCoeffMVPerC, p.FreezeMV} {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,140 @@
+package journal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"shmd/internal/volt"
+)
+
+func testEntries() []Entry {
+	return []Entry{
+		{Device: DeviceKey(volt.DefaultProfile()), Rate: 0.1, DepthMV: 131.5, TempC: 49, SavedUnix: time.Now().Unix()},
+		{Device: DeviceKey(volt.NewDeviceProfile(7)), Rate: 0.5, DepthMV: 168.25, TempC: 60, SavedUnix: 1700000000},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.journal")
+	want := testEntries()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Overwrite keeps the file loadable (atomic replacement).
+	if err := Save(path, want[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("after overwrite: %+v", got)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("missing file misclassified as corrupt")
+	}
+}
+
+// TestCorruption flips every byte position in a valid journal in turn
+// and demands each mutant is rejected as corrupt — including the CRC
+// trailer bytes the acceptance criterion singles out.
+func TestCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.journal")
+	if err := Save(path, testEntries()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(t.TempDir(), "mut.journal")
+	for i := range raw {
+		flipped := append([]byte(nil), raw...)
+		flipped[i] ^= 0xFF
+		if err := os.WriteFile(mut, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d flipped: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Truncations are corrupt too, at every length.
+	for n := 0; n < len(raw); n++ {
+		if err := os.WriteFile(mut, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// Trailing garbage breaks the length/CRC contract.
+	if err := os.WriteFile(mut, append(append([]byte(nil), raw...), 'x'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestInvalidEntriesRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cal.journal")
+	bad := []Entry{
+		{Device: "", Rate: 0.1, DepthMV: 100, TempC: 49},
+		{Device: "d", Rate: 0, DepthMV: 100, TempC: 49},
+		{Device: "d", Rate: 1.5, DepthMV: 100, TempC: 49},
+		{Device: "d", Rate: 0.1, DepthMV: -3, TempC: 49},
+		{Device: "d", Rate: 0.1, DepthMV: 100, TempC: 400},
+	}
+	for i, e := range bad {
+		if err := Save(path, []Entry{e}); err == nil {
+			t.Errorf("entry %d: invalid entry %+v saved", i, e)
+		}
+	}
+}
+
+func TestDeviceKey(t *testing.T) {
+	a := DeviceKey(volt.DefaultProfile())
+	if b := DeviceKey(volt.DefaultProfile()); b != a {
+		t.Errorf("key not deterministic: %s vs %s", a, b)
+	}
+	seen := map[string]uint64{a: 0}
+	for seed := uint64(1); seed < 32; seed++ {
+		k := DeviceKey(volt.NewDeviceProfile(seed))
+		if k == a {
+			t.Errorf("device seed %d collides with default profile", seed)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("device seeds %d and %d share key %s", prev, seed, k)
+		}
+		seen[k] = seed
+	}
+	p := volt.DefaultProfile()
+	p.U50MV += 0.5
+	if DeviceKey(p) == a {
+		t.Error("perturbed profile keeps the same key")
+	}
+}

@@ -121,6 +121,10 @@ type DetectResponse struct {
 	Results []DetectResult `json:"results"`
 	// Session is the pool slot that served the batch (observability).
 	Session int `json:"session"`
+	// Hedged marks a reply won by the hedge runner: the primary slot
+	// was still working when a re-dispatch onto an idle slot finished
+	// first.
+	Hedged bool `json:"hedged,omitempty"`
 }
 
 // DecodedProgram is a validated program ready for detection.

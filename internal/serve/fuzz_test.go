@@ -42,6 +42,16 @@ func FuzzDetectRequestDecode(f *testing.F) {
 	f.Add([]byte(`{"programs":[{"windows":[{"opcode":[-1],"taken":5}]}]}`))
 	f.Add([]byte(`{"programs":[{"id":"x","windows":[{"stride":[1,2,3]}]}]}`))
 	f.Add(append(valid, []byte("{}")...))
+	// Journal-shaped bodies: a calibration journal POSTed at the detect
+	// endpoint by a confused client must be a clean 4xx, and its binary
+	// framing (magic, big-endian length, CRC trailer) gives the mutator
+	// structured non-JSON material to splice.
+	f.Add([]byte("SHMDJNL1\x00\x00\x00\x10{\"entries\":[]}\xde\xad\xbe\xef"))
+	f.Add([]byte(`{"programs":[{"id":"SHMDJNL1","windows":[{"opcode":[1]}]}]}`))
+	// Deadline-header-shaped bodies: header text leaking into the body,
+	// and header-like keys inside the JSON grammar.
+	f.Add([]byte("X-Detect-Deadline-Ms: 250\r\n\r\n" + `{"programs":[]}`))
+	f.Add([]byte(`{"X-Detect-Deadline-Ms":250,"programs":[{"windows":[{"opcode":[1]}]}]}`))
 
 	lim := Limits{MaxPrograms: 8, MaxWindows: 16, MinWindows: 1}.withDefaults()
 	f.Fuzz(func(t *testing.T, body []byte) {

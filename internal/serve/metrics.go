@@ -31,6 +31,9 @@ type Metrics struct {
 	decisionsBenign  atomic.Uint64
 	unprotected      atomic.Uint64
 	queueRejects     atomic.Uint64
+	hedges           atomic.Uint64
+	hedgeWins        atomic.Uint64
+	deadlineExpired  atomic.Uint64
 
 	latencyCount atomic.Uint64
 	latencySumNS atomic.Uint64
@@ -69,6 +72,24 @@ func (m *Metrics) Decision(malware, unprotected bool) {
 
 // QueueReject records one request shed with a 429.
 func (m *Metrics) QueueReject() { m.queueRejects.Add(1) }
+
+// Hedge records one hedged re-dispatch onto a second slot.
+func (m *Metrics) Hedge() { m.hedges.Add(1) }
+
+// HedgeWin records one reply won by the hedge runner.
+func (m *Metrics) HedgeWin() { m.hedgeWins.Add(1) }
+
+// DeadlineExpired records one request shed at its detection deadline.
+func (m *Metrics) DeadlineExpired() { m.deadlineExpired.Add(1) }
+
+// Hedges reports hedged re-dispatches.
+func (m *Metrics) Hedges() uint64 { return m.hedges.Load() }
+
+// HedgeWins reports replies won by the hedge runner.
+func (m *Metrics) HedgeWins() uint64 { return m.hedgeWins.Load() }
+
+// DeadlineExpirations reports requests shed at their deadline.
+func (m *Metrics) DeadlineExpirations() uint64 { return m.deadlineExpired.Load() }
 
 // Observe records one /v1/detect latency.
 func (m *Metrics) Observe(d time.Duration) {
@@ -117,6 +138,18 @@ func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
 	fmt.Fprintln(w, "# TYPE shmd_queue_rejects_total counter")
 	fmt.Fprintf(w, "shmd_queue_rejects_total %d\n", m.queueRejects.Load())
 
+	fmt.Fprintln(w, "# HELP shmd_hedged_dispatches_total Batches re-dispatched onto a second slot past the hedge budget.")
+	fmt.Fprintln(w, "# TYPE shmd_hedged_dispatches_total counter")
+	fmt.Fprintf(w, "shmd_hedged_dispatches_total %d\n", m.hedges.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_hedge_wins_total Replies won by the hedge runner.")
+	fmt.Fprintln(w, "# TYPE shmd_hedge_wins_total counter")
+	fmt.Fprintf(w, "shmd_hedge_wins_total %d\n", m.hedgeWins.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_deadline_expirations_total Requests shed at their detection deadline.")
+	fmt.Fprintln(w, "# TYPE shmd_deadline_expirations_total counter")
+	fmt.Fprintf(w, "shmd_deadline_expirations_total %d\n", m.deadlineExpired.Load())
+
 	fmt.Fprintln(w, "# HELP shmd_detect_duration_seconds /v1/detect handling latency.")
 	fmt.Fprintln(w, "# TYPE shmd_detect_duration_seconds histogram")
 	cum := uint64(0)
@@ -145,18 +178,34 @@ func writePoolProm(w io.Writer, pool *Pool) {
 	fmt.Fprintln(w, "# TYPE shmd_pool_double_checkouts_total counter")
 	fmt.Fprintf(w, "shmd_pool_double_checkouts_total %d\n", pool.DoubleCheckouts())
 
+	fmt.Fprintln(w, "# HELP shmd_pool_quarantines_total Slots pulled from rotation as terminally degraded.")
+	fmt.Fprintln(w, "# TYPE shmd_pool_quarantines_total counter")
+	fmt.Fprintf(w, "shmd_pool_quarantines_total %d\n", pool.Quarantines())
+
+	fmt.Fprintln(w, "# HELP shmd_pool_respawns_total Quarantined slots rebuilt and returned to rotation.")
+	fmt.Fprintln(w, "# TYPE shmd_pool_respawns_total counter")
+	fmt.Fprintf(w, "shmd_pool_respawns_total %d\n", pool.Respawns())
+
+	fmt.Fprintln(w, "# HELP shmd_pool_quarantined Slots currently out of rotation (quarantined or respawning).")
+	fmt.Fprintln(w, "# TYPE shmd_pool_quarantined gauge")
+	fmt.Fprintf(w, "shmd_pool_quarantined %d\n", pool.QuarantinedNow())
+
 	type row struct {
 		name  string
 		value func(*Slot) string
 	}
 	rows := []row{
 		{"shmd_session_state", func(s *Slot) string { return fmt.Sprintf("%d", int(s.Sup.State())) }},
+		{"shmd_session_generation", func(s *Slot) string { return fmt.Sprintf("%d", s.Gen) }},
+		{"shmd_session_lifecycle", func(s *Slot) string { return fmt.Sprintf("%d", int(s.Lifecycle())) }},
 		{"shmd_session_target_fault_rate", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.TargetRate()) }},
 		{"shmd_session_undervolt_mv", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.Session().Depth()) }},
 		{"shmd_session_supply_volts", func(s *Slot) string { return fmt.Sprintf("%g", s.Det.SupplyVoltage()) }},
 	}
 	help := map[string]string{
 		"shmd_session_state":             "Supervisor recovery state (0 healthy, 1 retrying, 2 degraded).",
+		"shmd_session_generation":        "Rebuild generation of the slot occupying this index (0 = boot slot).",
+		"shmd_session_lifecycle":         "Slot lifecycle state (0 active, 1 quarantined, 2 respawning).",
 		"shmd_session_target_fault_rate": "Calibrated fault rate the canary defends.",
 		"shmd_session_undervolt_mv":      "Detection-time undervolt depth applied on enter.",
 		"shmd_session_supply_volts":      "Current supply voltage (nominal between detections).",
@@ -183,6 +232,7 @@ func writePoolProm(w io.Writer, pool *Pool) {
 		{"shmd_session_canaries_total", "Known-answer fault-rate canary probes run.", func(h healthSnapshot) uint64 { return h.Canaries }},
 		{"shmd_session_drifts_total", "Canary probes that found the rate outside tolerance.", func(h healthSnapshot) uint64 { return h.Drifts }},
 		{"shmd_session_recalibrations_total", "Successful undervolt-depth recalibrations.", func(h healthSnapshot) uint64 { return h.Recalibrations }},
+		{"shmd_session_canary_failures_total", "Canary probes that could not run at all.", func(h healthSnapshot) uint64 { return h.CanaryFailures }},
 	}
 	snaps := make([]healthSnapshot, pool.Size())
 	for i, slot := range pool.Slots() {
@@ -213,6 +263,7 @@ type healthSnapshot struct {
 	Detections, Protected, Unprotected   uint64
 	Retries, Failures, Trips, Recoveries uint64
 	Canaries, Drifts, Recalibrations     uint64
+	CanaryFailures                       uint64
 	LastCanaryRate                       float64
 	CanaryValid                          bool
 }
@@ -231,6 +282,7 @@ func snapshotHealth(slot *Slot) healthSnapshot {
 		Canaries:       h.Canaries,
 		Drifts:         h.Drifts,
 		Recalibrations: h.Recalibrations,
+		CanaryFailures: h.CanaryFailures,
 		LastCanaryRate: h.LastCanaryRate,
 		CanaryValid:    h.Canaries > 0,
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"shmd/internal/chaos"
 	"shmd/internal/core"
@@ -40,6 +42,20 @@ type PoolConfig struct {
 	ChaosConfig *chaos.Config
 	// Supervisor tunes the per-slot recovery machinery.
 	Supervisor core.SupervisorConfig
+	// Lifecycle tunes quarantine/respawn of terminally degraded slots
+	// (opt-in via Lifecycle.Enabled).
+	Lifecycle LifecycleConfig
+	// JournalPath, when set, persists each slot's calibrated operating
+	// point to a crash-safe journal. On startup a journaled depth is
+	// adopted and verified with a canary read instead of recalibrating
+	// from scratch; corrupt or stale journals are discarded, logged,
+	// and regenerated.
+	JournalPath string
+	// JournalMaxAge ages journal entries out (0 = DefaultJournalMaxAge;
+	// negative = never stale).
+	JournalMaxAge time.Duration
+	// Logf receives lifecycle and journal log lines (nil = silent).
+	Logf func(format string, args ...any)
 }
 
 // withDefaults fills unset fields.
@@ -47,13 +63,48 @@ func (cfg PoolConfig) withDefaults() PoolConfig {
 	if cfg.Size == 0 {
 		cfg.Size = 4
 	}
+	cfg.Lifecycle = cfg.Lifecycle.withDefaults()
 	return cfg
+}
+
+// LifecycleState is a slot's position in the lifecycle state machine:
+// active → quarantined → respawning → active (as a fresh slot).
+type LifecycleState int32
+
+const (
+	// SlotActive: the slot is in rotation (parked or checked out).
+	SlotActive LifecycleState = iota
+	// SlotQuarantined: the slot tripped terminal degradation and has
+	// been pulled from rotation; teardown is imminent.
+	SlotQuarantined
+	// SlotRespawning: the quarantined slot is being torn down and
+	// rebuilt from the base detector with a fresh fault stream.
+	SlotRespawning
+)
+
+// String names the lifecycle state for health reports and logs.
+func (s LifecycleState) String() string {
+	switch s {
+	case SlotActive:
+		return "active"
+	case SlotQuarantined:
+		return "quarantined"
+	case SlotRespawning:
+		return "respawning"
+	default:
+		return fmt.Sprintf("serve.LifecycleState(%d)", int32(s))
+	}
 }
 
 // Slot is one pooled supervised session.
 type Slot struct {
 	// ID is the slot index, echoed in responses and metrics labels.
 	ID int
+	// Gen counts rebuilds of this slot index: 0 for the boot-time slot,
+	// incremented on every respawn. The slot's derived fault-stream
+	// seed folds Gen in, so a respawned slot never replays its
+	// predecessor's stochastic trajectory.
+	Gen int
 	// Sup is the slot's self-healing supervisor.
 	Sup *core.Supervisor
 	// Det is the slot's stochastic detector (metrics read its voltage).
@@ -61,20 +112,49 @@ type Slot struct {
 
 	// busy guards the exclusivity invariant: 0 parked, 1 checked out.
 	busy atomic.Int32
+	// lifecycle is the slot's lifecycle state (see LifecycleState).
+	lifecycle atomic.Int32
+	// degradedReleases counts consecutive releases observed with the
+	// breaker open. Only touched while the slot is exclusively owned.
+	degradedReleases int
 }
+
+// Lifecycle returns the slot's lifecycle state.
+func (s *Slot) Lifecycle() LifecycleState { return LifecycleState(s.lifecycle.Load()) }
 
 // Pool is a fixed set of supervised stochastic sessions with
 // channel-based checkout. Every slot wraps its own buffer-fresh
 // detector copy (hmd.WithFreshBuffers via core construction), so two
 // in-flight requests can never share scratch buffers, fault streams,
 // or voltage planes.
+//
+// With Lifecycle.Enabled the pool also manages slot lifetimes: a slot
+// that trips terminal degradation (dead plane, wedged voltage, breaker
+// open past the budget, repeated canary failure) is quarantined out of
+// rotation and respawned from the base detector under capped
+// exponential backoff.
 type Pool struct {
-	slots  chan *Slot
-	all    []*Slot
-	closed atomic.Bool
+	base *hmd.HMD
+	cfg  PoolConfig
+
+	// mu guards all (respawns swap slots while metrics/health read).
+	mu  sync.RWMutex
+	all []*Slot
+
+	slots     chan *Slot
+	closed    atomic.Bool
+	closeOnce sync.Once
+	stop      chan struct{}
+	respawnWG sync.WaitGroup
+
 	// doubleCheckouts counts violations of the exclusivity invariant
 	// (always zero unless the checkout discipline is broken).
 	doubleCheckouts atomic.Uint64
+	respawns        atomic.Uint64
+	quarantines     atomic.Uint64
+	quarantinedNow  atomic.Int64
+
+	journal *journalStore // nil when journaling is disabled
 }
 
 // NewPool builds cfg.Size supervised sessions around base.
@@ -86,9 +166,17 @@ func NewPool(base *hmd.HMD, cfg PoolConfig) (*Pool, error) {
 	if cfg.Size < 1 {
 		return nil, fmt.Errorf("serve: pool size %d < 1", cfg.Size)
 	}
-	p := &Pool{slots: make(chan *Slot, cfg.Size)}
+	p := &Pool{
+		base:  base,
+		cfg:   cfg,
+		slots: make(chan *Slot, cfg.Size),
+		stop:  make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		p.journal = newJournalStore(cfg.JournalPath, cfg.JournalMaxAge, p.logf)
+	}
 	for i := 0; i < cfg.Size; i++ {
-		slot, err := newSlot(base, cfg, i)
+		slot, err := p.buildSlot(i, 0)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building pool slot %d: %w", i, err)
 		}
@@ -98,66 +186,135 @@ func NewPool(base *hmd.HMD, cfg PoolConfig) (*Pool, error) {
 	return p, nil
 }
 
-// newSlot builds one pooled session: detector copy, hardware, and
-// supervisor.
-func newSlot(base *hmd.HMD, cfg PoolConfig, i int) (*Slot, error) {
+// logf forwards to the configured logger, if any.
+func (p *Pool) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// buildSlot builds one pooled session — detector copy, hardware,
+// supervisor — for slot index i at rebuild generation gen. When a
+// fresh journal entry covers this device and rate, the slot boots at
+// the journaled depth and verifies it with a canary read instead of
+// running the full calibration flow.
+func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
+	cfg := p.cfg
 	opts := core.Options{
 		ErrorRate:   cfg.ErrorRate,
 		UndervoltMV: cfg.UndervoltMV,
-		Seed:        rng.DeriveSeed(cfg.Seed, poolStreamLabel, uint64(i)),
+		Seed:        rng.DeriveSeed(cfg.Seed, poolStreamLabel, uint64(i), uint64(gen)),
 	}
-	var det *core.StochasticHMD
-	var err error
-	if cfg.Chaos || cfg.ChaosConfig != nil {
-		reg, rErr := volt.NewRegulator(volt.PlaneCore, volt.NewDeviceProfile(opts.DeviceSeed))
-		if rErr != nil {
-			return nil, rErr
-		}
-		chaosCfg := chaos.DefaultConfig(opts.Seed)
-		if cfg.ChaosConfig != nil {
-			chaosCfg = *cfg.ChaosConfig
-			if chaosCfg.Seed == 0 {
-				chaosCfg.Seed = opts.Seed
-			}
-		}
-		env, eErr := chaos.NewEnv(reg, chaosCfg)
-		if eErr != nil {
-			return nil, eErr
-		}
-		inj, iErr := faults.NewInjector(0, nil, rng.NewRand(opts.Seed, 0x5BD))
-		if iErr != nil {
-			return nil, iErr
-		}
-		det, err = core.NewWithHardware(base.WithFreshBuffers(), env, inj, opts)
-	} else {
-		det, err = core.New(base.WithFreshBuffers(), opts)
+	profile := volt.NewDeviceProfile(opts.DeviceSeed)
+	entry := p.journalLookup(profile, cfg.ErrorRate)
+	if entry != nil {
+		// Journal hit: adopt the journaled depth directly (no
+		// CalibrateToRate) and pin the injector to the exact target
+		// rate afterwards, mirroring what SetErrorRate would have done.
+		opts.ErrorRate = 0
+		opts.UndervoltMV = entry.DepthMV
+	}
+	det, err := p.newDetector(opts, profile)
+	if err != nil && entry != nil {
+		// The journaled depth is unusable on this device (e.g. beyond
+		// the freeze threshold): discard it and calibrate from scratch.
+		p.logf("serve: slot %d: journaled depth %.1f mV rejected (%v); recalibrating", i, entry.DepthMV, err)
+		p.journalDrop(*entry)
+		entry = nil
+		opts.ErrorRate = cfg.ErrorRate
+		opts.UndervoltMV = cfg.UndervoltMV
+		det, err = p.newDetector(opts, profile)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if entry != nil {
+		if err := det.Injector().SetRate(cfg.ErrorRate); err != nil {
+			return nil, err
+		}
 	}
 	sup, err := core.NewSupervisor(det, cfg.Supervisor)
 	if err != nil {
 		return nil, err
 	}
-	return &Slot{ID: i, Sup: sup, Det: det}, nil
+	slot := &Slot{ID: i, Gen: gen, Sup: sup, Det: det}
+	if p.journal != nil && cfg.ErrorRate > 0 {
+		if entry != nil {
+			p.verifyJournaled(slot, profile, cfg.ErrorRate)
+		} else {
+			p.journalRecord(profile, cfg.ErrorRate, sup.Session().Depth(), det.Regulator().Temperature())
+		}
+	}
+	return slot, nil
+}
+
+// newDetector builds the slot's stochastic detector on ideal or
+// chaos-wrapped hardware, per the pool configuration.
+func (p *Pool) newDetector(opts core.Options, profile volt.DeviceProfile) (*core.StochasticHMD, error) {
+	cfg := p.cfg
+	if !cfg.Chaos && cfg.ChaosConfig == nil {
+		return core.New(p.base.WithFreshBuffers(), opts)
+	}
+	reg, err := volt.NewRegulator(volt.PlaneCore, profile)
+	if err != nil {
+		return nil, err
+	}
+	chaosCfg := chaos.DefaultConfig(opts.Seed)
+	if cfg.ChaosConfig != nil {
+		chaosCfg = *cfg.ChaosConfig
+		if chaosCfg.Seed == 0 {
+			chaosCfg.Seed = opts.Seed
+		}
+	}
+	env, err := chaos.NewEnv(reg, chaosCfg)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(0, nil, rng.NewRand(opts.Seed, 0x5BD))
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWithHardware(p.base.WithFreshBuffers(), env, inj, opts)
 }
 
 // Size returns the number of pooled sessions.
-func (p *Pool) Size() int { return len(p.all) }
+func (p *Pool) Size() int { return p.cfg.Size }
 
-// Slots returns every slot for read-only inspection (health, metrics).
-// Callers must not detect through a slot they have not acquired.
-func (p *Pool) Slots() []*Slot { return p.all }
+// Slots returns a snapshot of every slot for read-only inspection
+// (health, metrics). Respawns swap slots underneath, so callers get a
+// copy; they must not detect through a slot they have not acquired.
+func (p *Pool) Slots() []*Slot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]*Slot(nil), p.all...)
+}
 
 // ErrPoolClosed is returned by Acquire after Close.
 var ErrPoolClosed = errors.New("serve: pool closed")
 
+// AcquireError reports a checkout that ended without a session because
+// the caller's context was cancelled or expired. It unwraps to the
+// context error, so errors.Is(err, context.DeadlineExceeded) and
+// friends keep working; the handler maps it to a 503 (or a 499 when
+// the client itself went away) rather than a generic 500.
+type AcquireError struct{ Cause error }
+
+// Error implements error.
+func (e *AcquireError) Error() string { return "serve: no session acquired: " + e.Cause.Error() }
+
+// Unwrap exposes the context cause.
+func (e *AcquireError) Unwrap() error { return e.Cause }
+
 // Acquire checks a session out of the pool, blocking until one parks
-// or ctx is done. The returned slot is exclusively owned until
-// Release.
+// or ctx is done. An already-cancelled context fails fast — the slot
+// channel is never consulted — with an *AcquireError wrapping the
+// context cause. The returned slot is exclusively owned until Release.
 func (p *Pool) Acquire(ctx context.Context) (*Slot, error) {
 	if p.closed.Load() {
 		return nil, ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &AcquireError{Cause: err}
 	}
 	select {
 	case slot := <-p.slots:
@@ -170,13 +327,38 @@ func (p *Pool) Acquire(ctx context.Context) (*Slot, error) {
 		}
 		return slot, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, &AcquireError{Cause: ctx.Err()}
 	}
 }
 
-// Release parks a session back into the pool.
+// TryAcquire checks a session out without blocking: (nil, false) when
+// the pool is closed or no slot is parked. Hedged dispatch uses it so
+// a hedge never waits behind primary traffic.
+func (p *Pool) TryAcquire() (*Slot, bool) {
+	if p.closed.Load() {
+		return nil, false
+	}
+	select {
+	case slot := <-p.slots:
+		if !slot.busy.CompareAndSwap(0, 1) {
+			p.doubleCheckouts.Add(1)
+			return nil, false
+		}
+		return slot, true
+	default:
+		return nil, false
+	}
+}
+
+// Release parks a session back into the pool — unless lifecycle
+// management finds it terminally degraded, in which case the slot is
+// quarantined out of rotation and a respawn is scheduled instead.
 func (p *Pool) Release(slot *Slot) {
 	if slot == nil {
+		return
+	}
+	if p.shouldQuarantine(slot) {
+		p.quarantine(slot)
 		return
 	}
 	if !slot.busy.CompareAndSwap(1, 0) {
@@ -196,13 +378,28 @@ func (p *Pool) Release(slot *Slot) {
 // invariant (must stay zero).
 func (p *Pool) DoubleCheckouts() uint64 { return p.doubleCheckouts.Load() }
 
-// Close marks the pool closed and rolls every session's voltage plane
-// back to nominal via ForceNominal — the fail-safe half of graceful
-// shutdown. Safe to call more than once.
+// Respawns reports how many quarantined slots have been rebuilt.
+func (p *Pool) Respawns() uint64 { return p.respawns.Load() }
+
+// Quarantines reports how many slots have ever been quarantined.
+func (p *Pool) Quarantines() uint64 { return p.quarantines.Load() }
+
+// QuarantinedNow reports how many slots are currently out of rotation
+// (quarantined or mid-respawn).
+func (p *Pool) QuarantinedNow() int64 { return p.quarantinedNow.Load() }
+
+// Close marks the pool closed, stops any pending respawns, and rolls
+// every session's voltage plane back to nominal via ForceNominal — the
+// fail-safe half of graceful shutdown. Safe to call more than once and
+// concurrently with checkouts: a slot checked out at Close time is
+// rolled to nominal here and again by its session exit when the
+// in-flight detection finishes.
 func (p *Pool) Close() error {
 	p.closed.Store(true)
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.respawnWG.Wait()
 	var errs []error
-	for _, slot := range p.all {
+	for _, slot := range p.Slots() {
 		if err := slot.Sup.Session().ForceNominal(); err != nil {
 			errs = append(errs, fmt.Errorf("slot %d: %w", slot.ID, err))
 		}
@@ -214,7 +411,7 @@ func (p *Pool) Close() error {
 // Degraded breaker state (the service has lost all moving-target
 // protection).
 func (p *Pool) Degraded() bool {
-	for _, slot := range p.all {
+	for _, slot := range p.Slots() {
 		if slot.Sup.State() != core.Degraded {
 			return false
 		}

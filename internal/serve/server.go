@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"shmd/internal/hmd"
@@ -27,6 +29,22 @@ type Config struct {
 	QueueDepth int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// DefaultDeadline bounds each /v1/detect request when the caller
+	// does not send an X-Detect-Deadline-Ms header (0 = unbounded).
+	DefaultDeadline time.Duration
+	// HedgeAfter re-dispatches a still-running batch onto a second idle
+	// slot after this latency budget; the first verdict wins and the
+	// loser's slot is returned cleanly (0 = hedging off). Hedging trades
+	// spare pool capacity for tail latency — a slot mid-recovery can
+	// stall a batch for many retry cycles while an idle neighbour would
+	// answer immediately.
+	HedgeAfter time.Duration
+	// ReadHeaderTimeout bounds how long Serve waits for request headers
+	// (default 10s).
+	ReadHeaderTimeout time.Duration
+	// ShutdownTimeout bounds the graceful drain when Serve's context is
+	// cancelled (default 30s).
+	ShutdownTimeout time.Duration
 }
 
 // withDefaults fills unset fields (pool defaults resolve first so the
@@ -35,6 +53,12 @@ func (cfg Config) withDefaults() Config {
 	cfg.Pool = cfg.Pool.withDefaults()
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 2 * cfg.Pool.Size
+	}
+	if cfg.ReadHeaderTimeout == 0 {
+		cfg.ReadHeaderTimeout = 10 * time.Second
+	}
+	if cfg.ShutdownTimeout == 0 {
+		cfg.ShutdownTimeout = 30 * time.Second
 	}
 	return cfg
 }
@@ -54,6 +78,11 @@ type Server struct {
 	// Shutdown (http.Server.Shutdown already waits on connections; this
 	// guards the direct-handler path tests use).
 	inflight chan struct{}
+	// detWG tracks dispatch runner goroutines. A hedged loser can
+	// outlive its handler (its verdict is discarded but its batch must
+	// finish and its slot must be released), so shutdown waits here as
+	// well as on inflight.
+	detWG sync.WaitGroup
 }
 
 // New builds a Server around a trained baseline detector.
@@ -138,27 +167,171 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	slot, err := s.pool.Acquire(r.Context())
+	deadline, err := requestDeadline(r, s.cfg.DefaultDeadline)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			// The client went away while queued.
-			s.metrics.Request(statusClientClosedRequest)
-			return
-		}
-		s.status(w, http.StatusServiceUnavailable, err.Error())
+		s.status(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	defer s.pool.Release(slot)
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
 
-	resp := DetectResponse{Results: make([]DetectResult, len(programs)), Session: slot.ID}
-	for i, p := range programs {
-		v, err := slot.Sup.DetectProgram(p.Windows)
-		if err != nil {
-			s.status(w, http.StatusInternalServerError, fmt.Sprintf("program %d: %v", i, err))
+	out, err := s.dispatch(ctx, programs)
+	if err != nil {
+		s.failDetect(w, r, err)
+		return
+	}
+	if out.hedge {
+		s.metrics.HedgeWin()
+	}
+	for _, res := range out.results {
+		s.metrics.Decision(res.Malware, res.Unprotected)
+	}
+	resp := DetectResponse{Results: out.results, Session: out.session, Hedged: out.hedge}
+	s.metrics.Request(http.StatusOK)
+	s.metrics.Observe(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// deadlineHeader carries a per-request detection deadline in integer
+// milliseconds; it overrides Config.DefaultDeadline for one request.
+const deadlineHeader = "X-Detect-Deadline-Ms"
+
+// requestDeadline resolves the effective deadline for one request:
+// the header when present (a positive integer millisecond count),
+// otherwise the server default.
+func requestDeadline(r *http.Request, def time.Duration) (time.Duration, error) {
+	raw := r.Header.Get(deadlineHeader)
+	if raw == "" {
+		return def, nil
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("%s: %q is not a positive integer millisecond count", deadlineHeader, raw)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+// failDetect maps a dispatch failure to its HTTP reply. Deadline
+// expiry is the server shedding load, not an internal fault: it maps
+// to a 503 with Retry-After, never a 500. A client that went away is
+// recorded under the de-facto 499 with nothing written.
+func (s *Server) failDetect(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case r.Context().Err() != nil:
+		// The client disconnected or cancelled; nobody is listening.
+		s.metrics.Request(statusClientClosedRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.DeadlineExpired()
+		w.Header().Set("Retry-After", "1")
+		s.status(w, http.StatusServiceUnavailable, "detection deadline exceeded")
+	case errors.Is(err, ErrPoolClosed):
+		s.status(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		var ae *AcquireError
+		if errors.As(err, &ae) {
+			s.status(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
-		s.metrics.Decision(v.Malware, v.Unprotected)
-		resp.Results[i] = DetectResult{
+		s.status(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// batchOutcome is one runner's verdict set for a batch.
+type batchOutcome struct {
+	results []DetectResult
+	session int
+	// hedge marks the outcome as produced by the hedge runner.
+	hedge bool
+	err   error
+}
+
+// dispatch runs the batch on an acquired slot, optionally hedging onto
+// a second idle slot after the configured latency budget. The first
+// successful outcome wins; every runner releases its own slot, so a
+// losing runner can finish after the handler has replied without
+// violating the exclusivity invariant. Decision metrics are recorded
+// by the caller for the winner only.
+func (s *Server) dispatch(ctx context.Context, programs []DecodedProgram) (batchOutcome, error) {
+	slot, err := s.pool.Acquire(ctx)
+	if err != nil {
+		return batchOutcome{}, err
+	}
+	// Buffered for every possible runner: a loser's send never blocks,
+	// even when the handler has already returned.
+	outcomes := make(chan batchOutcome, 2)
+	s.runDetached(ctx, slot, programs, false, outcomes)
+
+	var hedgeC <-chan time.Time
+	if s.cfg.HedgeAfter > 0 {
+		t := time.NewTimer(s.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case out := <-outcomes:
+			pending--
+			if out.err == nil {
+				return out, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			// Never wait for a hedge slot: hedging spends only capacity
+			// that is idle right now.
+			if hslot, ok := s.pool.TryAcquire(); ok {
+				s.metrics.Hedge()
+				pending++
+				s.runDetached(ctx, hslot, programs, true, outcomes)
+			}
+		case <-ctx.Done():
+			// Deadline or client cancellation. Runners poll ctx between
+			// programs, finish their current one, and release their own
+			// slots; nothing here leaks.
+			return batchOutcome{}, ctx.Err()
+		}
+	}
+	return batchOutcome{}, firstErr
+}
+
+// runDetached starts one tracked runner goroutine that executes the
+// batch on slot and always releases the slot itself.
+func (s *Server) runDetached(ctx context.Context, slot *Slot, programs []DecodedProgram, hedge bool, outcomes chan<- batchOutcome) {
+	s.detWG.Add(1)
+	go func() {
+		defer s.detWG.Done()
+		out := s.runBatch(ctx, slot, programs)
+		out.hedge = hedge
+		s.pool.Release(slot)
+		outcomes <- out
+	}()
+}
+
+// runBatch scores every program in the batch on one slot, checking the
+// request context between programs (DetectProgram itself is the unit
+// of non-cancellable work).
+func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedProgram) batchOutcome {
+	out := batchOutcome{session: slot.ID, results: make([]DetectResult, len(programs))}
+	for i, p := range programs {
+		if err := ctx.Err(); err != nil {
+			out.err = err
+			return out
+		}
+		v, err := slot.Sup.DetectProgram(p.Windows)
+		if err != nil {
+			out.err = fmt.Errorf("program %d: %v", i, err)
+			return out
+		}
+		out.results[i] = DetectResult{
 			ID:          p.ID,
 			Malware:     v.Malware,
 			Score:       v.Score,
@@ -168,10 +341,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			Windows:     len(p.Windows),
 		}
 	}
-	s.metrics.Request(http.StatusOK)
-	s.metrics.Observe(time.Since(start))
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	return out
 }
 
 // statusClientClosedRequest is the de-facto code (nginx's 499) used
@@ -203,14 +373,23 @@ type HealthReport struct {
 	// Status is "ok" while any session retains protected detection,
 	// "degraded" when every breaker is open.
 	Status string `json:"status"`
+	// Respawns counts slots rebuilt after quarantine since boot.
+	Respawns uint64 `json:"respawns"`
+	// Quarantined counts slots currently out of rotation.
+	Quarantined int64 `json:"quarantined"`
 	// Sessions reports each pooled supervisor.
 	Sessions []SessionHealth `json:"sessions"`
 }
 
 // SessionHealth is one pooled session's health snapshot.
 type SessionHealth struct {
-	Session        int     `json:"session"`
-	State          string  `json:"state"`
+	Session int `json:"session"`
+	// Generation counts rebuilds of this slot index (0 = boot slot).
+	Generation int    `json:"generation"`
+	State      string `json:"state"`
+	// Lifecycle is the slot's lifecycle state: active, quarantined, or
+	// respawning.
+	Lifecycle      string  `json:"lifecycle"`
 	TargetRate     float64 `json:"targetRate"`
 	Detections     uint64  `json:"detections"`
 	Protected      uint64  `json:"protected"`
@@ -222,6 +401,7 @@ type SessionHealth struct {
 	Canaries       uint64  `json:"canaries"`
 	Drifts         uint64  `json:"drifts"`
 	Recalibrations uint64  `json:"recalibrations"`
+	CanaryFailures uint64  `json:"canaryFailures"`
 	// LastCanaryRate is the most recent observed fault rate (null
 	// semantics: omitted until the first canary runs).
 	LastCanaryRate *float64 `json:"lastCanaryRate,omitempty"`
@@ -235,12 +415,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.status(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	report := HealthReport{Status: "ok"}
+	report := HealthReport{
+		Status:      "ok",
+		Respawns:    s.pool.Respawns(),
+		Quarantined: s.pool.QuarantinedNow(),
+	}
 	for _, slot := range s.pool.Slots() {
 		h := slot.Sup.Health()
 		sh := SessionHealth{
 			Session:        slot.ID,
+			Generation:     slot.Gen,
 			State:          h.State.String(),
+			Lifecycle:      slot.Lifecycle().String(),
 			TargetRate:     slot.Sup.TargetRate(),
 			Detections:     h.Detections,
 			Protected:      h.Protected,
@@ -252,6 +438,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Canaries:       h.Canaries,
 			Drifts:         h.Drifts,
 			Recalibrations: h.Recalibrations,
+			CanaryFailures: h.CanaryFailures,
 		}
 		if h.Canaries > 0 {
 			rate := h.LastCanaryRate
@@ -286,14 +473,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // error from the embedded http.Server (http.ErrServerClosed after a
 // clean shutdown is filtered to nil).
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	httpSrv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	httpSrv := &http.Server{Handler: s.mux, ReadHeaderTimeout: s.cfg.ReadHeaderTimeout}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 		defer cancel()
 		err := httpSrv.Shutdown(shCtx) // drains in-flight requests
+		s.waitRunners(shCtx)           // hedged losers can outlive their handlers
 		if closeErr := s.Close(); err == nil {
 			err = closeErr
 		}
@@ -305,6 +493,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			return closeErr
 		}
 		return err
+	}
+}
+
+// waitRunners blocks until every dispatch runner goroutine has
+// finished and released its slot, or ctx expires.
+func (s *Server) waitRunners(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { s.detWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
 	}
 }
 
@@ -320,10 +519,15 @@ func (s *Server) Drain(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	// All tokens held: no handler is past admission. Release them and
-	// roll the pool to nominal.
+	// All tokens held: no handler is past admission. Release them, wait
+	// for any hedged losers still finishing their batches, and roll the
+	// pool to nominal.
 	for i := 0; i < cap(s.inflight); i++ {
 		<-s.inflight
+	}
+	s.waitRunners(ctx)
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return s.Close()
 }

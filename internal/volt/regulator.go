@@ -3,6 +3,7 @@ package volt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Trusted-control errors (Section III "Trusted control": the voltage
@@ -28,6 +29,11 @@ type Regulator struct {
 
 	depthMV float64
 	owner   string
+
+	// calibrations counts CalibrateToRate invocations. Calibration is
+	// the expensive per-device flow of Section IX; a journal-backed
+	// restart proves it skipped the flow by observing this counter.
+	calibrations atomic.Uint64
 }
 
 // NewRegulator returns a nominal-voltage regulator for a plane.
@@ -152,6 +158,7 @@ func (r *Regulator) ErrorRate() float64 {
 // per-temperature calibration loop of Section IX. It returns the depth
 // chosen.
 func (r *Regulator) CalibrateToRate(caller string, rate float64) (float64, error) {
+	r.calibrations.Add(1)
 	depth, err := r.profile.DepthForRate(rate, r.tempC)
 	if err != nil {
 		return 0, err
@@ -164,3 +171,7 @@ func (r *Regulator) CalibrateToRate(caller string, rate float64) (float64, error
 	}
 	return depth, nil
 }
+
+// Calibrations returns how many times CalibrateToRate has run on this
+// regulator (successfully or not).
+func (r *Regulator) Calibrations() uint64 { return r.calibrations.Load() }
