@@ -184,11 +184,73 @@ func write(rep *Report, path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// load reads a previously written report.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compare gates a fresh report against a committed baseline and
+// returns one message per regression beyond maxRegress (0.25 = fail
+// only when a metric degrades by more than 25%).
+//
+// Raw ns/op is NOT gated: the committed baseline records one machine
+// and CI runs on another, so absolute times differ by far more than
+// any code change. The gate instead holds the machine-independent
+// signals: the A/B speedup ratios (both sides of each pair run on the
+// same host in the same process, so their ratio cancels the host out)
+// and the per-op allocation counts (exact, deterministic).
+func compare(rep, base *Report, maxRegress float64) []string {
+	var problems []string
+	ratio := func(name string, got, want float64) {
+		if want <= 0 {
+			return
+		}
+		if got < want*(1-maxRegress) {
+			problems = append(problems,
+				fmt.Sprintf("%s speedup %.2fx, baseline %.2fx (>%d%% regression)",
+					name, got, want, int(maxRegress*100)))
+		}
+	}
+	ratio("exact_fused_vs_scalar", rep.Speedups.ExactFusedVsScalar, base.Speedups.ExactFusedVsScalar)
+	ratio("faulty_skipahead_vs_bernoulli", rep.Speedups.FaultySkipAheadVsBernoulli, base.Speedups.FaultySkipAheadVsBernoulli)
+	ratio("evaluate_sharded_vs_serial", rep.Speedups.EvaluateShardedVsSerial, base.Speedups.EvaluateShardedVsSerial)
+
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	for _, r := range rep.Results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			continue
+		}
+		// A couple of allocations of absolute slack: counts this small
+		// are ABI noise (interface boxing, map seeds), not leaks.
+		limit := float64(b.AllocsPerOp)*(1+maxRegress) + 2
+		if float64(r.AllocsPerOp) > limit {
+			problems = append(problems,
+				fmt.Sprintf("%s allocs/op %d, baseline %d (>%d%% regression)",
+					r.Name, r.AllocsPerOp, b.AllocsPerOp, int(maxRegress*100)))
+		}
+	}
+	return problems
+}
+
 func main() {
 	scaleName := flag.String("scale", "quick", "benchmark scale (quick|full)")
 	seed := flag.Uint64("seed", 1, "root seed")
 	count := flag.Int("count", 3, "repetitions per benchmark (fastest kept)")
 	out := flag.String("out", "BENCH_inference.json", "output JSON path")
+	baseline := flag.String("baseline", "", "committed report to gate against (empty = no gate)")
+	maxRegress := flag.Float64("max-regress", 0.25, "fail when a gated metric degrades by more than this fraction")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -200,6 +262,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown scale %q\n", *scaleName)
 		os.Exit(2)
+	}
+
+	// Load the baseline before writing: -out and -baseline may name the
+	// same file (the CI invocation regenerates the committed report in
+	// place and uploads it as an artifact).
+	var base *Report
+	if *baseline != "" {
+		var err error
+		base, err = load(*baseline)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "bench: baseline %s missing, gate skipped\n", *baseline)
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	rep, err := run(scale, *count)
@@ -222,4 +299,15 @@ func main() {
 	fmt.Printf("faulty skip-ahead vs bernoulli: %.2fx\n", rep.Speedups.FaultySkipAheadVsBernoulli)
 	fmt.Printf("evaluate sharded vs serial:   %.2fx\n", rep.Speedups.EvaluateShardedVsSerial)
 	fmt.Printf("wrote %s\n", *out)
+
+	if base != nil {
+		problems := compare(rep, base, *maxRegress)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION:", p)
+		}
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("baseline gate: OK (within %d%% of %s)\n", int(*maxRegress*100), *baseline)
+	}
 }

@@ -9,6 +9,85 @@ import (
 	"shmd/internal/experiments"
 )
 
+// TestCompareGate pins the regression-gate semantics on synthetic
+// reports: speedup ratios and alloc counts gate, raw ns/op does not
+// (it is machine-dependent), and degradations inside the margin pass.
+func TestCompareGate(t *testing.T) {
+	base := &Report{
+		Speedups: Speedups{ExactFusedVsScalar: 2.0, FaultySkipAheadVsBernoulli: 4.0, EvaluateShardedVsSerial: 3.0},
+		Results: []Result{
+			{Name: "inference_exact_fused", NsPerOp: 100, AllocsPerOp: 0},
+			{Name: "evaluate_sharded", NsPerOp: 1e6, AllocsPerOp: 40},
+		},
+	}
+	clone := func(mut func(*Report)) *Report {
+		r := *base
+		r.Results = append([]Result(nil), base.Results...)
+		mut(&r)
+		return &r
+	}
+
+	if p := compare(clone(func(*Report) {}), base, 0.25); len(p) != 0 {
+		t.Errorf("identical report flagged: %v", p)
+	}
+	// 10x slower ns/op on a different machine: not a regression.
+	if p := compare(clone(func(r *Report) {
+		for i := range r.Results {
+			r.Results[i].NsPerOp *= 10
+		}
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("ns/op wrongly gated: %v", p)
+	}
+	// Speedup degraded within the margin: passes.
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.FaultySkipAheadVsBernoulli = 3.2
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("in-margin speedup drop flagged: %v", p)
+	}
+	// Speedup degraded past the margin: fails.
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.FaultySkipAheadVsBernoulli = 2.9
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("25%%+ speedup regression not flagged: %v", p)
+	}
+	// Alloc growth past margin+slack: fails. Small absolute slack: passes.
+	if p := compare(clone(func(r *Report) {
+		r.Results[1].AllocsPerOp = 60
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("alloc regression not flagged: %v", p)
+	}
+	if p := compare(clone(func(r *Report) {
+		r.Results[0].AllocsPerOp = 2
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("2-alloc absolute slack not honored: %v", p)
+	}
+	// A brand-new benchmark name has no baseline: ignored, not fatal.
+	if p := compare(clone(func(r *Report) {
+		r.Results = append(r.Results, Result{Name: "new_bench", NsPerOp: 1, AllocsPerOp: 99})
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("unknown benchmark gated: %v", p)
+	}
+}
+
+// TestLoadRoundTrip pins load() against write().
+func TestLoadRoundTrip(t *testing.T) {
+	rep := &Report{Scale: "quick", Seed: 1, Results: []Result{{Name: "x", NsPerOp: 2, Iterations: 3}}}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := write(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != rep.Scale || len(back.Results) != 1 || back.Results[0] != rep.Results[0] {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing baseline error = %v, want IsNotExist", err)
+	}
+}
+
 func TestRunAndWriteReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs ~6 one-second benchmarks")

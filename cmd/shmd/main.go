@@ -12,8 +12,9 @@
 //	shmd serve    -model model.fann [-addr 127.0.0.1:8080] [-pool 4]
 //	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
 //	              [-journal cal.journal] [-lifecycle] [-hedge-after 0]
-//	              [-deadline 0]
+//	              [-deadline 0] [-trace decisions.trace] [-trace-buffer 64]
 //	shmd soak     [-duration 30s] [-clients 4] [-pool 3] [-report soak_report.json]
+//	shmd replay   -model model.fann -trace decisions.trace [-v]
 //	shmd inspect  -model model.fann
 //
 // With -chaos the detector runs on a fault-injecting environment
@@ -56,6 +57,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "soak":
 		err = cmdSoak(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
 	case "-h", "--help", "help":
@@ -80,6 +83,7 @@ commands:
   detect    classify a program, optionally undervolted
   serve     run the HTTP/JSON detection service off a session pool
   soak      chaos-soak the full service and assert lifecycle invariants
+  replay    re-verify a served decision trace bit-for-bit, off-hardware
   inspect   print a saved model's structure and footprint`)
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shmd/internal/hmd"
+	"shmd/internal/replay"
+	"shmd/internal/serve"
+)
+
+// cmdReplay re-executes a decision trace captured by `shmd serve
+// -trace` against the same model bundle, off-hardware: every record's
+// fault draws are replayed through a deterministic unit and the
+// resulting verdict, score, and confidence must match the served ones
+// bit for bit. A non-zero exit means the trace does not audit — the
+// serving binary, the model, or the trace itself diverged.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	model := fs.String("model", "model.fann", "model bundle the trace was served from")
+	tracePath := fs.String("trace", "decisions.trace", "decision trace file to verify")
+	verbose := fs.Bool("v", false, "print every verified decision")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mf, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	base, err := hmd.LoadBundle(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	tf, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	n, err := replayVerifyAll(base, tf, *verbose)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shmd replay: %d decisions verified bit-identical\n", n)
+	return nil
+}
+
+// replayVerifyAll streams records from r and verifies each one,
+// returning the count verified. The first corrupt frame or diverging
+// decision aborts with its record index.
+func replayVerifyAll(base *hmd.HMD, r io.Reader, verbose bool) (int, error) {
+	rd, err := replay.NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
+		if err := replay.Verify(base, rec, serve.Confidence); err != nil {
+			return n, fmt.Errorf("record %d (slot %d gen %d): %w", n, rec.Slot, rec.Gen, err)
+		}
+		if verbose {
+			verdict := "benign"
+			if rec.Malware {
+				verdict = "MALWARE"
+			}
+			fmt.Printf("  record %d: slot %d gen %d rate %g depth %.1fmV -> %s score %.4f conf %.4f (%d faults)\n",
+				n, rec.Slot, rec.Gen, rec.Rate, rec.DepthMV, verdict, rec.Score, rec.Confidence, rec.Draws.Faults())
+		}
+		n++
+	}
+}

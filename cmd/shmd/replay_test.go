@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"shmd/internal/replay"
+	"shmd/internal/serve"
+	"shmd/internal/trace"
+)
+
+// TestCmdServeTraceThenReplay is the end-to-end audit loop: boot the
+// real daemon with -trace, serve live detections, shut down, then run
+// `shmd replay` over the captured trace and the same model bundle. The
+// replay must verify every served decision bit-identically.
+func TestCmdServeTraceThenReplay(t *testing.T) {
+	model := writeTestModel(t)
+	tracePath := filepath.Join(t.TempDir(), "decisions.trace")
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-pool", "2", "-seed", "3",
+			"-trace", tracePath, "-trace-buffer", "256",
+		})
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	served := 0
+	for i, cls := range []trace.Class{trace.Trojan, trace.Benign, trace.Worm, trace.Backdoor} {
+		prog, err := trace.NewProgram(cls, i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows, err := prog.Trace(4, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{
+			{ID: "audit", Windows: serve.EncodeWindows(windows)},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect %d = %d (%s)", i, resp.StatusCode, raw)
+		}
+		served++
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never shut down")
+	}
+
+	// The audit: the CLI path end to end.
+	if err := cmdReplay([]string{"-model", model, "-trace", tracePath, "-v"}); err != nil {
+		t.Fatalf("shmd replay failed to verify the served trace: %v", err)
+	}
+
+	// And the trace really holds every served decision (buffer 256
+	// never overflowed in this run).
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := replay.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := rd.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != served {
+		t.Fatalf("trace holds %d records, served %d decisions", n, served)
+	}
+}
+
+// TestCmdReplayDetectsTampering flips one payload byte of a captured
+// trace and checks the CLI refuses it (the frame CRC catches the
+// mutation before any replay runs).
+func TestCmdReplayDetectsTampering(t *testing.T) {
+	model := writeTestModel(t)
+	tracePath := filepath.Join(t.TempDir(), "decisions.trace")
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-pool", "1",
+			"-trace", tracePath,
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	prog, err := trace.NewProgram(trace.Rogue, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := prog.Trace(4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{
+		{ID: "x", Windows: serve.EncodeWindows(windows)},
+	}})
+	resp, err := http.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < len(replay.Magic)+16 {
+		t.Fatalf("trace too short: %d bytes", len(raw))
+	}
+	raw[len(replay.Magic)+8] ^= 0x40
+	if err := os.WriteFile(tracePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdReplay([]string{"-model", model, "-trace", tracePath})
+	if err == nil {
+		t.Fatal("replay accepted a tampered trace")
+	}
+	if !strings.Contains(err.Error(), "record 0") {
+		t.Errorf("tampering error lacks record index: %v", err)
+	}
+}

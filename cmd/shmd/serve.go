@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"shmd/internal/hmd"
+	"shmd/internal/replay"
 	"shmd/internal/serve"
 )
 
@@ -45,6 +46,8 @@ func serveRun(ctx context.Context, args []string) error {
 	journalPath := fs.String("journal", "", "calibration journal path (empty = journaling off)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "re-dispatch a slow batch to a second slot after this budget (0 = off)")
 	deadline := fs.Duration("deadline", 0, "default per-request detection deadline (0 = unbounded)")
+	tracePath := fs.String("trace", "", "decision trace file for `shmd replay` audits (empty = tracing off)")
+	traceBuffer := fs.Int("trace-buffer", replay.DefaultSinkBuffer, "decision trace ring size; overflow drops records, never blocks serving")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +84,20 @@ func serveRun(ctx context.Context, args []string) error {
 	if *undervolt > 0 {
 		cfg.Pool.ErrorRate = 0
 		cfg.Pool.UndervoltMV = *undervolt
+	}
+	if *tracePath != "" {
+		sink, err := replay.OpenSink(*tracePath, *traceBuffer)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := sink.Close(); err != nil {
+				log.Printf("shmd serve: trace sink: %v", err)
+			}
+			fmt.Printf("shmd serve: trace %s: %d records written, %d dropped\n",
+				*tracePath, sink.Written(), sink.Dropped())
+		}()
+		cfg.Trace = sink
 	}
 	srv, err := serve.New(det, cfg)
 	if err != nil {

@@ -95,6 +95,14 @@ type StochasticHMD struct {
 	shardable bool
 	seed      uint64
 	dist      *faults.Distribution
+
+	// Decision tracing (opt-in, see EnableDecisionTrace): when on,
+	// every ScoreWindows pass records its stochastic draws into
+	// lastDraws so the serving layer can attach provenance to the
+	// verdict it just produced. Purely observational — the injector's
+	// RNG stream is untouched.
+	traceOn   bool
+	lastDraws faults.DrawLog
 }
 
 // New builds a Stochastic-HMD around base on ideal hardware: a fresh
@@ -223,7 +231,42 @@ func (s *StochasticHMD) SetTemperature(tempC float64) error {
 // undervolted multiplier. Every call re-rolls the stochastic faults —
 // the moving-target property.
 func (s *StochasticHMD) ScoreWindows(windows []trace.WindowCounts) []float64 {
+	if s.traceOn {
+		if rec, ok := s.inj.(faults.Recordable); ok {
+			rec.StartRecord(&s.lastDraws)
+			defer rec.StopRecord()
+		}
+	}
 	return s.base.ScoreWindowsUnit(s.inj, windows)
+}
+
+// EnableDecisionTrace turns on draw recording: after each ScoreWindows
+// (or DetectProgram) call, LastDraws returns the stochastic draw log
+// of that pass. Recording is observational — scores and the fault
+// stream are bit-identical to an untraced run. No-op tracing (a fault
+// unit that is not faults.Recordable) yields empty logs, which replay
+// as the exact unit.
+func (s *StochasticHMD) EnableDecisionTrace() {
+	s.traceOn = true
+	s.lastDraws = faults.DrawLog{InitialGap: -1}
+}
+
+// LastDraws returns a copy of the draw log of the most recent scoring
+// pass. Meaningful only after EnableDecisionTrace.
+func (s *StochasticHMD) LastDraws() faults.DrawLog { return s.lastDraws.Clone() }
+
+// DetectProgramTraced implements hmd.TracedDetector: the verdict plus
+// the draw log of its scoring pass, whether or not tracing is enabled.
+func (s *StochasticHMD) DetectProgramTraced(windows []trace.WindowCounts) (hmd.Decision, faults.DrawLog) {
+	rec, ok := s.inj.(faults.Recordable)
+	if !ok {
+		return s.DetectProgram(windows), faults.DrawLog{InitialGap: -1}
+	}
+	var log faults.DrawLog
+	rec.StartRecord(&log)
+	dec := s.base.DecideFromScores(s.base.ScoreWindowsUnit(s.inj, windows))
+	rec.StopRecord()
+	return dec, log
 }
 
 // DetectProgram implements hmd.Detector.
@@ -258,3 +301,4 @@ func (s *StochasticHMD) DetectorForProgram(idx int) hmd.Detector {
 
 var _ hmd.Detector = (*StochasticHMD)(nil)
 var _ hmd.ProgramSharder = (*StochasticHMD)(nil)
+var _ hmd.TracedDetector = (*StochasticHMD)(nil)

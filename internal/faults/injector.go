@@ -76,6 +76,10 @@ type Injector struct {
 	// when the rate is too small to tabulate (or 0/1, where no draw is
 	// needed). See newGeomTable.
 	gapTable *geomTable
+	// rec, when non-nil, receives every gap and bit draw (see
+	// Recordable in record.go). Recording is observational only: the
+	// draw order and count are identical with and without it.
+	rec *DrawLog
 }
 
 // Geometric gap-table parameters: 512 alias rows indexed by 9 random
@@ -238,6 +242,10 @@ func (in *Injector) fault(p fxp.Product) fxp.Product {
 		bit = in.dist.Sample(in.rnd)
 		in.gap = in.drawGap()
 	}
+	if in.rec != nil {
+		in.rec.Bits = append(in.rec.Bits, uint8(bit))
+		in.rec.Gaps = append(in.rec.Gaps, in.gap)
+	}
 	in.stats.Faults++
 	in.stats.PerBit[bit]++
 	return p ^ fxp.Product(1)<<uint(bit)
@@ -253,6 +261,9 @@ func (in *Injector) Mul(a, b fxp.Value) fxp.Product {
 	}
 	if in.gap < 0 {
 		in.gap = in.drawGap()
+		if in.rec != nil {
+			in.rec.Gaps = append(in.rec.Gaps, in.gap)
+		}
 	}
 	if in.gap == 0 {
 		return in.fault(p)
@@ -278,6 +289,9 @@ func (in *Injector) DotRow(f fxp.Format, w, x []fxp.Value) fxp.Value {
 	for i < n {
 		if in.gap < 0 {
 			in.gap = in.drawGap()
+			if in.rec != nil {
+				in.rec.Gaps = append(in.rec.Gaps, in.gap)
+			}
 		}
 		if in.gap >= int64(n-i) {
 			// No fault lands in the rest of the row. The MAC loop is

@@ -1,0 +1,133 @@
+package hmd
+
+import (
+	"runtime"
+	"sync"
+
+	"shmd/internal/dataset"
+	"shmd/internal/faults"
+	"shmd/internal/stats"
+	"shmd/internal/trace"
+)
+
+// DecisionTrace is the full provenance of one evaluated decision: the
+// program index and input windows, the verdict, and the stochastic
+// draw log of the scoring pass (empty for deterministic detectors).
+// It carries exactly what a replay.Record needs.
+type DecisionTrace struct {
+	// Program is the index into the evaluated program slice.
+	Program int
+	// Windows is the scored trace (aliases the program's windows; do
+	// not mutate).
+	Windows []trace.WindowCounts
+	// Decision is the verdict.
+	Decision Decision
+	// Draws is the stochastic draw log of the scoring pass.
+	Draws faults.DrawLog
+}
+
+// TracedDetector is a Detector that can report the stochastic draw
+// provenance of a decision alongside the verdict. Deterministic
+// detectors return an empty log (InitialGap -1): an empty log replays
+// as the exact unit.
+type TracedDetector interface {
+	Detector
+	// DetectProgramTraced is DetectProgram plus the draw log of the
+	// scoring pass. The returned log is owned by the caller.
+	DetectProgramTraced(windows []trace.WindowCounts) (Decision, faults.DrawLog)
+}
+
+// DetectProgramTraced implements TracedDetector for the deterministic
+// baseline: the verdict plus an empty draw log.
+func (h *HMD) DetectProgramTraced(windows []trace.WindowCounts) (Decision, faults.DrawLog) {
+	return h.DetectProgram(windows), faults.DrawLog{InitialGap: -1}
+}
+
+var _ TracedDetector = (*HMD)(nil)
+
+// DetectProgramTraced implements TracedDetector when the bound unit
+// supports draw recording (a faults.Injector); other units yield an
+// empty log, which is exact — correct precisely when the unit is
+// deterministic.
+func (d *UnitDetector) DetectProgramTraced(windows []trace.WindowCounts) (Decision, faults.DrawLog) {
+	rec, ok := d.u.(faults.Recordable)
+	if !ok {
+		return d.DetectProgram(windows), faults.DrawLog{InitialGap: -1}
+	}
+	var log faults.DrawLog
+	rec.StartRecord(&log)
+	dec := d.DetectProgram(windows)
+	rec.StopRecord()
+	return dec, log
+}
+
+var _ TracedDetector = (*UnitDetector)(nil)
+
+// EvaluateTraced is Evaluate with a per-decision trace sink: every
+// program's decision provenance is delivered to sink serially, in
+// program order, regardless of worker count. Detectors implementing
+// ProgramSharder are evaluated in parallel exactly as in Evaluate, so
+// verdicts — and the recorded draw logs — are a pure function of the
+// detector's seed. A detector (or derived per-program detector) that
+// is not a TracedDetector contributes an empty draw log.
+func EvaluateTraced(d Detector, programs []dataset.TracedProgram, workers int, sink func(DecisionTrace)) stats.Confusion {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	traces := make([]DecisionTrace, len(programs))
+	detectTraced := func(det Detector, idx int) {
+		dec, log := Decision{}, faults.DrawLog{InitialGap: -1}
+		if td, ok := det.(TracedDetector); ok {
+			dec, log = td.DetectProgramTraced(programs[idx].Windows)
+		} else {
+			dec = det.DetectProgram(programs[idx].Windows)
+		}
+		traces[idx] = DecisionTrace{Program: idx, Windows: programs[idx].Windows, Decision: dec, Draws: log}
+	}
+
+	sharded := false
+	if len(programs) > 0 {
+		if sharder, ok := d.(ProgramSharder); ok {
+			if first := sharder.DetectorForProgram(0); first != nil {
+				sharded = true
+				if workers > len(programs) {
+					workers = len(programs)
+				}
+				next := make(chan int)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for idx := range next {
+							det := first
+							if idx != 0 {
+								det = sharder.DetectorForProgram(idx)
+							}
+							detectTraced(det, idx)
+						}
+					}()
+				}
+				for idx := range programs {
+					next <- idx
+				}
+				close(next)
+				wg.Wait()
+			}
+		}
+	}
+	if !sharded {
+		for idx := range programs {
+			detectTraced(d, idx)
+		}
+	}
+
+	var c stats.Confusion
+	for i, p := range programs {
+		c.Record(traces[i].Decision.Malware, p.IsMalware())
+		if sink != nil {
+			sink(traces[i])
+		}
+	}
+	return c
+}

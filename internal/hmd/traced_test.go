@@ -1,0 +1,136 @@
+package hmd
+
+import (
+	"math"
+	"testing"
+
+	"shmd/internal/faults"
+	"shmd/internal/rng"
+)
+
+// tracedSharder is a stochastic ProgramSharder for tests: each program
+// gets an injector on a seed-derived stream, mirroring how
+// core.StochasticHMD shards evaluation.
+type tracedSharder struct {
+	*HMD
+	rate float64
+	seed uint64
+}
+
+func (s *tracedSharder) DetectorForProgram(idx int) Detector {
+	inj, err := faults.NewInjector(s.rate, nil, rng.NewRand(s.seed, uint64(idx)))
+	if err != nil {
+		return nil
+	}
+	return s.HMD.WithUnit(inj)
+}
+
+// TestEvaluateTracedMatchesEvaluate pins that the traced evaluation
+// path produces the same confusion matrix as the plain one for both a
+// deterministic detector and a seed-sharded stochastic one, and that
+// the sink sees every program exactly once, in order.
+func TestEvaluateTracedMatchesEvaluate(t *testing.T) {
+	d, h := fixtures(t)
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := d.Select(split.Test)
+
+	next := 0
+	c := EvaluateTraced(h, test, 0, func(tr DecisionTrace) {
+		if tr.Program != next {
+			t.Fatalf("sink got program %d, want %d (must be in order)", tr.Program, next)
+		}
+		next++
+		if tr.Draws.Faults() != 0 {
+			t.Fatalf("deterministic detector recorded %d faults", tr.Draws.Faults())
+		}
+	})
+	if next != len(test) {
+		t.Fatalf("sink saw %d programs of %d", next, len(test))
+	}
+	if want := Evaluate(h, test); c != want {
+		t.Fatalf("traced confusion %+v != plain %+v", c, want)
+	}
+
+	sharder := &tracedSharder{HMD: h, rate: 0.5, seed: 77}
+	var traces []DecisionTrace
+	ct := EvaluateTraced(sharder, test, 0, func(tr DecisionTrace) { traces = append(traces, tr) })
+	if ct == c {
+		t.Log("stochastic confusion equals deterministic one (possible, but worth noting)")
+	}
+	if want := Evaluate(sharder, test); ct != want {
+		t.Fatalf("traced stochastic confusion %+v != plain %+v", ct, want)
+	}
+	faulted := 0
+	for _, tr := range traces {
+		if tr.Draws.Faults() > 0 {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no evaluated program recorded any faults at rate 0.5")
+	}
+}
+
+// TestTracedDrawsReplayBitIdentically replays every recorded draw log
+// through a faults.Replayer and checks each program's score is
+// reproduced bit-for-bit, with the log exactly drained.
+func TestTracedDrawsReplayBitIdentically(t *testing.T) {
+	d, h := fixtures(t)
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := d.Select(split.Test)
+	if len(test) > 40 {
+		test = test[:40]
+	}
+
+	sharder := &tracedSharder{HMD: h, rate: 0.3, seed: 101}
+	var traces []DecisionTrace
+	EvaluateTraced(sharder, test, 0, func(tr DecisionTrace) { traces = append(traces, tr) })
+	for _, tr := range traces {
+		rep := faults.NewReplayer(tr.Draws)
+		dec := h.DetectProgramUnit(rep, tr.Windows)
+		if err := rep.Done(); err != nil {
+			t.Fatalf("program %d: %v", tr.Program, err)
+		}
+		if dec.Malware != tr.Decision.Malware ||
+			math.Float64bits(dec.Score) != math.Float64bits(tr.Decision.Score) {
+			t.Fatalf("program %d: replayed %+v, recorded %+v", tr.Program, dec, tr.Decision)
+		}
+	}
+}
+
+// TestEvaluateTracedWorkerInvariance pins that traces (not just the
+// confusion matrix) are identical for any worker count.
+func TestEvaluateTracedWorkerInvariance(t *testing.T) {
+	d, h := fixtures(t)
+	test := d.Programs[:24]
+	collect := func(workers int) []DecisionTrace {
+		sharder := &tracedSharder{HMD: h, rate: 0.4, seed: 13}
+		var traces []DecisionTrace
+		EvaluateTraced(sharder, test, workers, func(tr DecisionTrace) { traces = append(traces, tr) })
+		return traces
+	}
+	one, many := collect(1), collect(8)
+	for i := range one {
+		a, b := one[i], many[i]
+		if a.Decision != b.Decision || a.Draws.InitialGap != b.Draws.InitialGap ||
+			len(a.Draws.Gaps) != len(b.Draws.Gaps) || len(a.Draws.Bits) != len(b.Draws.Bits) {
+			t.Fatalf("program %d: traces differ across worker counts", i)
+		}
+		for j := range a.Draws.Gaps {
+			if a.Draws.Gaps[j] != b.Draws.Gaps[j] {
+				t.Fatalf("program %d gap %d differs", i, j)
+			}
+		}
+		for j := range a.Draws.Bits {
+			if a.Draws.Bits[j] != b.Draws.Bits[j] {
+				t.Fatalf("program %d bit %d differs", i, j)
+			}
+		}
+	}
+}

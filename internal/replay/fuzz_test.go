@@ -1,0 +1,98 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"shmd/internal/faults"
+	"shmd/internal/trace"
+)
+
+// fuzzSeedRecords are structurally diverse valid records for the
+// corpus.
+func fuzzSeedRecords() []Record {
+	w := trace.WindowCounts{Taken: 3}
+	w.Opcode[0] = 5
+	w.Opcode[63] = 1
+	w.Stride[7] = 2
+	return []Record{
+		{Rate: 0.1, DepthMV: 130, Threshold: 0.5, Score: 0.25, Confidence: 0.5,
+			Draws: faults.DrawLog{InitialGap: -1}},
+		{Seed: 1 << 60, Slot: 3, Gen: 9, Rate: 1, DepthMV: 260, Threshold: 0.5,
+			Malware: true, Score: 0.9, Confidence: 0.8,
+			Draws:   faults.DrawLog{InitialGap: 4, Gaps: []int64{0, 7, 1 << 40}, Bits: []uint8{8, 62, 33}},
+			Windows: []trace.WindowCounts{w, {}}},
+		{Rate: 0, DepthMV: 0, Threshold: 0.5, Unprotected: true, Score: 0.1,
+			Confidence: 0.8, Draws: faults.DrawLog{InitialGap: -1},
+			Windows: []trace.WindowCounts{w}},
+	}
+}
+
+// FuzzTraceDecode drives the payload decoder and the framed reader
+// with arbitrary bytes: neither may panic, every failure must be the
+// typed ErrCorrupt (or clean io.EOF at a record boundary), and any
+// accepted payload must re-encode and re-decode to the same record.
+func FuzzTraceDecode(f *testing.F) {
+	for _, rec := range fuzzSeedRecords() {
+		payload, err := EncodeRecord(nil, rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+		var file bytes.Buffer
+		w, err := NewWriter(&file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.WriteRecord(rec); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(file.Bytes())
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Bare payload decode: success must round-trip bit-identically.
+		if rec, err := DecodeRecord(data); err == nil {
+			enc, err := EncodeRecord(nil, rec)
+			if err != nil {
+				t.Fatalf("accepted record failed to re-encode: %v", err)
+			}
+			again, err := DecodeRecord(enc)
+			if err != nil {
+				t.Fatalf("re-encoded record failed to decode: %v", err)
+			}
+			if !reflect.DeepEqual(rec, again) {
+				t.Fatalf("round trip mismatch:\n first: %+v\nsecond: %+v", rec, again)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+		}
+
+		// Framed reader over the same bytes: bounded iteration, typed
+		// errors only.
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("reader error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := rd.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("Next error %v does not wrap ErrCorrupt", err)
+				}
+				return
+			}
+		}
+	})
+}

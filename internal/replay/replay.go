@@ -1,0 +1,454 @@
+// Package replay defines the versioned binary decision-trace format
+// and the tooling to re-execute recorded decisions off-hardware.
+//
+// A trace file is the magic "SHMDTRC1" followed by length-framed
+// records, each protected by a CRC32-IEEE trailer — the same framing
+// discipline as the calibration journal (internal/journal), applied
+// per record so a torn tail loses at most the last record. Every
+// record carries the full provenance of one decision: seed lineage
+// (root-derived stream seed, slot, generation), operating point
+// (target rate, undervolt depth), the input feature windows, the
+// stochastic draw log (initial gap, geometric gaps, fault bits), and
+// the verdict (decision, score, confidence, protection flag). That is
+// exactly enough to reproduce the verdict bit-identically through a
+// replaying fault unit (faults.Replayer) with no hardware, no RNG,
+// and no voltage plane — see Verify.
+package replay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"shmd/internal/faults"
+	"shmd/internal/isa"
+	"shmd/internal/trace"
+)
+
+// Magic identifies (and versions) the trace format; an incompatible
+// revision gets a new trailing digit.
+const Magic = "SHMDTRC1"
+
+// ErrCorrupt reports a trace that failed structural validation —
+// framing, checksum, or field plausibility. All decode failures wrap
+// it (except clean io.EOF at a record boundary).
+var ErrCorrupt = errors.New("replay: corrupt trace")
+
+const (
+	// maxPayload bounds one record's encoded size (framing guard; a
+	// max-size batch decision with dense fault logs stays well under).
+	maxPayload = 16 << 20
+	// maxWindows bounds the per-record window count on decode.
+	maxWindows = 1 << 20
+	// maxCount bounds any decoded per-window counter (mirrors the
+	// request decoder's bound: counts always fit an int32).
+	maxCount = 1 << 30
+	// recordFlags
+	flagMalware     = 1 << 0
+	flagUnprotected = 1 << 1
+)
+
+// Record is one traced decision.
+type Record struct {
+	// Seed is the decision stream's derived seed (for a served
+	// decision, the slot's fault-stream seed).
+	Seed uint64
+	// Slot and Gen identify the serving slot and its respawn
+	// generation (0/0 outside the serving path).
+	Slot int
+	Gen  int
+	// Rate is the target per-multiplication error rate; DepthMV the
+	// session undervolt depth. Metadata for audit — replay consumes
+	// the recorded draws, not the law they were drawn from.
+	Rate    float64
+	DepthMV float64
+	// Threshold is the decision threshold of the model that scored
+	// this record; replay refuses a model whose threshold differs.
+	Threshold float64
+	// Malware / Unprotected / Score / Confidence are the verdict.
+	// Unprotected marks a degraded (exact-unit) decision; its draw log
+	// is empty by construction.
+	Malware     bool
+	Unprotected bool
+	Score       float64
+	Confidence  float64
+	// Draws is the stochastic draw log of the final scoring pass.
+	Draws faults.DrawLog
+	// Windows is the scored input trace.
+	Windows []trace.WindowCounts
+}
+
+// corrupt wraps a decode failure with ErrCorrupt.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// appendFloat encodes a float bit-exactly (big-endian IEEE bits).
+func appendFloat(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// EncodeRecord appends r's payload (unframed) to b. It validates the
+// record so a sink never writes a payload its own decoder rejects.
+func EncodeRecord(b []byte, r Record) ([]byte, error) {
+	if r.Slot < 0 || r.Gen < 0 {
+		return nil, fmt.Errorf("replay: negative slot %d / gen %d", r.Slot, r.Gen)
+	}
+	if err := validateScalars(r); err != nil {
+		return nil, err
+	}
+	if len(r.Windows) > maxWindows {
+		return nil, fmt.Errorf("replay: %d windows exceeds %d", len(r.Windows), maxWindows)
+	}
+	b = binary.AppendUvarint(b, r.Seed)
+	b = binary.AppendUvarint(b, uint64(r.Slot))
+	b = binary.AppendUvarint(b, uint64(r.Gen))
+	b = appendFloat(b, r.Rate)
+	b = appendFloat(b, r.DepthMV)
+	b = appendFloat(b, r.Threshold)
+	b = appendFloat(b, r.Score)
+	b = appendFloat(b, r.Confidence)
+	var flags byte
+	if r.Malware {
+		flags |= flagMalware
+	}
+	if r.Unprotected {
+		flags |= flagUnprotected
+	}
+	b = append(b, flags)
+	if r.Draws.InitialGap < -1 {
+		return nil, fmt.Errorf("replay: initial gap %d < -1", r.Draws.InitialGap)
+	}
+	if len(r.Draws.Bits) > len(r.Draws.Gaps)+1 {
+		return nil, fmt.Errorf("replay: %d fault bits for %d gaps", len(r.Draws.Bits), len(r.Draws.Gaps))
+	}
+	b = binary.AppendVarint(b, r.Draws.InitialGap)
+	b = binary.AppendUvarint(b, uint64(len(r.Draws.Gaps)))
+	for _, g := range r.Draws.Gaps {
+		if g < 0 {
+			return nil, fmt.Errorf("replay: negative gap %d", g)
+		}
+		b = binary.AppendUvarint(b, uint64(g))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Draws.Bits)))
+	for _, bit := range r.Draws.Bits {
+		if bit < faults.MinFaultBit || bit > faults.MaxFaultBit {
+			return nil, fmt.Errorf("replay: fault bit %d outside [%d,%d]", bit, faults.MinFaultBit, faults.MaxFaultBit)
+		}
+		b = append(b, bit)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Windows)))
+	for wi, w := range r.Windows {
+		for _, n := range w.Opcode {
+			if n < 0 || n > maxCount {
+				return nil, fmt.Errorf("replay: window %d opcode count %d out of range", wi, n)
+			}
+			b = binary.AppendUvarint(b, uint64(n))
+		}
+		if w.Taken < 0 || w.Taken > maxCount {
+			return nil, fmt.Errorf("replay: window %d taken %d out of range", wi, w.Taken)
+		}
+		b = binary.AppendUvarint(b, uint64(w.Taken))
+		for _, n := range w.Stride {
+			if n < 0 || n > maxCount {
+				return nil, fmt.Errorf("replay: window %d stride count %d out of range", wi, n)
+			}
+			b = binary.AppendUvarint(b, uint64(n))
+		}
+	}
+	if len(b) > maxPayload {
+		return nil, fmt.Errorf("replay: record payload %d bytes exceeds %d", len(b), maxPayload)
+	}
+	return b, nil
+}
+
+// validateScalars checks the float fields are plausible (shared by
+// encode and decode so corrupt traces are rejected symmetrically).
+func validateScalars(r Record) error {
+	if r.Rate < 0 || r.Rate > 1 || math.IsNaN(r.Rate) {
+		return fmt.Errorf("replay: rate %v outside [0,1]", r.Rate)
+	}
+	if r.DepthMV < 0 || r.DepthMV >= 10000 || math.IsNaN(r.DepthMV) {
+		return fmt.Errorf("replay: depth %v mV implausible", r.DepthMV)
+	}
+	if !(r.Threshold > 0 && r.Threshold < 1) {
+		return fmt.Errorf("replay: threshold %v outside (0,1)", r.Threshold)
+	}
+	if r.Score < 0 || r.Score > 1 || math.IsNaN(r.Score) {
+		return fmt.Errorf("replay: score %v outside [0,1]", r.Score)
+	}
+	if r.Confidence < 0 || r.Confidence > 1 || math.IsNaN(r.Confidence) {
+		return fmt.Errorf("replay: confidence %v outside [0,1]", r.Confidence)
+	}
+	return nil
+}
+
+// payloadReader decodes varints off a payload slice with positional
+// error reporting.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, corrupt("truncated uvarint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) varint() (int64, error) {
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		return 0, corrupt("truncated varint at offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) float() (float64, error) {
+	if p.off+8 > len(p.b) {
+		return 0, corrupt("truncated float at offset %d", p.off)
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(p.b[p.off:]))
+	p.off += 8
+	return v, nil
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if p.off >= len(p.b) {
+		return 0, corrupt("truncated byte at offset %d", p.off)
+	}
+	v := p.b[p.off]
+	p.off++
+	return v, nil
+}
+
+// count reads a uvarint length prefix and bounds it both by limit and
+// by the bytes remaining (each element costs at least minBytes), so a
+// corrupt length can never trigger a huge allocation.
+func (p *payloadReader) count(limit uint64, minBytes int, what string) (int, error) {
+	v, err := p.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > limit {
+		return 0, corrupt("%s count %d exceeds %d", what, v, limit)
+	}
+	if remaining := len(p.b) - p.off; v > uint64(remaining/minBytes) {
+		return 0, corrupt("%s count %d exceeds remaining payload", what, v)
+	}
+	return int(v), nil
+}
+
+// DecodeRecord parses one record payload, validating every field; any
+// failure wraps ErrCorrupt.
+func DecodeRecord(payload []byte) (Record, error) {
+	var r Record
+	p := &payloadReader{b: payload}
+	var err error
+	if r.Seed, err = p.uvarint(); err != nil {
+		return r, err
+	}
+	slot, err := p.uvarint()
+	if err != nil {
+		return r, err
+	}
+	gen, err := p.uvarint()
+	if err != nil {
+		return r, err
+	}
+	if slot > math.MaxInt32 || gen > math.MaxInt32 {
+		return r, corrupt("slot %d / gen %d implausible", slot, gen)
+	}
+	r.Slot, r.Gen = int(slot), int(gen)
+	for _, dst := range []*float64{&r.Rate, &r.DepthMV, &r.Threshold, &r.Score, &r.Confidence} {
+		if *dst, err = p.float(); err != nil {
+			return r, err
+		}
+	}
+	flags, err := p.byte()
+	if err != nil {
+		return r, err
+	}
+	if flags&^(flagMalware|flagUnprotected) != 0 {
+		return r, corrupt("unknown flags %#x", flags)
+	}
+	r.Malware = flags&flagMalware != 0
+	r.Unprotected = flags&flagUnprotected != 0
+	if err := validateScalars(r); err != nil {
+		return r, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if r.Draws.InitialGap, err = p.varint(); err != nil {
+		return r, err
+	}
+	if r.Draws.InitialGap < -1 {
+		return r, corrupt("initial gap %d < -1", r.Draws.InitialGap)
+	}
+	nGaps, err := p.count(maxPayload, 1, "gap")
+	if err != nil {
+		return r, err
+	}
+	if nGaps > 0 {
+		r.Draws.Gaps = make([]int64, nGaps)
+		for i := range r.Draws.Gaps {
+			g, err := p.uvarint()
+			if err != nil {
+				return r, err
+			}
+			if g > math.MaxInt64 {
+				return r, corrupt("gap %d overflows int64", g)
+			}
+			r.Draws.Gaps[i] = int64(g)
+		}
+	}
+	nBits, err := p.count(maxPayload, 1, "bit")
+	if err != nil {
+		return r, err
+	}
+	if nBits > nGaps+1 {
+		return r, corrupt("%d fault bits for %d gaps", nBits, nGaps)
+	}
+	if nBits > 0 {
+		r.Draws.Bits = make([]uint8, nBits)
+		for i := range r.Draws.Bits {
+			bit, err := p.byte()
+			if err != nil {
+				return r, err
+			}
+			if bit < faults.MinFaultBit || bit > faults.MaxFaultBit {
+				return r, corrupt("fault bit %d outside [%d,%d]", bit, faults.MinFaultBit, faults.MaxFaultBit)
+			}
+			r.Draws.Bits[i] = bit
+		}
+	}
+	// Each window costs at least NumOpcodes+1+StrideBuckets varint
+	// bytes, so the remaining-payload bound is tight enough.
+	nWindows, err := p.count(maxWindows, isa.NumOpcodes+1+trace.StrideBuckets, "window")
+	if err != nil {
+		return r, err
+	}
+	if nWindows > 0 {
+		r.Windows = make([]trace.WindowCounts, nWindows)
+		for wi := range r.Windows {
+			w := &r.Windows[wi]
+			for i := range w.Opcode {
+				n, err := p.uvarint()
+				if err != nil {
+					return r, err
+				}
+				if n > maxCount {
+					return r, corrupt("window %d opcode count %d out of range", wi, n)
+				}
+				w.Opcode[i] = int(n)
+			}
+			n, err := p.uvarint()
+			if err != nil {
+				return r, err
+			}
+			if n > maxCount {
+				return r, corrupt("window %d taken %d out of range", wi, n)
+			}
+			w.Taken = int(n)
+			for i := range w.Stride {
+				n, err := p.uvarint()
+				if err != nil {
+					return r, err
+				}
+				if n > maxCount {
+					return r, corrupt("window %d stride count %d out of range", wi, n)
+				}
+				w.Stride[i] = int(n)
+			}
+		}
+	}
+	if p.off != len(p.b) {
+		return r, corrupt("%d trailing payload bytes", len(p.b)-p.off)
+	}
+	return r, nil
+}
+
+// Writer streams framed records to w. It writes the file magic on
+// construction and one length+payload+CRC frame per record.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter writes the trace magic and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// WriteRecord frames and writes one record.
+func (tw *Writer) WriteRecord(r Record) error {
+	payload, err := EncodeRecord(tw.buf[:0], r)
+	if err != nil {
+		return err
+	}
+	tw.buf = payload // keep the grown buffer for reuse
+	var frame [4]byte
+	binary.BigEndian.PutUint32(frame[:], uint32(len(payload)))
+	if _, err := tw.w.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(payload); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(frame[:], crc32.ChecksumIEEE(payload))
+	_, err = tw.w.Write(frame[:])
+	return err
+}
+
+// Reader streams records back out of a trace. Next returns io.EOF at
+// a clean end of file; every other failure wraps ErrCorrupt.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader checks the trace magic and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, corrupt("reading magic: %v", err)
+	}
+	if string(magic) != Magic {
+		return nil, corrupt("bad magic %q", magic)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next reads one record. io.EOF means the trace ended cleanly at a
+// record boundary; a torn or damaged record wraps ErrCorrupt.
+func (tr *Reader) Next() (Record, error) {
+	var frame [4]byte
+	if _, err := io.ReadFull(tr.r, frame[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, corrupt("torn record length: %v", err)
+	}
+	n := binary.BigEndian.Uint32(frame[:])
+	if n > maxPayload {
+		return Record{}, corrupt("record length %d exceeds %d", n, maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, payload); err != nil {
+		return Record{}, corrupt("torn record payload: %v", err)
+	}
+	if _, err := io.ReadFull(tr.r, frame[:]); err != nil {
+		return Record{}, corrupt("torn record checksum: %v", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(frame[:]); got != want {
+		return Record{}, corrupt("checksum mismatch: %08x != %08x", got, want)
+	}
+	return DecodeRecord(payload)
+}

@@ -1,0 +1,104 @@
+package replay
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink is an opt-in, lossy-by-design trace recorder for the serving
+// path: decisions are offered to a bounded ring and written by a
+// single background goroutine, so a slow disk can never stall a
+// detection. When the ring is full the record is dropped and counted
+// — auditability degrades gracefully instead of becoming backpressure.
+type Sink struct {
+	ch      chan Record
+	done    chan struct{}
+	f       *os.File
+	w       *Writer
+	written atomic.Uint64
+	dropped atomic.Uint64
+	werr    atomic.Pointer[error]
+	once    sync.Once
+}
+
+// DefaultSinkBuffer is the default ring capacity.
+const DefaultSinkBuffer = 64
+
+// OpenSink creates (truncating) a trace file at path and starts the
+// writer goroutine. buffer <= 0 selects DefaultSinkBuffer.
+func OpenSink(path string, buffer int) (*Sink, error) {
+	if buffer <= 0 {
+		buffer = DefaultSinkBuffer
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: open trace: %w", err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("replay: write trace magic: %w", err)
+	}
+	s := &Sink{ch: make(chan Record, buffer), done: make(chan struct{}), f: f, w: w}
+	go s.drain()
+	return s, nil
+}
+
+func (s *Sink) drain() {
+	defer close(s.done)
+	for rec := range s.ch {
+		if s.werr.Load() != nil {
+			// The file is wedged; count the loss and keep draining so
+			// producers never block.
+			s.dropped.Add(1)
+			continue
+		}
+		if err := s.w.WriteRecord(rec); err != nil {
+			s.werr.Store(&err)
+			s.dropped.Add(1)
+			continue
+		}
+		s.written.Add(1)
+	}
+}
+
+// Record offers one decision to the sink without blocking. The sink
+// takes ownership of rec (callers must not retain aliases into
+// rec.Draws or rec.Windows). Returns false when the ring was full and
+// the record was dropped.
+func (s *Sink) Record(rec Record) bool {
+	select {
+	case s.ch <- rec:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Written returns the number of records durably framed to the file.
+func (s *Sink) Written() uint64 { return s.written.Load() }
+
+// Dropped returns the number of records lost to a full ring or a
+// wedged file.
+func (s *Sink) Dropped() uint64 { return s.dropped.Load() }
+
+// Close flushes the ring, closes the file, and returns the first
+// write error (if any). Safe to call once; Record after Close panics
+// (callers stop producing first).
+func (s *Sink) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.ch)
+		<-s.done
+		cerr := s.f.Close()
+		if p := s.werr.Load(); p != nil {
+			err = *p
+		} else {
+			err = cerr
+		}
+	})
+	return err
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"shmd/internal/rng"
+)
+
+// TestConfidenceProperties checks the normalization invariants over
+// randomized scores and thresholds rather than hand-picked points:
+// the value is always a valid probability-like margin in [0, 1], it
+// grows monotonically with the distance from the threshold on the
+// decided side, and relabeling a mirrored score is symmetric.
+func TestConfidenceProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(int64(rng.NewRand(1234).Uint64())))
+	randScore := func() float64 {
+		// Mix in-range, boundary, and out-of-range scores: raw network
+		// outputs can overshoot [0, 1] before clamping upstream.
+		switch r.Intn(4) {
+		case 0:
+			return r.Float64()
+		case 1:
+			return -0.5 + 2*r.Float64()
+		case 2:
+			return float64(r.Intn(3)) / 2 // exactly 0, 0.5, or 1
+		default:
+			return r.NormFloat64()
+		}
+	}
+
+	t.Run("bounded", func(t *testing.T) {
+		for i := 0; i < 10000; i++ {
+			score := randScore()
+			threshold := 0.01 + 0.98*r.Float64()
+			for _, malware := range []bool{false, true} {
+				c := Confidence(score, threshold, malware)
+				if math.IsNaN(c) || c < 0 || c > 1 {
+					t.Fatalf("Confidence(%v, %v, %v) = %v, outside [0,1]",
+						score, threshold, malware, c)
+				}
+			}
+		}
+	})
+
+	t.Run("zero at threshold", func(t *testing.T) {
+		for i := 0; i < 1000; i++ {
+			threshold := 0.01 + 0.98*r.Float64()
+			for _, malware := range []bool{false, true} {
+				if c := Confidence(threshold, threshold, malware); c != 0 {
+					t.Fatalf("Confidence at threshold %v (malware=%v) = %v, want 0",
+						threshold, malware, c)
+				}
+			}
+		}
+	})
+
+	t.Run("monotone in margin", func(t *testing.T) {
+		for i := 0; i < 5000; i++ {
+			threshold := 0.01 + 0.98*r.Float64()
+			// Two scores on the malware side of the threshold: the one
+			// further from it must never report lower confidence.
+			a := threshold + (1-threshold)*r.Float64()
+			b := threshold + (1-threshold)*r.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			if ca, cb := Confidence(a, threshold, true), Confidence(b, threshold, true); ca > cb {
+				t.Fatalf("malware confidence not monotone: C(%v)=%v > C(%v)=%v (threshold %v)",
+					a, ca, b, cb, threshold)
+			}
+			// And mirrored on the benign side.
+			a = threshold * r.Float64()
+			b = threshold * r.Float64()
+			if a < b {
+				a, b = b, a
+			}
+			if ca, cb := Confidence(a, threshold, false), Confidence(b, threshold, false); ca > cb {
+				t.Fatalf("benign confidence not monotone: C(%v)=%v > C(%v)=%v (threshold %v)",
+					a, ca, b, cb, threshold)
+			}
+		}
+	})
+
+	t.Run("flip symmetry", func(t *testing.T) {
+		// Reflecting the score and threshold about 1/2 and flipping the
+		// label must preserve the margin. Floating-point division by the
+		// two different denominators allows a 1-ulp-scale wobble, so the
+		// comparison is toleranced, not bit-exact.
+		const tol = 1e-12
+		for i := 0; i < 10000; i++ {
+			score := randScore()
+			threshold := 0.01 + 0.98*r.Float64()
+			for _, malware := range []bool{false, true} {
+				c1 := Confidence(score, threshold, malware)
+				c2 := Confidence(1-score, 1-threshold, !malware)
+				if math.Abs(c1-c2) > tol {
+					t.Fatalf("flip asymmetry: C(%v,%v,%v)=%v vs C(%v,%v,%v)=%v",
+						score, threshold, malware, c1, 1-score, 1-threshold, !malware, c2)
+				}
+			}
+		}
+	})
+
+	t.Run("saturates", func(t *testing.T) {
+		for i := 0; i < 1000; i++ {
+			threshold := 0.01 + 0.98*r.Float64()
+			if c := Confidence(1, threshold, true); c != 1 {
+				t.Fatalf("saturated malware score: C=%v, want 1 (threshold %v)", c, threshold)
+			}
+			if c := Confidence(0, threshold, false); c != 1 {
+				t.Fatalf("saturated benign score: C=%v, want 1 (threshold %v)", c, threshold)
+			}
+		}
+	})
+}

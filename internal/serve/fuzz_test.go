@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"testing"
 
+	"shmd/internal/faults"
+	"shmd/internal/replay"
 	"shmd/internal/trace"
 )
 
@@ -52,6 +54,26 @@ func FuzzDetectRequestDecode(f *testing.F) {
 	// and header-like keys inside the JSON grammar.
 	f.Add([]byte("X-Detect-Deadline-Ms: 250\r\n\r\n" + `{"programs":[]}`))
 	f.Add([]byte(`{"X-Detect-Deadline-Ms":250,"programs":[{"windows":[{"opcode":[1]}]}]}`))
+	// Trace-framed bodies: a decision-trace file POSTed at the detect
+	// endpoint (an auditor piping the wrong file) must also be a clean
+	// 4xx, and a genuine framed record seeds the mutator with the trace
+	// grammar (magic, length prefix, varints, CRC trailer).
+	var framed bytes.Buffer
+	tw, err := replay.NewWriter(&framed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tw.WriteRecord(replay.Record{
+		Seed: 7, Rate: 0.1, DepthMV: 150, Threshold: 0.5,
+		Malware: true, Score: 0.75, Confidence: 0.5,
+		Draws:   faults.DrawLog{InitialGap: -1},
+		Windows: windows[:1],
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add([]byte(replay.Magic))
+	f.Add([]byte(`{"programs":[{"id":"SHMDTRC1","windows":[{"opcode":[1]}]}]}`))
 
 	lim := Limits{MaxPrograms: 8, MaxWindows: 16, MinWindows: 1}.withDefaults()
 	f.Fuzz(func(t *testing.T, body []byte) {

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"shmd/internal/journal"
+)
+
+// TestJournalAdoptionEdges drives the journal-adoption flow through
+// its structural and semantic edge cases. Every case must leave the
+// pool serving (adoption failures degrade to recalibration, never to
+// a boot failure) and must leave a loadable journal on disk.
+func TestJournalAdoptionEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		// mutate corrupts the valid journal written by a cold boot.
+		mutate func(t *testing.T, path string, entries []journal.Entry)
+		// maxAge overrides PoolConfig.JournalMaxAge (0 = default 30d).
+		maxAge time.Duration
+		// wantAdopt: true = the entry must be trusted (zero calibration
+		// calls), false = the pool must recalibrate from scratch.
+		wantAdopt bool
+	}{
+		{
+			name: "zero-length file",
+			mutate: func(t *testing.T, path string, _ []journal.Entry) {
+				if err := os.WriteFile(path, nil, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantAdopt: false,
+		},
+		{
+			name: "trailing garbage after valid CRC",
+			mutate: func(t *testing.T, path string, _ []journal.Entry) {
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw = append(raw, 0xDE, 0xAD, 0xBE, 0xEF)
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantAdopt: false,
+		},
+		{
+			name: "depth beyond the regulator freeze threshold",
+			mutate: func(t *testing.T, path string, entries []journal.Entry) {
+				// 9 V of undervolt passes the journal's own plausibility
+				// check (< 10000 mV) but no regulator will set it; the
+				// adoption path must drop the entry and recalibrate.
+				for i := range entries {
+					entries[i].DepthMV = 9000
+				}
+				if err := journal.Save(path, entries); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantAdopt: false,
+		},
+		{
+			name: "entry just inside the staleness horizon",
+			mutate: func(t *testing.T, path string, entries []journal.Entry) {
+				for i := range entries {
+					entries[i].SavedUnix = time.Now().Add(-time.Hour + time.Minute).Unix()
+				}
+				if err := journal.Save(path, entries); err != nil {
+					t.Fatal(err)
+				}
+			},
+			maxAge:    time.Hour,
+			wantAdopt: true,
+		},
+		{
+			name: "entry just past the staleness horizon",
+			mutate: func(t *testing.T, path string, entries []journal.Entry) {
+				for i := range entries {
+					entries[i].SavedUnix = time.Now().Add(-time.Hour - time.Minute).Unix()
+				}
+				if err := journal.Save(path, entries); err != nil {
+					t.Fatal(err)
+				}
+			},
+			maxAge:    time.Hour,
+			wantAdopt: false,
+		},
+		{
+			name: "clock-skewed future entry",
+			mutate: func(t *testing.T, path string, entries []journal.Entry) {
+				// A journal written under a fast clock (SavedUnix in our
+				// future) is not stale — skew must not force a pointless
+				// recalibration.
+				for i := range entries {
+					entries[i].SavedUnix = time.Now().Add(time.Hour).Unix()
+				}
+				if err := journal.Save(path, entries); err != nil {
+					t.Fatal(err)
+				}
+			},
+			maxAge:    time.Hour,
+			wantAdopt: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/cal.journal"
+			cfg := PoolConfig{Size: 1, ErrorRate: 0.1, Seed: 1, JournalPath: path, Logf: t.Logf}
+
+			// Cold boot writes a valid journal for the mutation to start
+			// from.
+			p1, err := NewPool(testHMD(t), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			entries, err := journal.Load(path)
+			if err != nil || len(entries) == 0 {
+				t.Fatalf("cold boot journal: entries=%d err=%v", len(entries), err)
+			}
+			tc.mutate(t, path, entries)
+
+			cfg.JournalMaxAge = tc.maxAge
+			p2, err := NewPool(testHMD(t), cfg)
+			if err != nil {
+				t.Fatalf("pool must boot despite journal state: %v", err)
+			}
+			defer p2.Close()
+			got := calibrationCount(t, p2)
+			if tc.wantAdopt && got != 0 {
+				t.Errorf("entry should have been adopted; ran %d calibrations", got)
+			}
+			if !tc.wantAdopt && got == 0 {
+				t.Error("entry should have been rejected; no recalibration ran")
+			}
+			// Whatever happened, the journal on disk must be valid again
+			// (regenerated or untouched).
+			if _, err := journal.Load(path); err != nil {
+				t.Errorf("journal not loadable after boot: %v", err)
+			}
+		})
+	}
+}

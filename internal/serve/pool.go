@@ -56,6 +56,10 @@ type PoolConfig struct {
 	JournalMaxAge time.Duration
 	// Logf receives lifecycle and journal log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// TraceDraws enables per-decision draw recording on every slot's
+	// detector (set by the server when a trace sink is configured).
+	// Recording is observational: verdicts are bit-identical either way.
+	TraceDraws bool
 }
 
 // withDefaults fills unset fields.
@@ -109,6 +113,9 @@ type Slot struct {
 	Sup *core.Supervisor
 	// Det is the slot's stochastic detector (metrics read its voltage).
 	Det *core.StochasticHMD
+	// Seed is the slot's derived fault-stream seed (recorded in decision
+	// traces so an auditor can tie a verdict back to its stream lineage).
+	Seed uint64
 
 	// busy guards the exclusivity invariant: 0 parked, 1 checked out.
 	busy atomic.Int32
@@ -237,7 +244,10 @@ func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
 	if err != nil {
 		return nil, err
 	}
-	slot := &Slot{ID: i, Gen: gen, Sup: sup, Det: det}
+	if cfg.TraceDraws {
+		det.EnableDecisionTrace()
+	}
+	slot := &Slot{ID: i, Gen: gen, Sup: sup, Det: det, Seed: opts.Seed}
 	if p.journal != nil && cfg.ErrorRate > 0 {
 		if entry != nil {
 			p.verifyJournaled(slot, profile, cfg.ErrorRate)

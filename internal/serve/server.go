@@ -12,7 +12,10 @@ import (
 	"sync"
 	"time"
 
+	"shmd/internal/core"
+	"shmd/internal/faults"
 	"shmd/internal/hmd"
+	"shmd/internal/replay"
 )
 
 // Config configures the detection service.
@@ -45,6 +48,12 @@ type Config struct {
 	// ShutdownTimeout bounds the graceful drain when Serve's context is
 	// cancelled (default 30s).
 	ShutdownTimeout time.Duration
+	// Trace, when non-nil, receives a replay.Record for every decision
+	// served (opt-in auditing). The sink is lossy by design: a full ring
+	// drops the record and bumps a counter rather than stalling
+	// detection. The server enables per-slot draw recording when set;
+	// the caller owns the sink's lifetime (Close after Serve returns).
+	Trace *replay.Sink
 }
 
 // withDefaults fills unset fields (pool defaults resolve first so the
@@ -94,6 +103,7 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("serve: negative queue depth %d", cfg.QueueDepth)
 	}
+	cfg.Pool.TraceDraws = cfg.Trace != nil
 	pool, err := NewPool(base, cfg.Pool)
 	if err != nil {
 		return nil, err
@@ -331,28 +341,60 @@ func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedPro
 			out.err = fmt.Errorf("program %d: %v", i, err)
 			return out
 		}
+		conf := Confidence(v.Score, s.threshold, v.Malware)
 		out.results[i] = DetectResult{
 			ID:          p.ID,
 			Malware:     v.Malware,
 			Score:       v.Score,
-			Confidence:  confidence(v.Score, s.threshold, v.Malware),
+			Confidence:  conf,
 			Unprotected: v.Unprotected,
 			Attempts:    v.Attempts,
 			Windows:     len(p.Windows),
 		}
+		if s.cfg.Trace != nil {
+			s.traceDecision(slot, p, v, conf)
+		}
 	}
 	return out
+}
+
+// traceDecision offers one decision's provenance to the trace sink.
+// A protected verdict carries the draw log of its final scoring pass
+// (earlier retries were overwritten by the attempt that produced the
+// verdict); a degraded verdict ran on the exact unit and records an
+// empty log, which replays as exact arithmetic.
+func (s *Server) traceDecision(slot *Slot, p DecodedProgram, v core.Verdict, conf float64) {
+	draws := faults.DrawLog{InitialGap: -1}
+	if !v.Unprotected {
+		draws = slot.Det.LastDraws()
+	}
+	s.cfg.Trace.Record(replay.Record{
+		Seed:        slot.Seed,
+		Slot:        slot.ID,
+		Gen:         slot.Gen,
+		Rate:        slot.Sup.TargetRate(),
+		DepthMV:     slot.Sup.Session().Depth(),
+		Threshold:   s.threshold,
+		Malware:     v.Malware,
+		Unprotected: v.Unprotected,
+		Score:       v.Score,
+		Confidence:  conf,
+		Draws:       draws,
+		Windows:     p.Windows,
+	})
 }
 
 // statusClientClosedRequest is the de-facto code (nginx's 499) used
 // only as a metrics label for requests abandoned while queued.
 const statusClientClosedRequest = 499
 
-// confidence normalizes the decision margin into [0, 1]: the distance
+// Confidence normalizes the decision margin into [0, 1]: the distance
 // between the mean window score and the threshold, relative to the
 // room on the decided side. Scores at the threshold — the ones a
 // stochastic re-roll could flip — report 0; saturated scores report 1.
-func confidence(score, threshold float64, malware bool) float64 {
+// Exported so `shmd replay` can reproduce served confidences through
+// replay.Verify without the replay package importing the server.
+func Confidence(score, threshold float64, malware bool) float64 {
 	var c float64
 	if malware {
 		c = (score - threshold) / (1 - threshold)
@@ -467,6 +509,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request(http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.pool)
+	if s.cfg.Trace != nil {
+		fmt.Fprintf(w, "# HELP shmd_trace_records_total Decision-trace records durably written.\n")
+		fmt.Fprintf(w, "# TYPE shmd_trace_records_total counter\n")
+		fmt.Fprintf(w, "shmd_trace_records_total %d\n", s.cfg.Trace.Written())
+		fmt.Fprintf(w, "# HELP shmd_trace_dropped_total Decision-trace records dropped (ring full or sink wedged).\n")
+		fmt.Fprintf(w, "# TYPE shmd_trace_dropped_total counter\n")
+		fmt.Fprintf(w, "shmd_trace_dropped_total %d\n", s.cfg.Trace.Dropped())
+	}
 }
 
 // Serve accepts connections on ln until Shutdown. It returns the

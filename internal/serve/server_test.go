@@ -151,7 +151,7 @@ func TestDetectBasic(t *testing.T) {
 	}
 	// The decision margin and the confidence must agree.
 	for i, r := range dr.Results {
-		want := confidence(r.Score, 0.5, r.Malware)
+		want := Confidence(r.Score, 0.5, r.Malware)
 		if r.Confidence != want {
 			t.Errorf("result %d confidence %v, margin says %v", i, r.Confidence, want)
 		}
@@ -647,9 +647,9 @@ func TestConfidence(t *testing.T) {
 		{0.95, 0.9, true, 0.5},
 	}
 	for _, tc := range cases {
-		got := confidence(tc.score, tc.thr, tc.malware)
+		got := Confidence(tc.score, tc.thr, tc.malware)
 		if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
-			t.Errorf("confidence(%v, %v, %v) = %v, want %v", tc.score, tc.thr, tc.malware, got, tc.want)
+			t.Errorf("Confidence(%v, %v, %v) = %v, want %v", tc.score, tc.thr, tc.malware, got, tc.want)
 		}
 	}
 }

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"shmd/internal/replay"
+	"shmd/internal/trace"
+)
+
+// TestServeTraceReplaysBitIdentically is the tentpole contract at the
+// service boundary: every decision served with a trace sink attached
+// must replay off-hardware to the exact recorded verdict, score, and
+// confidence.
+func TestServeTraceReplaysBitIdentically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.trace")
+	sink, err := replay.OpenSink(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, Config{Trace: sink})
+	ts := httptest.NewServer(srv.Handler())
+
+	// Serve a few batches so multiple slots (and their distinct fault
+	// streams) contribute records.
+	scored := 0
+	for i := 0; i < 6; i++ {
+		body := detectBody(t,
+			testWindows(t, trace.Trojan, i, 8),
+			testWindows(t, trace.Benign, i, 8))
+		resp, raw := postDetect(t, ts, body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d, body %s", i, resp.StatusCode, raw)
+		}
+		scored += 2
+	}
+
+	// Metrics must expose the trace counters while the sink is live.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), "shmd_trace_records_total") ||
+		!strings.Contains(string(mb), "shmd_trace_dropped_total") {
+		t.Errorf("metrics missing trace counters:\n%s", mb)
+	}
+
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Written()+sink.Dropped() < uint64(scored) {
+		t.Fatalf("sink accounted %d+%d records, served %d decisions",
+			sink.Written(), sink.Dropped(), scored)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := replay.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testHMD(t)
+	n := 0
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		if rec.Rate != 0.1 {
+			t.Errorf("record %d: rate %v, want 0.1", n, rec.Rate)
+		}
+		if rec.DepthMV <= 0 {
+			t.Errorf("record %d: depth %v, want undervolted", n, rec.DepthMV)
+		}
+		if rec.Unprotected {
+			t.Errorf("record %d: unprotected on ideal hardware", n)
+		}
+		if rec.Seed == 0 {
+			t.Errorf("record %d: zero stream seed", n)
+		}
+		if err := replay.Verify(base, rec, Confidence); err != nil {
+			t.Errorf("record %d (slot %d gen %d): %v", n, rec.Slot, rec.Gen, err)
+		}
+		n++
+	}
+	if uint64(n) != sink.Written() {
+		t.Fatalf("trace holds %d records, sink wrote %d", n, sink.Written())
+	}
+}
+
+// TestServeTraceObservational pins that attaching a sink does not
+// perturb verdicts: the same pool seed with and without tracing
+// produces bit-identical scores.
+func TestServeTraceObservational(t *testing.T) {
+	body := detectBody(t, testWindows(t, trace.Backdoor, 3, 8))
+	run := func(sink *replay.Sink) float64 {
+		srv := newTestServer(t, Config{Trace: sink, Pool: PoolConfig{Size: 1, Seed: 42, ErrorRate: 0.1}})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		resp, raw := postDetect(t, ts, body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, raw)
+		}
+		var dr DetectResponse
+		if err := json.Unmarshal(raw, &dr); err != nil {
+			t.Fatal(err)
+		}
+		return dr.Results[0].Score
+	}
+	plain := run(nil)
+	path := filepath.Join(t.TempDir(), "t.trace")
+	sink, err := replay.OpenSink(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := run(sink)
+	sink.Close()
+	if math.Float64bits(plain) != math.Float64bits(traced) {
+		t.Fatalf("tracing perturbed the verdict: %v != %v", traced, plain)
+	}
+}
+
+// TestSinkLossDoesNotBlockServing drives a tiny ring with a wedged
+// file (closed underneath) — decisions must keep flowing and losses
+// must be counted, never block the handler.
+func TestSinkLossDoesNotBlockServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.trace")
+	sink, err := replay.OpenSink(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, Config{Trace: sink})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			resp, raw := postDetect(t, ts, detectBody(t, testWindows(t, trace.Worm, i, 8)))
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d, body %s", i, resp.StatusCode, raw)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serving blocked behind the trace sink")
+	}
+	srv.Close()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Written()+sink.Dropped() < 8 {
+		t.Fatalf("sink accounted %d+%d of 8 decisions", sink.Written(), sink.Dropped())
+	}
+}
