@@ -22,7 +22,7 @@ SOAK_DURATION ?= 30s
 SOAK_REPORT ?= soak_report.json
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet verify bench soak conform lint
+.PHONY: build test race vet verify bench soak fleet-soak conform lint
 
 build:
 	$(GO) build ./...
@@ -70,3 +70,12 @@ lint:
 # respawned; writes $(SOAK_REPORT).
 soak:
 	$(GO) run -race ./cmd/shmd soak -duration $(SOAK_DURATION) -report $(SOAK_REPORT)
+
+# fleet-soak chaos-soaks the routed fleet topology under the race
+# detector: the router over three real backend listeners, a transient
+# fault storm across all of them, and one backend hard-killed
+# mid-run. Asserts zero requests lost at the client, bounded 5xx, the
+# dead backend ejected from rotation, and traffic re-converged onto
+# the survivors; writes $(SOAK_REPORT).
+fleet-soak:
+	$(GO) run -race ./cmd/shmd soak -fleet -duration $(SOAK_DURATION) -report $(SOAK_REPORT)

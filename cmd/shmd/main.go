@@ -13,7 +13,11 @@
 //	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
 //	              [-journal cal.journal] [-lifecycle] [-hedge-after 0]
 //	              [-deadline 0] [-trace decisions.trace] [-trace-buffer 64]
+//	shmd route    -backends http://127.0.0.1:8801,http://127.0.0.1:8802
+//	              [-addr 127.0.0.1:8800] [-hedge-after 0] [-retries 2]
+//	              [-breaker-threshold 3] [-breaker-cooldown 1s]
 //	shmd soak     [-duration 30s] [-clients 4] [-pool 3] [-report soak_report.json]
+//	              [-fleet] [-fleet-backends 3]
 //	shmd replay   -model model.fann -trace decisions.trace [-v]
 //	shmd inspect  -model model.fann
 //
@@ -55,6 +59,8 @@ func main() {
 		err = cmdDetect(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "route":
+		err = cmdRoute(os.Args[2:])
 	case "soak":
 		err = cmdSoak(os.Args[2:])
 	case "replay":
@@ -82,6 +88,7 @@ commands:
   train     train a baseline HMD on the victim fold and save the model
   detect    classify a program, optionally undervolted
   serve     run the HTTP/JSON detection service off a session pool
+  route     run the fleet router over multiple detection backends
   soak      chaos-soak the full service and assert lifecycle invariants
   replay    re-verify a served decision trace bit-for-bit, off-hardware
   inspect   print a saved model's structure and footprint`)

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"shmd/internal/core"
+	"shmd/internal/route"
+)
+
+// routeReady, when non-nil, receives the bound listen address once the
+// router is accepting connections (tests hook it to find the port).
+var routeReady func(addr string)
+
+// cmdRoute runs the fleet router until SIGINT or SIGTERM, then drains
+// gracefully: /readyz flips 503 first, in-flight proxied requests
+// finish, and the listener closes.
+func cmdRoute(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return routeRun(ctx, args)
+}
+
+// routeRun is cmdRoute with a caller-owned lifetime (tests cancel the
+// context instead of sending signals).
+func routeRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8800", "listen address")
+	backends := fs.String("backends", "", "comma-separated backend base URLs (required), e.g. http://127.0.0.1:8801,http://127.0.0.1:8802")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "backend /readyz poll interval")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "single health probe budget")
+	hedgeAfter := fs.Duration("hedge-after", 0, "re-dispatch a slow request to a second backend after this budget (0 = off)")
+	retries := fs.Int("retries", 2, "additional backends tried after a connect error or 5xx")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive failures that open a backend's breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", time.Second, "base breaker cooldown before a half-open probe (doubles per failed probe)")
+	breakerMaxCooldown := fs.Duration("breaker-max-cooldown", 30*time.Second, "breaker cooldown doubling cap")
+	timeout := fs.Duration("timeout", 30*time.Second, "single forwarded attempt budget")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *backends == "" {
+		return fmt.Errorf("route: -backends is required")
+	}
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+
+	rt, err := route.New(route.Config{
+		Backends:      urls,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		Breaker: core.BreakerConfig{
+			Threshold:   *breakerThreshold,
+			Cooldown:    *breakerCooldown,
+			MaxCooldown: *breakerMaxCooldown,
+		},
+		HedgeAfter:        *hedgeAfter,
+		MaxRetries:        *retries,
+		Timeout:           *timeout,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ShutdownTimeout:   *shutdownTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shmd route: listening on %s (%d backends, hedge %v, retries %d)\n",
+		ln.Addr(), len(urls), *hedgeAfter, *retries)
+	if routeReady != nil {
+		routeReady(ln.Addr().String())
+	}
+	err = rt.Serve(ctx, ln)
+	fmt.Println("shmd route: drained and shut down")
+	return err
+}

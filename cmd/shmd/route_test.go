@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCmdRoute boots the route subcommand against a fake backend,
+// proxies one request through it, and drains it via context cancel.
+func TestCmdRoute(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/v1/detect":
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"ok":true}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer backend.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan string, 1)
+	routeReady = func(addr string) { addrCh <- addr }
+	defer func() { routeReady = nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- routeRun(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-backends", backend.URL,
+			"-probe-interval", "20ms",
+		})
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("router exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("router never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/detect", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("proxy request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxy status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("proxy body = %s", body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("route exited with error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not drain after cancel")
+	}
+}
+
+// TestCmdRouteRequiresBackends rejects a flagless invocation.
+func TestCmdRouteRequiresBackends(t *testing.T) {
+	if err := routeRun(context.Background(), nil); err == nil {
+		t.Fatal("missing -backends accepted")
+	}
+}

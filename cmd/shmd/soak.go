@@ -73,8 +73,28 @@ func soakRun(ctx context.Context, args []string) error {
 	permanentAt := fs.Float64("permanent-at", 0.3, "fraction of the duration at which a permanent fault lands")
 	max5xx := fs.Float64("max-5xx", 0.05, "maximum tolerated 5xx fraction")
 	model := fs.String("model", "", "trained model path (empty = synthesized model)")
+	fleet := fs.Bool("fleet", false, "soak the fleet topology: router + real backend listeners + one hard backend kill")
+	fleetBackends := fs.Int("fleet-backends", 3, "backend services behind the router (fleet mode)")
+	killAt := fs.Float64("kill-at", 0.4, "fraction of the duration at which one backend is hard-killed (fleet mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fleet {
+		return fleetSoakRun(ctx, fleetParams{
+			duration:   *duration,
+			clients:    *clients,
+			backends:   *fleetBackends,
+			pool:       *pool,
+			rate:       *rate,
+			seed:       *seed,
+			hedgeAfter: *hedgeAfter,
+			deadline:   *deadline,
+			stormEvery: *stormEvery,
+			killAt:     *killAt,
+			max5xx:     *max5xx,
+			report:     *report,
+			model:      *model,
+		})
 	}
 
 	base, err := soakModel(*model)

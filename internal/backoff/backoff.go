@@ -1,0 +1,92 @@
+// Package backoff provides bounded, seedable randomized delays for
+// retry and load-shedding paths.
+//
+// Fixed retry hints synchronize clients: every 429 carrying
+// "Retry-After: 1" tells every shed client to come back at the same
+// instant, turning one overload spike into a train of them. Jittering
+// the hint inside a bounded window de-correlates the herd. The same
+// applies to the router's retry backoff — equal jitter (half the
+// deterministic delay plus a uniform draw over the other half) keeps
+// the expected delay schedule while spreading the actual instants.
+//
+// All randomness flows through a Jitter, which is explicitly seeded:
+// production callers seed from the clock once at startup, tests pin a
+// seed and get a reproducible schedule. A Jitter is safe for
+// concurrent use.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Jitter is a bounded random-delay source. The zero value is not
+// usable; construct with New.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a Jitter from an explicit seed. Equal seeds produce
+// equal draw sequences, which is what makes shed/retry schedules
+// assertable in tests.
+func New(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seconds draws a whole-second Retry-After hint uniformly from
+// [min, max] inclusive, for 429/503 shed responses. Degenerate bounds
+// collapse sanely: max <= min returns min (and at least 1 — a zero
+// hint tells the client to hammer immediately).
+func (j *Jitter) Seconds(min, max int) int {
+	if min < 1 {
+		min = 1
+	}
+	if max <= min {
+		return min
+	}
+	return min + j.intn(max-min+1)
+}
+
+// Backoff returns the equal-jitter delay for the given retry attempt
+// (0-based): half the exponential delay base<<attempt (capped at max)
+// is deterministic, the other half is drawn uniformly. The expected
+// value is 3/4 of the deterministic schedule; the spread keeps
+// concurrent retriers from re-colliding.
+func (j *Jitter) Backoff(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(j.int63n(int64(d-half)))
+}
+
+// Intn draws from [0, n) like rand.Intn, under the Jitter's lock and
+// seed. n <= 0 returns 0 instead of panicking — callers feed it
+// live-derived counts that can legitimately be empty.
+func (j *Jitter) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return j.intn(n)
+}
+
+func (j *Jitter) intn(n int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Intn(n)
+}
+
+func (j *Jitter) int63n(n int64) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Int63n(n)
+}

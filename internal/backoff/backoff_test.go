@@ -1,0 +1,112 @@
+package backoff
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSecondsBounds(t *testing.T) {
+	j := New(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		s := j.Seconds(2, 5)
+		if s < 2 || s > 5 {
+			t.Fatalf("Seconds(2,5) = %d outside [2,5]", s)
+		}
+		seen[s] = true
+	}
+	for want := 2; want <= 5; want++ {
+		if !seen[want] {
+			t.Errorf("Seconds(2,5) never drew %d in 1000 tries", want)
+		}
+	}
+}
+
+func TestSecondsDegenerate(t *testing.T) {
+	j := New(1)
+	if got := j.Seconds(3, 3); got != 3 {
+		t.Errorf("Seconds(3,3) = %d, want 3", got)
+	}
+	if got := j.Seconds(5, 2); got != 5 {
+		t.Errorf("Seconds(5,2) = %d, want 5", got)
+	}
+	if got := j.Seconds(0, 0); got != 1 {
+		t.Errorf("Seconds(0,0) = %d, want clamp to 1", got)
+	}
+	if got := j.Seconds(-4, -1); got != 1 {
+		t.Errorf("Seconds(-4,-1) = %d, want clamp to 1", got)
+	}
+}
+
+func TestSecondsReproducible(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if x, y := a.Seconds(1, 10), b.Seconds(1, 10); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d under equal seeds", i, x, y)
+		}
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	j := New(7)
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 0; attempt < 8; attempt++ {
+		det := base << uint(attempt)
+		if det > max || det <= 0 {
+			det = max
+		}
+		for i := 0; i < 200; i++ {
+			d := j.Backoff(base, max, attempt)
+			if d < det/2 || d >= det {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, det/2, det)
+			}
+		}
+	}
+}
+
+func TestBackoffDegenerate(t *testing.T) {
+	j := New(7)
+	if d := j.Backoff(0, time.Second, 3); d != 0 {
+		t.Errorf("zero base gave %v, want 0", d)
+	}
+	// Overflowing shift clamps to max rather than going negative.
+	if d := j.Backoff(time.Second, 4*time.Second, 62); d < 2*time.Second || d >= 4*time.Second {
+		t.Errorf("overflow attempt gave %v, want within [2s, 4s)", d)
+	}
+	if d := j.Backoff(1, 1, 0); d != 1 {
+		t.Errorf("1ns base gave %v, want 1ns passthrough", d)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	j := New(3)
+	if got := j.Intn(0); got != 0 {
+		t.Errorf("Intn(0) = %d, want 0", got)
+	}
+	if got := j.Intn(-5); got != 0 {
+		t.Errorf("Intn(-5) = %d, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		if got := j.Intn(4); got < 0 || got > 3 {
+			t.Fatalf("Intn(4) = %d outside [0,4)", got)
+		}
+	}
+}
+
+func TestConcurrentDraws(t *testing.T) {
+	j := New(9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = j.Seconds(1, 5)
+				_ = j.Backoff(time.Millisecond, 10*time.Millisecond, i%6)
+				_ = j.Intn(7)
+			}
+		}()
+	}
+	wg.Wait()
+}

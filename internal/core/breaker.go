@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position in its state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome
+	// decides between closing and re-opening with a longer cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state for logs, health reports, and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("core.BreakerState(%d)", int32(s))
+	}
+}
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures trip the breaker
+	// (default 3). Trip opens it immediately regardless.
+	Threshold int
+	// Cooldown is how long the breaker stays open before Allow grants
+	// a half-open probe (default 1s). A failed probe re-opens with the
+	// cooldown doubled, capped at MaxCooldown (default 30s) — the
+	// capped-backoff probe schedule.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+	// Now is the clock (default time.Now). Tests inject a fake; the
+	// Supervisor injects a detection-counting virtual clock so its
+	// cooldown is measured in degraded detections, not wall time.
+	Now func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.MaxCooldown == 0 {
+		cfg.MaxCooldown = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg
+}
+
+// Breaker is the repo's shared circuit-breaker state machine:
+// closed → open (threshold consecutive failures, or an explicit Trip
+// on a permanent fault) → half-open (one probe after the cooldown)
+// → closed on probe success, or back to open with a doubled, capped
+// cooldown on probe failure.
+//
+// It was extracted from the Supervisor's recovery machinery so the
+// fleet router can run the identical discipline per backend: the
+// Supervisor breaks on a slot's hardware, the router breaks on a
+// backend's HTTP behavior, and both heal through capped-backoff
+// probes. A Breaker is safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	cooldown time.Duration
+	openedAt time.Time
+
+	trips      uint64
+	reopens    uint64
+	recoveries uint64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, cooldown: cfg.Cooldown}
+}
+
+// Allow reports whether a request may proceed. Closed always allows.
+// Open allows exactly one caller once the cooldown has elapsed — that
+// caller holds the half-open probe and MUST report Success or Failure.
+// Half-open (probe already claimed) refuses.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen
+		return false
+	}
+}
+
+// Success records a successful request: the breaker closes (from any
+// state), the failure run resets, and the cooldown returns to its
+// base value.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.recoveries++
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.cooldown = b.cfg.Cooldown
+}
+
+// Failure records a failed request and returns the resulting state.
+// In closed it counts toward the threshold; reaching it trips the
+// breaker. In half-open the probe failed: the breaker re-opens with
+// the cooldown doubled, capped at MaxCooldown. In open it is a no-op
+// (the failure belongs to a request admitted before the trip).
+func (b *Breaker) Failure() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.open(b.cfg.Cooldown)
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		next := 2 * b.cooldown
+		if next > b.cfg.MaxCooldown {
+			next = b.cfg.MaxCooldown
+		}
+		b.open(next)
+		b.reopens++
+	}
+	return b.state
+}
+
+// Trip force-opens the breaker immediately (permanent faults skip the
+// threshold count). Re-tripping an already open breaker restarts the
+// current cooldown without counting a new trip.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		b.trips++
+	}
+	b.open(b.cooldown)
+}
+
+// open transitions to BreakerOpen with the given cooldown. Callers
+// hold b.mu.
+func (b *Breaker) open(cooldown time.Duration) {
+	b.state = BreakerOpen
+	b.cooldown = cooldown
+	b.openedAt = b.cfg.Now()
+	b.fails = 0
+}
+
+// State returns the current state without advancing it: an open
+// breaker whose cooldown has elapsed still reports open until a
+// caller claims the probe through Allow.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is a breaker's counter block for health and metrics.
+type BreakerSnapshot struct {
+	State BreakerState
+	// ConsecFails is the current run of consecutive failures (closed
+	// state only; trips reset it).
+	ConsecFails int
+	// Cooldown is the open interval currently in force (doubles on
+	// failed probes, capped).
+	Cooldown time.Duration
+	// Trips counts closed→open transitions (including Trip calls);
+	// Reopens counts failed half-open probes; Recoveries counts
+	// successful closes from open/half-open.
+	Trips      uint64
+	Reopens    uint64
+	Recoveries uint64
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{
+		State:       b.state,
+		ConsecFails: b.fails,
+		Cooldown:    b.cooldown,
+		Trips:       b.trips,
+		Reopens:     b.reopens,
+		Recoveries:  b.recoveries,
+	}
+}

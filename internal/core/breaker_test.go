@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for driving a Breaker through
+// its cooldown schedule without real sleeps.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func newTestBreaker(clk *fakeClock, cfg BreakerConfig) *Breaker {
+	cfg.Now = clk.Now
+	return NewBreaker(cfg)
+}
+
+// TestBreakerTransitions drives the full state machine table-style:
+// each case is a scripted sequence of events and clock advances with
+// the state expected after every step.
+func TestBreakerTransitions(t *testing.T) {
+	const (
+		evFail    = "fail"    // Failure()
+		evOK      = "ok"      // Success()
+		evTrip    = "trip"    // Trip()
+		evAllow   = "allow"   // Allow() must return true
+		evRefuse  = "refuse"  // Allow() must return false
+		evAdvance = "advance" // clock += d
+	)
+	type step struct {
+		ev    string
+		d     time.Duration
+		state BreakerState
+	}
+	cfg := BreakerConfig{Threshold: 3, Cooldown: time.Second, MaxCooldown: 4 * time.Second}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "stays closed below threshold",
+			steps: []step{
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerClosed},
+				{ev: evOK, state: BreakerClosed},
+				// Success reset the run: two more failures still don't trip.
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerClosed},
+			},
+		},
+		{
+			name: "threshold trips and cooldown gates the probe",
+			steps: []step{
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerOpen},
+				{ev: evRefuse, state: BreakerOpen},
+				{ev: evAdvance, d: 999 * time.Millisecond},
+				{ev: evRefuse, state: BreakerOpen},
+				{ev: evAdvance, d: time.Millisecond},
+				{ev: evAllow, state: BreakerHalfOpen},
+				// The probe is singular: a second caller is refused.
+				{ev: evRefuse, state: BreakerHalfOpen},
+				{ev: evOK, state: BreakerClosed},
+			},
+		},
+		{
+			name: "trip opens immediately",
+			steps: []step{
+				{ev: evTrip, state: BreakerOpen},
+				{ev: evRefuse, state: BreakerOpen},
+				{ev: evAdvance, d: time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+				{ev: evOK, state: BreakerClosed},
+			},
+		},
+		{
+			name: "failed probe re-opens with doubled backoff",
+			steps: []step{
+				{ev: evTrip, state: BreakerOpen},
+				{ev: evAdvance, d: time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+				{ev: evFail, state: BreakerOpen},
+				// Cooldown doubled to 2s: the old 1s cadence is refused.
+				{ev: evAdvance, d: time.Second},
+				{ev: evRefuse, state: BreakerOpen},
+				{ev: evAdvance, d: time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+				{ev: evFail, state: BreakerOpen},
+				// Doubled again to 4s == MaxCooldown.
+				{ev: evAdvance, d: 2 * time.Second},
+				{ev: evRefuse, state: BreakerOpen},
+				{ev: evAdvance, d: 2 * time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+				{ev: evFail, state: BreakerOpen},
+				// Capped: still 4s, not 8s.
+				{ev: evAdvance, d: 4 * time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+				// Recovery resets the cooldown to its base value.
+				{ev: evOK, state: BreakerClosed},
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerClosed},
+				{ev: evFail, state: BreakerOpen},
+				{ev: evAdvance, d: time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+			},
+		},
+		{
+			name: "open failures are no-ops",
+			steps: []step{
+				{ev: evTrip, state: BreakerOpen},
+				// Stragglers admitted before the trip report failures; they
+				// must not stretch the cooldown or count as probe failures.
+				{ev: evFail, state: BreakerOpen},
+				{ev: evFail, state: BreakerOpen},
+				{ev: evAdvance, d: time.Second},
+				{ev: evAllow, state: BreakerHalfOpen},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := newFakeClock()
+			b := newTestBreaker(clk, cfg)
+			for i, s := range tc.steps {
+				switch s.ev {
+				case evFail:
+					b.Failure()
+				case evOK:
+					b.Success()
+				case evTrip:
+					b.Trip()
+				case evAllow:
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow() = false, want true", i)
+					}
+				case evRefuse:
+					if b.Allow() {
+						t.Fatalf("step %d: Allow() = true, want false", i)
+					}
+				case evAdvance:
+					clk.Advance(s.d)
+					continue
+				default:
+					t.Fatalf("step %d: unknown event %q", i, s.ev)
+				}
+				if got := b.State(); got != s.state {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, s.ev, got, s.state)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerCounters pins the counter semantics the router's metrics
+// endpoint exports: trips on closed→open only, reopens on failed
+// probes, recoveries on successful closes from a non-closed state.
+func TestBreakerCounters(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, BreakerConfig{Threshold: 2, Cooldown: time.Second, MaxCooldown: 8 * time.Second})
+
+	b.Failure()
+	b.Failure() // trip 1
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Failure() // reopen 1 (not a trip)
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after doubled cooldown")
+	}
+	b.Success() // recovery 1
+	b.Trip()    // trip 2
+	b.Trip()    // already open: restarts cooldown, not a new trip
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after re-trip cooldown")
+	}
+	b.Success() // recovery 2
+
+	snap := b.Snapshot()
+	if snap.State != BreakerClosed {
+		t.Errorf("state = %v, want closed", snap.State)
+	}
+	if snap.Trips != 2 || snap.Reopens != 1 || snap.Recoveries != 2 {
+		t.Errorf("counters = trips %d reopens %d recoveries %d, want 2/1/2",
+			snap.Trips, snap.Reopens, snap.Recoveries)
+	}
+	if snap.Cooldown != time.Second {
+		t.Errorf("cooldown = %v, want reset to 1s", snap.Cooldown)
+	}
+	if snap.ConsecFails != 0 {
+		t.Errorf("consecFails = %d, want 0", snap.ConsecFails)
+	}
+}
+
+// TestBreakerStateString keeps the metric label names stable.
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+// TestBreakerDefaults exercises the zero-value config path.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a request")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerOpen {
+		t.Errorf("state after 3 failures = %v, want open (default threshold 3)", b.State())
+	}
+}

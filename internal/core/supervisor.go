@@ -46,9 +46,18 @@ type Supervisor struct {
 	// canary defends.
 	targetRate float64
 
+	// breaker is the shared circuit-breaker state machine, driven by a
+	// virtual clock that advances one nanosecond per degraded
+	// detection: BreakerCooldown is therefore measured in degraded
+	// detections served, exactly as the supervisor's original inline
+	// counter did, while the router reuses the same Breaker against
+	// wall time. MaxCooldown is pinned to Cooldown so the half-open
+	// backoff stays flat here (a fixed probe cadence keeps time-to-
+	// recovery bounded for a plane that heals when the excursion ends).
+	breaker *Breaker
+	ticks   int64
+
 	state             State
-	consecFails       int
-	cooldown          int
 	sinceCanary       int
 	consecCanaryFails int
 	h                 Health
@@ -205,12 +214,19 @@ func NewSupervisor(s *StochasticHMD, cfg SupervisorConfig) (*Supervisor, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &Supervisor{
+	sup := &Supervisor{
 		s:          s,
 		sess:       sess,
 		cfg:        cfg.withDefaults(),
 		targetRate: target,
-	}, nil
+	}
+	sup.breaker = NewBreaker(BreakerConfig{
+		Threshold:   sup.cfg.BreakerThreshold,
+		Cooldown:    time.Duration(sup.cfg.BreakerCooldown),
+		MaxCooldown: time.Duration(sup.cfg.BreakerCooldown),
+		Now:         func() time.Time { return time.Unix(0, sup.ticks) },
+	})
+	return sup, nil
 }
 
 // Session exposes the supervised session (demos inspect its depth and
@@ -247,17 +263,16 @@ func (sup *Supervisor) DetectProgram(windows []trace.WindowCounts) (Verdict, err
 	sup.h.Detections++
 
 	if sup.state == Degraded {
-		sup.cooldown++
-		if sup.cooldown >= sup.cfg.BreakerCooldown {
+		sup.ticks++ // degraded detections are the breaker's clock
+		if sup.breaker.Allow() {
 			// Half-open probe: one protected attempt set.
 			if v, err := sup.tryProtected(windows); err == nil {
+				sup.breaker.Success()
 				sup.state = Healthy
-				sup.consecFails = 0
-				sup.cooldown = 0
 				sup.h.Recoveries++
 				return v, nil
 			}
-			sup.cooldown = 0
+			sup.breaker.Failure()
 		}
 		return sup.degraded(windows), nil
 	}
@@ -265,14 +280,19 @@ func (sup *Supervisor) DetectProgram(windows []trace.WindowCounts) (Verdict, err
 	v, err := sup.tryProtected(windows)
 	if err != nil {
 		sup.h.Failures++
-		sup.consecFails++
 		sup.state = Retrying
-		if sup.consecFails >= sup.cfg.BreakerThreshold || permanentErr(err) {
-			sup.trip()
+		if permanentErr(err) {
+			sup.breaker.Trip()
+		} else {
+			sup.breaker.Failure()
+		}
+		if sup.breaker.State() == BreakerOpen {
+			sup.state = Degraded
+			sup.h.Trips++
 		}
 		return sup.degraded(windows), nil
 	}
-	sup.consecFails = 0
+	sup.breaker.Success()
 	if v.Attempts > 1 {
 		sup.state = Retrying
 	} else {
@@ -362,13 +382,6 @@ func (sup *Supervisor) canary() {
 	} else {
 		sup.failSafe()
 	}
-}
-
-// trip opens the breaker into degraded mode. Callers hold sup.mu.
-func (sup *Supervisor) trip() {
-	sup.state = Degraded
-	sup.cooldown = 0
-	sup.h.Trips++
 }
 
 // failSafe insists the plane sits at nominal voltage with a zero

@@ -27,13 +27,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"hash/fnv"
 	"math"
-	"os"
-	"path/filepath"
 
 	"shmd/internal/volt"
+	"shmd/internal/wire"
 )
 
 // Magic identifies a calibration journal file (8 bytes, version in the
@@ -88,10 +86,10 @@ type payload struct {
 	Entries []Entry `json:"entries"`
 }
 
-// Save writes entries atomically: temp file in the same directory,
-// fsync, rename over path. A reader concurrent with Save sees either
-// the old journal or the new one, never a mixture, and a crash at any
-// point leaves a loadable file.
+// Save writes entries atomically through the shared wire block codec:
+// temp file in the same directory, fsync, rename over path. A reader
+// concurrent with Save sees either the old journal or the new one,
+// never a mixture, and a crash at any point leaves a loadable file.
 func Save(path string, entries []Entry) error {
 	for _, e := range entries {
 		if err := e.validate(); err != nil {
@@ -105,70 +103,26 @@ func Save(path string, entries []Entry) error {
 	if len(body) > maxPayload {
 		return fmt.Errorf("journal: payload %d bytes exceeds %d", len(body), maxPayload)
 	}
-	buf := make([]byte, 0, len(Magic)+4+len(body)+4)
-	buf = append(buf, Magic...)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
-	buf = append(buf, body...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
-
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".journal-*")
-	if err != nil {
-		return fmt.Errorf("journal: temp file: %w", err)
-	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		return fmt.Errorf("journal: write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("journal: fsync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("journal: close: %w", err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("journal: rename: %w", err)
-	}
-	// Durability of the rename itself (best effort: some filesystems
-	// refuse directory fsync).
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
-	return nil
+	return wire.SaveBlock(path, Magic, body)
 }
 
 // Load reads and verifies a journal. A missing file returns the
 // underlying fs.ErrNotExist (callers treat it as a cold start); any
 // structural damage — bad magic, bad length, checksum mismatch,
 // invalid JSON, implausible entries — returns an error wrapping
-// ErrCorrupt so callers can recalibrate and regenerate.
+// ErrCorrupt so callers can recalibrate and regenerate. (Framing
+// failures from the wire codec are re-wrapped so the journal's own
+// sentinel keeps working.)
 func Load(path string) ([]Entry, error) {
-	raw, err := os.ReadFile(path)
+	body, err := wire.LoadBlock(path, Magic, maxPayload)
 	if err != nil {
+		if errors.Is(err, wire.ErrCorrupt) {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 		return nil, err
 	}
-	const overhead = len(Magic) + 4 + 4
-	if len(raw) < overhead {
-		return nil, fmt.Errorf("%w: %d bytes, shorter than header+trailer", ErrCorrupt, len(raw))
-	}
-	if string(raw[:len(Magic)]) != Magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, raw[:len(Magic)])
-	}
-	n := binary.BigEndian.Uint32(raw[len(Magic):])
-	if n > maxPayload || int(n) != len(raw)-overhead {
-		return nil, fmt.Errorf("%w: payload length %d does not match file size %d", ErrCorrupt, n, len(raw))
-	}
-	bodyEnd := len(raw) - 4
-	want := binary.BigEndian.Uint32(raw[bodyEnd:])
-	if got := crc32.ChecksumIEEE(raw[:bodyEnd]); got != want {
-		return nil, fmt.Errorf("%w: CRC32 %08x, trailer says %08x", ErrCorrupt, got, want)
-	}
 	var p payload
-	if err := json.Unmarshal(raw[len(Magic)+4:bodyEnd], &p); err != nil {
+	if err := json.Unmarshal(body, &p); err != nil {
 		return nil, fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
 	}
 	for _, e := range p.Entries {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"shmd/internal/volt"
+	"shmd/internal/wire"
 )
 
 func testEntries() []Entry {
@@ -59,9 +60,11 @@ func TestLoadMissing(t *testing.T) {
 	}
 }
 
-// TestCorruption flips every byte position in a valid journal in turn
-// and demands each mutant is rejected as corrupt — including the CRC
-// trailer bytes the acceptance criterion singles out.
+// TestCorruption checks the journal re-wraps the shared codec's
+// framing failures in its own ErrCorrupt sentinel, and that corrupt
+// *content* inside an intact frame (bad JSON, implausible entries) is
+// refused the same way. The exhaustive byte-flip/truncation corpus
+// lives with the codec in internal/wire.
 func TestCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cal.journal")
 	if err := Save(path, testEntries()); err != nil {
@@ -72,31 +75,28 @@ func TestCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	mut := filepath.Join(t.TempDir(), "mut.journal")
-	for i := range raw {
-		flipped := append([]byte(nil), raw...)
-		flipped[i] ^= 0xFF
-		if err := os.WriteFile(mut, flipped, 0o644); err != nil {
+	cases := map[string][]byte{
+		"flipped magic":    append([]byte("XHMDJNL1"), raw[8:]...),
+		"flipped payload":  append(append([]byte(nil), raw[:len(raw)/2]...), append([]byte{raw[len(raw)/2] ^ 0xFF}, raw[len(raw)/2+1:]...)...),
+		"flipped trailer":  append(append([]byte(nil), raw[:len(raw)-1]...), raw[len(raw)-1]^0xFF),
+		"truncated":        raw[:len(raw)-5],
+		"trailing garbage": append(append([]byte(nil), raw...), 'x'),
+	}
+	for name, mutant := range cases {
+		if err := os.WriteFile(mut, mutant, 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("byte %d flipped: err = %v, want ErrCorrupt", i, err)
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
 		}
 	}
-	// Truncations are corrupt too, at every length.
-	for n := 0; n < len(raw); n++ {
-		if err := os.WriteFile(mut, raw[:n], 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
-			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
-		}
-	}
-	// Trailing garbage breaks the length/CRC contract.
-	if err := os.WriteFile(mut, append(append([]byte(nil), raw...), 'x'), 0o644); err != nil {
+	// Intact framing around a semantically absurd entry is still
+	// refused: wire accepts the frame, the journal rejects the content.
+	if err := os.WriteFile(mut, wire.EncodeBlock(Magic, []byte(`{"entries":[{"device":"d","rate":9,"depthMV":1,"tempC":0}]}`)), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(mut); !errors.Is(err, ErrCorrupt) {
-		t.Errorf("trailing garbage: err = %v, want ErrCorrupt", err)
+		t.Errorf("absurd entry: err = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -2,9 +2,9 @@
 // and the tooling to re-execute recorded decisions off-hardware.
 //
 // A trace file is the magic "SHMDTRC1" followed by length-framed
-// records, each protected by a CRC32-IEEE trailer — the same framing
-// discipline as the calibration journal (internal/journal), applied
-// per record so a torn tail loses at most the last record. Every
+// records, each protected by a CRC32-IEEE trailer — the shared framing
+// discipline of internal/wire (also used by the calibration journal),
+// applied per record so a torn tail loses at most the last record. Every
 // record carries the full provenance of one decision: seed lineage
 // (root-derived stream seed, slot, generation), operating point
 // (target rate, undervolt depth), the input feature windows, the
@@ -19,13 +19,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 
 	"shmd/internal/faults"
 	"shmd/internal/isa"
 	"shmd/internal/trace"
+	"shmd/internal/wire"
 )
 
 // Magic identifies (and versions) the trace format; an incompatible
@@ -373,19 +373,21 @@ func DecodeRecord(payload []byte) (Record, error) {
 	return r, nil
 }
 
-// Writer streams framed records to w. It writes the file magic on
-// construction and one length+payload+CRC frame per record.
+// Writer streams framed records to w through the shared wire frame
+// codec. It writes the file magic on construction and one
+// length+payload+CRC frame per record.
 type Writer struct {
-	w   io.Writer
+	fw  *wire.FrameWriter
 	buf []byte
 }
 
 // NewWriter writes the trace magic and returns a record writer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	if _, err := io.WriteString(w, Magic); err != nil {
+	fw, err := wire.NewFrameWriter(w, Magic)
+	if err != nil {
 		return nil, err
 	}
-	return &Writer{w: w}, nil
+	return &Writer{fw: fw}, nil
 }
 
 // WriteRecord frames and writes one record.
@@ -395,60 +397,35 @@ func (tw *Writer) WriteRecord(r Record) error {
 		return err
 	}
 	tw.buf = payload // keep the grown buffer for reuse
-	var frame [4]byte
-	binary.BigEndian.PutUint32(frame[:], uint32(len(payload)))
-	if _, err := tw.w.Write(frame[:]); err != nil {
-		return err
-	}
-	if _, err := tw.w.Write(payload); err != nil {
-		return err
-	}
-	binary.BigEndian.PutUint32(frame[:], crc32.ChecksumIEEE(payload))
-	_, err = tw.w.Write(frame[:])
-	return err
+	return tw.fw.WriteFrame(payload)
 }
 
 // Reader streams records back out of a trace. Next returns io.EOF at
 // a clean end of file; every other failure wraps ErrCorrupt.
 type Reader struct {
-	r io.Reader
+	fr *wire.FrameReader
 }
 
 // NewReader checks the trace magic and returns a record reader.
+// Framing failures are re-wrapped so the trace format's own ErrCorrupt
+// sentinel keeps working for callers.
 func NewReader(r io.Reader) (*Reader, error) {
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return nil, corrupt("reading magic: %v", err)
+	fr, err := wire.NewFrameReader(r, Magic, maxPayload)
+	if err != nil {
+		return nil, corrupt("%v", err)
 	}
-	if string(magic) != Magic {
-		return nil, corrupt("bad magic %q", magic)
-	}
-	return &Reader{r: r}, nil
+	return &Reader{fr: fr}, nil
 }
 
 // Next reads one record. io.EOF means the trace ended cleanly at a
 // record boundary; a torn or damaged record wraps ErrCorrupt.
 func (tr *Reader) Next() (Record, error) {
-	var frame [4]byte
-	if _, err := io.ReadFull(tr.r, frame[:]); err != nil {
+	payload, err := tr.fr.Next()
+	if err != nil {
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
-		return Record{}, corrupt("torn record length: %v", err)
-	}
-	n := binary.BigEndian.Uint32(frame[:])
-	if n > maxPayload {
-		return Record{}, corrupt("record length %d exceeds %d", n, maxPayload)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(tr.r, payload); err != nil {
-		return Record{}, corrupt("torn record payload: %v", err)
-	}
-	if _, err := io.ReadFull(tr.r, frame[:]); err != nil {
-		return Record{}, corrupt("torn record checksum: %v", err)
-	}
-	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(frame[:]); got != want {
-		return Record{}, corrupt("checksum mismatch: %08x != %08x", got, want)
+		return Record{}, corrupt("%v", err)
 	}
 	return DecodeRecord(payload)
 }

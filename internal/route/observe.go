@@ -1,0 +1,281 @@
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"shmd/internal/core"
+)
+
+// Metrics is the router's counter block, rendered in the Prometheus
+// text format alongside per-backend gauges read at scrape time.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[int]*atomic.Uint64
+
+	sheds     atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	retries   atomic.Uint64
+	ejections atomic.Uint64
+}
+
+// NewMetrics builds an empty counter block.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[int]*atomic.Uint64)}
+}
+
+// Request records one routed request by final status code.
+func (m *Metrics) Request(code int) {
+	m.mu.Lock()
+	c, ok := m.requests[code]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.requests[code] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// Shed records one request refused because no backend was routable or
+// the router was draining.
+func (m *Metrics) Shed() { m.sheds.Add(1) }
+
+// Hedge records one hedged re-dispatch onto a second backend.
+func (m *Metrics) Hedge() { m.hedges.Add(1) }
+
+// HedgeWin records one reply won by the hedge attempt.
+func (m *Metrics) HedgeWin() { m.hedgeWins.Add(1) }
+
+// Retry records one retry round after a failed dispatch.
+func (m *Metrics) Retry() { m.retries.Add(1) }
+
+// Ejection records one backend leaving the rotation on a failed probe.
+func (m *Metrics) Ejection() { m.ejections.Add(1) }
+
+// Sheds reports brownout/drain refusals.
+func (m *Metrics) Sheds() uint64 { return m.sheds.Load() }
+
+// Hedges reports hedged re-dispatches.
+func (m *Metrics) Hedges() uint64 { return m.hedges.Load() }
+
+// HedgeWins reports replies won by hedge attempts.
+func (m *Metrics) HedgeWins() uint64 { return m.hedgeWins.Load() }
+
+// Retries reports retry rounds.
+func (m *Metrics) Retries() uint64 { return m.retries.Load() }
+
+// Ejections reports rotation ejections.
+func (m *Metrics) Ejections() uint64 { return m.ejections.Load() }
+
+// BackendHealth is one backend's row in the /healthz report.
+type BackendHealth struct {
+	Backend string `json:"backend"`
+	// Ready is the active prober's last verdict; Breaker is the
+	// passive request-outcome verdict. A backend serves traffic only
+	// when both agree.
+	Ready    bool   `json:"ready"`
+	Breaker  string `json:"breaker"`
+	Inflight int64  `json:"inflight"`
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Trips/Reopens/Recoveries are the breaker's transition counters.
+	Trips      uint64 `json:"trips"`
+	Reopens    uint64 `json:"reopens"`
+	Recoveries uint64 `json:"recoveries"`
+	// Ejections counts this backend's exits from the probe rotation.
+	Ejections uint64 `json:"ejections"`
+}
+
+// RouteHealth is the GET /healthz body.
+type RouteHealth struct {
+	// Status is "ok" while at least one backend is routable,
+	// "brownout" when none is.
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// healthReport assembles the current fleet view.
+func (rt *Router) healthReport() RouteHealth {
+	report := RouteHealth{Status: "brownout"}
+	for _, b := range rt.backends {
+		snap := b.breaker.Snapshot()
+		if b.routable() {
+			report.Status = "ok"
+		}
+		report.Backends = append(report.Backends, BackendHealth{
+			Backend:    b.name,
+			Ready:      b.ready.Load(),
+			Breaker:    snap.State.String(),
+			Inflight:   b.inflight.Load(),
+			Requests:   b.requests.Load(),
+			Failures:   b.failures.Load(),
+			Trips:      snap.Trips,
+			Reopens:    snap.Reopens,
+			Recoveries: snap.Recoveries,
+			Ejections:  b.ejections.Load(),
+		})
+	}
+	return report
+}
+
+// Health returns the current fleet view (the /healthz body). The soak
+// harness samples it to assert traffic re-converges onto survivors
+// after a backend dies.
+func (rt *Router) Health() RouteHealth { return rt.healthReport() }
+
+// handleHealthz serves GET /healthz: 200 while at least one backend is
+// routable, 503 during a total brownout. The body is the per-backend
+// fleet view either way.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	report := rt.healthReport()
+	code := http.StatusOK
+	if report.Status != "ok" {
+		code = http.StatusServiceUnavailable
+		rt.shedHint(w)
+	}
+	rt.metrics.Request(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(report)
+}
+
+// handleReadyz serves GET /readyz: like /healthz, but it also flips
+// 503 the moment the router starts draining, so an upstream tier stops
+// sending before the listener closes.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	ready, reason := true, ""
+	if rt.draining.Load() {
+		ready, reason = false, "draining"
+	} else if rt.healthReport().Status != "ok" {
+		ready, reason = false, "brownout"
+	}
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+		rt.shedHint(w)
+	}
+	rt.metrics.Request(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason,omitempty"`
+	}{Ready: ready, Reason: reason})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text format.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rt.metrics.Request(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.writeProm(w)
+}
+
+// breakerStateValue encodes a breaker state as a numeric gauge
+// (0 closed, 1 open, 2 half-open), mirroring shmd_session_state.
+func breakerStateValue(s core.BreakerState) int {
+	switch s {
+	case core.BreakerOpen:
+		return 1
+	case core.BreakerHalfOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// writeProm renders the router counters and per-backend gauges.
+func (rt *Router) writeProm(w io.Writer) {
+	m := rt.metrics
+	fmt.Fprintln(w, "# HELP shmd_route_requests_total Routed requests, by final status code.")
+	fmt.Fprintln(w, "# TYPE shmd_route_requests_total counter")
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.requests))
+	for code := range m.requests {
+		codes = append(codes, code)
+	}
+	sort.Ints(codes)
+	counts := make(map[int]uint64, len(codes))
+	for _, code := range codes {
+		counts[code] = m.requests[code].Load()
+	}
+	m.mu.Unlock()
+	for _, code := range codes {
+		fmt.Fprintf(w, "shmd_route_requests_total{code=\"%d\"} %d\n", code, counts[code])
+	}
+
+	scalars := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"shmd_route_sheds_total", "Requests refused with no routable backend or while draining.", m.sheds.Load()},
+		{"shmd_route_hedges_total", "Requests re-dispatched onto a second backend past the hedge budget.", m.hedges.Load()},
+		{"shmd_route_hedge_wins_total", "Replies won by the hedge attempt.", m.hedgeWins.Load()},
+		{"shmd_route_retries_total", "Retry rounds after failed dispatches.", m.retries.Load()},
+		{"shmd_route_ejections_total", "Backends ejected from the rotation on failed health probes.", m.ejections.Load()},
+	}
+	for _, s := range scalars {
+		fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+		fmt.Fprintf(w, "%s %d\n", s.name, s.value)
+	}
+
+	type row struct {
+		name, help, kind string
+		value            func(b *backend, snap core.BreakerSnapshot) string
+	}
+	rows := []row{
+		{"shmd_route_backend_up", "Backend in the probe rotation (1) or ejected (0).", "gauge",
+			func(b *backend, _ core.BreakerSnapshot) string {
+				if b.ready.Load() {
+					return "1"
+				}
+				return "0"
+			}},
+		{"shmd_route_backend_breaker_state", "Backend breaker state (0 closed, 1 open, 2 half-open).", "gauge",
+			func(_ *backend, snap core.BreakerSnapshot) string {
+				return fmt.Sprintf("%d", breakerStateValue(snap.State))
+			}},
+		{"shmd_route_backend_inflight", "Outstanding requests dispatched to the backend.", "gauge",
+			func(b *backend, _ core.BreakerSnapshot) string { return fmt.Sprintf("%d", b.inflight.Load()) }},
+		{"shmd_route_backend_requests_total", "Dispatch attempts sent to the backend (incl. hedges and retries).", "counter",
+			func(b *backend, _ core.BreakerSnapshot) string { return fmt.Sprintf("%d", b.requests.Load()) }},
+		{"shmd_route_backend_failures_total", "Attempts that counted as breaker failures (connect errors, 5xx).", "counter",
+			func(b *backend, _ core.BreakerSnapshot) string { return fmt.Sprintf("%d", b.failures.Load()) }},
+		{"shmd_route_backend_breaker_trips_total", "Breaker trips (closed to open).", "counter",
+			func(_ *backend, snap core.BreakerSnapshot) string { return fmt.Sprintf("%d", snap.Trips) }},
+		{"shmd_route_backend_breaker_reopens_total", "Failed half-open probes (re-opened with doubled cooldown).", "counter",
+			func(_ *backend, snap core.BreakerSnapshot) string { return fmt.Sprintf("%d", snap.Reopens) }},
+		{"shmd_route_backend_breaker_recoveries_total", "Breaker recoveries back to closed.", "counter",
+			func(_ *backend, snap core.BreakerSnapshot) string { return fmt.Sprintf("%d", snap.Recoveries) }},
+		{"shmd_route_backend_ejections_total", "Rotation ejections on failed health probes.", "counter",
+			func(b *backend, _ core.BreakerSnapshot) string { return fmt.Sprintf("%d", b.ejections.Load()) }},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "# HELP %s %s\n", r.name, r.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", r.name, r.kind)
+		for _, b := range rt.backends {
+			fmt.Fprintf(w, "%s{backend=\"%s\"} %s\n", r.name, b.name, r.value(b, b.breaker.Snapshot()))
+		}
+	}
+}

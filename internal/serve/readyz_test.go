@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// getReadyz hits /readyz on the handler directly and decodes the body.
+func getReadyz(t *testing.T, srv *Server) (int, ReadyReport, http.Header) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	var report ReadyReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &report); err != nil {
+		t.Fatalf("readyz body: %v", err)
+	}
+	return rec.Code, report, rec.Header()
+}
+
+// TestReadyzReady pins the happy path: a fresh server is ready, and
+// readiness is distinct from the liveness report on /healthz.
+func TestReadyzReady(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	defer srv.Close()
+	code, report, _ := getReadyz(t, srv)
+	if code != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200", code)
+	}
+	if !report.Ready || report.Reason != "" {
+		t.Errorf("report = %+v, want ready with no reason", report)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/readyz", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /readyz = %d, want 405", rec.Code)
+	}
+}
+
+// TestReadyzDrain is the satellite's essential property: /readyz turns
+// 503 the moment a graceful drain begins, while /healthz (liveness)
+// still answers 200 for the healthy pool.
+func TestReadyzDrain(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, report, hdr := getReadyz(t, srv)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", code)
+	}
+	if report.Ready || report.Reason != "draining" {
+		t.Errorf("report = %+v, want not-ready/draining", report)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200 (liveness is not readiness)", rec.Code)
+	}
+}
+
+// TestReadyzDrainDuringServe checks the Serve shutdown path flips
+// readiness too, not just the direct Drain entry point.
+func TestReadyzDrainDuringServe(t *testing.T) {
+	srv := newTestServer(t, Config{ShutdownTimeout: 5 * time.Second})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	code, report, _ := getReadyz(t, srv)
+	if code != http.StatusServiceUnavailable || report.Reason != "draining" {
+		t.Errorf("after Serve shutdown: code %d report %+v, want 503/draining", code, report)
+	}
+}
+
+// TestShedHintJitter pins the seeded jitter contract: hints stay in
+// [1, 3] and an equal seed reproduces the exact sequence.
+func TestShedHintJitter(t *testing.T) {
+	draw := func(seed int64, n int) []string {
+		srv := newTestServer(t, Config{JitterSeed: seed})
+		defer srv.Close()
+		hints := make([]string, n)
+		for i := range hints {
+			rec := httptest.NewRecorder()
+			srv.shedHint(rec)
+			hints[i] = rec.Header().Get("Retry-After")
+			v, err := strconv.Atoi(hints[i])
+			if err != nil || v < 1 || v > 3 {
+				t.Fatalf("hint %q outside [1,3]", hints[i])
+			}
+		}
+		return hints
+	}
+	a, b := draw(77, 64), draw(77, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hint %d diverged under equal seeds: %s vs %s", i, a[i], b[i])
+		}
+	}
+	distinct := map[string]bool{}
+	for _, h := range draw(78, 64) {
+		distinct[h] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("64 hints never varied; jitter is not jittering")
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"shmd/internal/backoff"
 	"shmd/internal/core"
 	"shmd/internal/faults"
 	"shmd/internal/hmd"
@@ -54,6 +56,10 @@ type Config struct {
 	// detection. The server enables per-slot draw recording when set;
 	// the caller owns the sink's lifetime (Close after Serve returns).
 	Trace *replay.Sink
+	// JitterSeed seeds the Retry-After jitter so shed clients do not
+	// retry in lockstep (0 = seed from the clock at startup; tests pin
+	// a seed for reproducible hints).
+	JitterSeed int64
 }
 
 // withDefaults fills unset fields (pool defaults resolve first so the
@@ -92,6 +98,13 @@ type Server struct {
 	// finish and its slot must be released), so shutdown waits here as
 	// well as on inflight.
 	detWG sync.WaitGroup
+	// jitter randomizes Retry-After hints on shed responses.
+	jitter *backoff.Jitter
+	// draining flips the moment a graceful shutdown begins, before any
+	// in-flight request finishes: /readyz turns 503 immediately so load
+	// balancers stop routing here while the drain completes, even
+	// though /healthz (liveness) keeps answering for the pool.
+	draining atomic.Bool
 }
 
 // New builds a Server around a trained baseline detector.
@@ -110,6 +123,10 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 	}
 	cfg.Limits = cfg.Limits.withDefaults()
 	cfg.Limits.MinWindows = base.Config().Period
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	s := &Server{
 		cfg:       cfg,
 		pool:      pool,
@@ -117,10 +134,12 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 		threshold: base.Config().Threshold,
 		queue:     make(chan struct{}, pool.Size()+cfg.QueueDepth),
 		inflight:  make(chan struct{}, pool.Size()+cfg.QueueDepth),
+		jitter:    backoff.New(seed),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -147,6 +166,13 @@ func (s *Server) status(w http.ResponseWriter, code int, msg string) {
 	http.Error(w, msg, code)
 }
 
+// shedHint sets a jittered Retry-After header (1–3s) on a shed
+// response so rejected clients spread their retries instead of
+// stampeding back together.
+func (s *Server) shedHint(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.Seconds(1, 3)))
+}
+
 // handleDetect serves POST /v1/detect.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -163,7 +189,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.queue }()
 	default:
 		s.metrics.QueueReject()
-		w.Header().Set("Retry-After", "1")
+		s.shedHint(w)
 		s.status(w, http.StatusTooManyRequests, "detection queue full")
 		return
 	}
@@ -237,13 +263,14 @@ func (s *Server) failDetect(w http.ResponseWriter, r *http.Request, err error) {
 		s.metrics.Request(statusClientClosedRequest)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.metrics.DeadlineExpired()
-		w.Header().Set("Retry-After", "1")
+		s.shedHint(w)
 		s.status(w, http.StatusServiceUnavailable, "detection deadline exceeded")
 	case errors.Is(err, ErrPoolClosed):
 		s.status(w, http.StatusServiceUnavailable, err.Error())
 	default:
 		var ae *AcquireError
 		if errors.As(err, &ae) {
+			s.shedHint(w)
 			s.status(w, http.StatusServiceUnavailable, err.Error())
 			return
 		}
@@ -499,6 +526,45 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(report)
 }
 
+// ReadyReport is the GET /readyz body.
+type ReadyReport struct {
+	// Ready is true while the server should receive new traffic.
+	Ready bool `json:"ready"`
+	// Reason explains a false Ready: "draining" (graceful shutdown in
+	// progress) or "degraded" (every pooled breaker is open).
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz serves GET /readyz: readiness, as distinct from the
+// liveness /healthz reports. It turns 503 the moment a graceful drain
+// begins — while in-flight requests are still completing — so a router
+// health-probing this endpoint stops sending new work before the
+// listener disappears. A fully degraded pool is also not ready: the
+// fleet should prefer backends that still detect protected.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	report := ReadyReport{Ready: true}
+	switch {
+	case s.draining.Load():
+		report = ReadyReport{Reason: "draining"}
+	case s.pool.Degraded():
+		report = ReadyReport{Reason: "degraded"}
+	}
+	code := http.StatusOK
+	if !report.Ready {
+		code = http.StatusServiceUnavailable
+		s.shedHint(w)
+	}
+	s.metrics.Request(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(report)
+}
+
 // handleMetrics serves GET /metrics in the Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -528,6 +594,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() { done <- httpSrv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
+		s.draining.Store(true) // /readyz goes 503 before the drain starts
 		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 		defer cancel()
 		err := httpSrv.Shutdown(shCtx) // drains in-flight requests
@@ -562,6 +629,7 @@ func (s *Server) waitRunners(ctx context.Context) {
 // directly (no http.Server), so this is their graceful-shutdown
 // entry point; Serve gets the same drain from http.Server.Shutdown.
 func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
 	for i := 0; i < cap(s.inflight); i++ {
 		select {
 		case s.inflight <- struct{}{}:

@@ -1,0 +1,200 @@
+// Package wire is the repo's shared framed-codec discipline. Three
+// subsystems grew the same hand-rolled framing independently — the
+// calibration journal (SHMDJNL1), the decision-trace format (SHMDTRC1),
+// and anything that will ship detector state over a socket next — so
+// the mechanics live here once:
+//
+//   - a *block* codec for whole-file payloads: magic + big-endian
+//     uint32 length + payload + CRC32-IEEE trailer over every byte
+//     before it, written atomically (temp file in the same directory,
+//     fsync, rename) so a crash mid-write leaves the previous file
+//     intact;
+//   - a *frame* codec for record streams: the magic once, then per
+//     record a big-endian uint32 length + payload + CRC32-IEEE of the
+//     payload, so a torn tail loses at most the final record.
+//
+// Both codecs bound the lengths they will allocate for, so a corrupt
+// length field can never drive a huge allocation, and both report
+// every structural failure wrapped in ErrCorrupt. Callers that expose
+// their own corruption sentinel (journal.ErrCorrupt, replay.ErrCorrupt)
+// wrap these errors; the on-disk bytes are identical to what the
+// hand-rolled encoders produced.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt marks data that failed structural or checksum validation.
+var ErrCorrupt = errors.New("wire: corrupt")
+
+// corrupt wraps a validation failure with ErrCorrupt.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// EncodeBlock frames payload as magic + BE32 length + payload +
+// CRC32-IEEE over everything preceding the trailer.
+func EncodeBlock(magic string, payload []byte) []byte {
+	buf := make([]byte, 0, len(magic)+4+len(payload)+4)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeBlock verifies a block's framing — magic, length, checksum —
+// and returns the payload (aliasing raw). maxPayload bounds the length
+// field it will believe.
+func DecodeBlock(magic string, raw []byte, maxPayload int) ([]byte, error) {
+	overhead := len(magic) + 4 + 4
+	if len(raw) < overhead {
+		return nil, corrupt("%d bytes, shorter than header+trailer", len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, corrupt("bad magic %q", raw[:len(magic)])
+	}
+	n := binary.BigEndian.Uint32(raw[len(magic):])
+	if n > uint32(maxPayload) || int(n) != len(raw)-overhead {
+		return nil, corrupt("payload length %d does not match file size %d", n, len(raw))
+	}
+	bodyEnd := len(raw) - 4
+	want := binary.BigEndian.Uint32(raw[bodyEnd:])
+	if got := crc32.ChecksumIEEE(raw[:bodyEnd]); got != want {
+		return nil, corrupt("CRC32 %08x, trailer says %08x", got, want)
+	}
+	return raw[len(magic)+4 : bodyEnd], nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory, fsync, and rename, so a reader concurrent with the write
+// sees either the old file or the new one, never a mixture, and a
+// crash at any point leaves a loadable file. The directory itself is
+// synced best-effort (some filesystems refuse directory fsync).
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("wire: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wire: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wire: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("wire: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// SaveBlock atomically writes one framed block to path.
+func SaveBlock(path, magic string, payload []byte) error {
+	return WriteFileAtomic(path, EncodeBlock(magic, payload))
+}
+
+// LoadBlock reads and verifies one framed block. A missing file
+// returns the underlying fs.ErrNotExist untouched; structural damage
+// wraps ErrCorrupt.
+func LoadBlock(path, magic string, maxPayload int) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlock(magic, raw, maxPayload)
+}
+
+// FrameWriter streams length+payload+CRC frames after a one-time
+// magic header.
+type FrameWriter struct {
+	w io.Writer
+}
+
+// NewFrameWriter writes the stream magic and returns a frame writer.
+func NewFrameWriter(w io.Writer, magic string) (*FrameWriter, error) {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return nil, err
+	}
+	return &FrameWriter{w: w}, nil
+}
+
+// WriteFrame writes one BE32 length + payload + CRC32(payload) frame.
+func (fw *FrameWriter) WriteFrame(payload []byte) error {
+	var frame [4]byte
+	binary.BigEndian.PutUint32(frame[:], uint32(len(payload)))
+	if _, err := fw.w.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(frame[:], crc32.ChecksumIEEE(payload))
+	_, err := fw.w.Write(frame[:])
+	return err
+}
+
+// FrameReader streams frames back out. Next returns io.EOF at a clean
+// frame boundary; every other failure wraps ErrCorrupt.
+type FrameReader struct {
+	r          io.Reader
+	maxPayload int
+}
+
+// NewFrameReader checks the stream magic and returns a frame reader
+// whose Next refuses frames longer than maxPayload.
+func NewFrameReader(r io.Reader, magic string, maxPayload int) (*FrameReader, error) {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, corrupt("reading magic: %v", err)
+	}
+	if string(buf) != magic {
+		return nil, corrupt("bad magic %q", buf)
+	}
+	return &FrameReader{r: r, maxPayload: maxPayload}, nil
+}
+
+// Next reads one frame's payload. io.EOF means the stream ended
+// cleanly at a frame boundary; a torn or damaged frame wraps
+// ErrCorrupt.
+func (fr *FrameReader) Next() ([]byte, error) {
+	var frame [4]byte
+	if _, err := io.ReadFull(fr.r, frame[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, corrupt("torn record length: %v", err)
+	}
+	n := binary.BigEndian.Uint32(frame[:])
+	if n > uint32(fr.maxPayload) {
+		return nil, corrupt("record length %d exceeds %d", n, fr.maxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, corrupt("torn record payload: %v", err)
+	}
+	if _, err := io.ReadFull(fr.r, frame[:]); err != nil {
+		return nil, corrupt("torn record checksum: %v", err)
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(frame[:]); got != want {
+		return nil, corrupt("checksum mismatch: %08x != %08x", got, want)
+	}
+	return payload, nil
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testMagic = "SHMDTST1"
+
+// TestBlockRoundTrip saves and loads a block through the atomic file
+// path, then overwrites it to prove atomic replacement keeps the file
+// loadable.
+func TestBlockRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "block.bin")
+	want := []byte(`{"entries":[{"k":"v"}]}`)
+	if err := SaveBlock(path, testMagic, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBlock(path, testMagic, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("payload = %q, want %q", got, want)
+	}
+	if err := SaveBlock(path, testMagic, want[:4]); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadBlock(path, testMagic, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want[:4]) {
+		t.Errorf("after overwrite: %q", got)
+	}
+}
+
+func TestLoadBlockMissing(t *testing.T) {
+	_, err := LoadBlock(filepath.Join(t.TempDir(), "nope.bin"), testMagic, 1<<20)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("missing file err = %v, want fs.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("missing file misclassified as corrupt")
+	}
+}
+
+// TestBlockCorruption is the exhaustive corruption corpus (moved here
+// from internal/journal): flip every byte position in a valid block in
+// turn and demand each mutant is rejected as corrupt — including the
+// CRC trailer bytes — then reject every truncation length and trailing
+// garbage.
+func TestBlockCorruption(t *testing.T) {
+	raw := EncodeBlock(testMagic, []byte(`{"entries":[{"rate":0.1,"depthMV":131.5}]}`))
+	for i := range raw {
+		flipped := append([]byte(nil), raw...)
+		flipped[i] ^= 0xFF
+		if _, err := DecodeBlock(testMagic, flipped, 1<<20); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d flipped: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeBlock(testMagic, raw[:n], 1<<20); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	if _, err := DecodeBlock(testMagic, append(append([]byte(nil), raw...), 'x'), 1<<20); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing garbage: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestBlockLengthBound refuses a length field beyond maxPayload even
+// when the file is self-consistent, so a hostile file cannot force a
+// large allocation downstream.
+func TestBlockLengthBound(t *testing.T) {
+	raw := EncodeBlock(testMagic, bytes.Repeat([]byte{7}, 64))
+	if _, err := DecodeBlock(testMagic, raw, 16); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("over-budget payload accepted: %v", err)
+	}
+}
+
+// TestFrameRoundTrip streams several frames through the writer and
+// reads them back, ending in a clean io.EOF.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, testMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]byte{[]byte("first"), {}, []byte("third-record")}
+	for _, p := range want {
+		if err := fw.WriteFrame(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, err := NewFrameReader(bytes.NewReader(buf.Bytes()), testMagic, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range want {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("frame %d = %q, want %q", i, got, p)
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Errorf("end of stream err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCorruption is the stream-side corruption corpus (moved here
+// from internal/replay's reader tests): every byte flip and every
+// truncation inside a framed record must surface as ErrCorrupt, never
+// as a clean EOF or a silently different payload.
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFrameWriter(&buf, testMagic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame([]byte("the-only-record")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	decode := func(b []byte) error {
+		fr, err := NewFrameReader(bytes.NewReader(b), testMagic, 1<<10)
+		if err != nil {
+			return err
+		}
+		_, err = fr.Next()
+		return err
+	}
+	if err := decode(raw); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	for i := range raw {
+		flipped := append([]byte(nil), raw...)
+		flipped[i] ^= 0xFF
+		if err := decode(flipped); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d flipped: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// A stream cut exactly at the magic is a clean empty stream, not
+	// corruption: the next frame simply never started.
+	{
+		fr, err := NewFrameReader(bytes.NewReader(raw[:len(testMagic)]), testMagic, 1<<10)
+		if err != nil {
+			t.Fatalf("bare magic rejected: %v", err)
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Errorf("bare magic Next err = %v, want io.EOF", err)
+		}
+	}
+	// Truncations past the magic tear the record; before that they tear
+	// the magic itself. Both are corrupt, at every length.
+	for n := len(testMagic) + 1; n < len(raw); n++ {
+		if err := decode(raw[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	for n := 0; n < len(testMagic); n++ {
+		if err := decode(raw[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("magic truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+	// An oversized length field is refused before allocation.
+	huge := append([]byte(nil), raw...)
+	huge[len(testMagic)] = 0xFF
+	if err := decode(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized length accepted: %v", err)
+	}
+}
+
+// TestWriteFileAtomicReplaces proves the temp+rename path replaces an
+// existing file and never leaves the temp file behind.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "two" {
+		t.Errorf("content = %q", got)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Errorf("stray files in dir: %v", names)
+	}
+}
