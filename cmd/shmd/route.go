@@ -44,6 +44,7 @@ func routeRun(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "single forwarded attempt budget")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
+	drainDelay := fs.Duration("drain-delay", 0, "lame-duck window between /readyz flipping 503 and the listener closing (0 = one probe interval, negative = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +72,7 @@ func routeRun(ctx context.Context, args []string) error {
 		Timeout:           *timeout,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ShutdownTimeout:   *shutdownTimeout,
+		DrainDelay:        *drainDelay,
 	})
 	if err != nil {
 		return err

@@ -158,6 +158,23 @@ func (b *Breaker) Failure() BreakerState {
 	return b.state
 }
 
+// Release abandons the half-open probe without a verdict: the breaker
+// returns to open and the current cooldown restarts — neither doubled
+// nor counted as a reopen, because the probe proved nothing about the
+// protected resource. A caller that claimed the probe through Allow
+// but cannot deliver an outcome (the router's case: the request
+// holding the probe is cancelled by a departing client or loses a
+// hedge race) MUST call it; an unresolved probe leaves the breaker
+// half-open forever, where Allow refuses every caller. No-op in any
+// other state.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.open(b.cooldown)
+	}
+}
+
 // Trip force-opens the breaker immediately (permanent faults skip the
 // threshold count). Re-tripping an already open breaker restarts the
 // current cooldown without counting a new trip.

@@ -197,6 +197,59 @@ func TestBreakerCounters(t *testing.T) {
 	}
 }
 
+// TestBreakerRelease pins the abandoned-probe contract: Release hands
+// a claimed half-open probe back to open with the current cooldown
+// restarted — not doubled, not counted as a reopen — so a probe whose
+// holder vanishes (client disconnect mid-probe) cannot wedge the
+// breaker half-open forever. In any other state it is a no-op.
+func TestBreakerRelease(t *testing.T) {
+	clk := newFakeClock()
+	b := newTestBreaker(clk, BreakerConfig{Threshold: 1, Cooldown: time.Second, MaxCooldown: 8 * time.Second})
+
+	// No-op while closed.
+	b.Release()
+	if st := b.State(); st != BreakerClosed {
+		t.Fatalf("Release on closed breaker moved it to %v", st)
+	}
+
+	b.Failure() // trip
+	// No-op while open.
+	b.Release()
+	if st := b.State(); st != BreakerOpen {
+		t.Fatalf("Release on open breaker moved it to %v", st)
+	}
+
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Release()
+	snap := b.Snapshot()
+	if snap.State != BreakerOpen {
+		t.Fatalf("state after Release = %v, want open", snap.State)
+	}
+	if snap.Reopens != 0 {
+		t.Errorf("Release counted a reopen (%d)", snap.Reopens)
+	}
+	if snap.Cooldown != time.Second {
+		t.Errorf("Release changed the cooldown to %v, want 1s (not doubled)", snap.Cooldown)
+	}
+
+	// The cooldown restarted at Release: a probe is refused until it
+	// elapses again, then granted — the breaker is not wedged.
+	if b.Allow() {
+		t.Fatal("probe granted immediately after Release; cooldown did not restart")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused one cooldown after Release; breaker wedged")
+	}
+	b.Success()
+	if st := b.State(); st != BreakerClosed {
+		t.Errorf("state after post-Release recovery = %v, want closed", st)
+	}
+}
+
 // TestBreakerStateString keeps the metric label names stable.
 func TestBreakerStateString(t *testing.T) {
 	for st, want := range map[BreakerState]string{

@@ -99,7 +99,9 @@ func (rt *Router) failDetect(w http.ResponseWriter, r *http.Request, err error) 
 // metrics label for requests abandoned mid-dispatch.
 const statusClientClosedRequest = 499
 
-// status writes an error reply and records it.
+// status writes an error reply on the detect path and records it in
+// the request counters (observe endpoints write plain http.Error
+// instead, keeping scrapes and health probes out of the metric).
 func (rt *Router) status(w http.ResponseWriter, code int, msg string) {
 	rt.metrics.Request(code)
 	http.Error(w, msg, code)
@@ -146,14 +148,14 @@ func (rt *Router) dispatch(ctx context.Context, body []byte, hdr http.Header) (*
 // (its breaker feedback still lands). Every backend used is added to
 // tried.
 func (rt *Router) race(ctx context.Context, body []byte, hdr http.Header, tried map[*backend]bool) (*proxyResult, error) {
-	primary := rt.pick(tried)
+	primary, probe := rt.pick(tried)
 	if primary == nil {
 		return nil, errBrownout
 	}
 	tried[primary] = true
 	// Buffered for every possible runner so a loser's send never blocks.
 	outcomes := make(chan attemptOutcome, 2)
-	rt.forwardAsync(ctx, primary, body, hdr, false, outcomes)
+	rt.forwardAsync(ctx, primary, body, hdr, false, probe, outcomes)
 
 	var hedgeC <-chan time.Time
 	if rt.cfg.HedgeAfter > 0 {
@@ -178,11 +180,11 @@ func (rt *Router) race(ctx context.Context, body []byte, hdr http.Header, tried 
 			hedgeC = nil
 			// Hedging spends only capacity that is routable right now;
 			// no second backend → the primary simply keeps running.
-			if h := rt.pick(tried); h != nil {
+			if h, hprobe := rt.pick(tried); h != nil {
 				tried[h] = true
 				rt.metrics.Hedge()
 				pending++
-				rt.forwardAsync(ctx, h, body, hdr, true, outcomes)
+				rt.forwardAsync(ctx, h, body, hdr, true, hprobe, outcomes)
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -198,9 +200,11 @@ func (rt *Router) race(ctx context.Context, body []byte, hdr http.Header, tried 
 // even while healthy peers could absorb everything (and at most one
 // request per cooldown is risked; a failed probe retries elsewhere).
 // Otherwise: power-of-two-choices on in-flight count among ready
-// backends with closed breakers. Returns nil when nothing is routable
-// (brownout).
-func (rt *Router) pick(tried map[*backend]bool) *backend {
+// backends with closed breakers. The second return is true when the
+// pick claimed a half-open probe — the forward MUST then resolve the
+// breaker (Success, Failure, or Release). Returns nil when nothing is
+// routable (brownout).
+func (rt *Router) pick(tried map[*backend]bool) (*backend, bool) {
 	var avail []*backend
 	for _, b := range rt.backends {
 		if tried[b] || !b.ready.Load() {
@@ -211,21 +215,22 @@ func (rt *Router) pick(tried map[*backend]bool) *backend {
 			continue
 		}
 		// Allow claims the single half-open probe; the forward's outcome
-		// closes or re-opens the breaker with doubled cooldown.
+		// closes the breaker, re-opens it with doubled cooldown, or hands
+		// the probe back if the attempt is abandoned.
 		if b.breaker.Allow() {
-			return b
+			return b, true
 		}
 	}
 	switch len(avail) {
 	case 0:
-		return nil
+		return nil, false
 	case 1:
-		return avail[0]
+		return avail[0], false
 	case 2:
 		if avail[1].inflight.Load() < avail[0].inflight.Load() {
-			return avail[1]
+			return avail[1], false
 		}
-		return avail[0]
+		return avail[0], false
 	default:
 		i := rt.jitter.Intn(len(avail))
 		j := rt.jitter.Intn(len(avail) - 1)
@@ -233,18 +238,18 @@ func (rt *Router) pick(tried map[*backend]bool) *backend {
 			j++
 		}
 		if avail[j].inflight.Load() < avail[i].inflight.Load() {
-			return avail[j]
+			return avail[j], false
 		}
-		return avail[i]
+		return avail[i], false
 	}
 }
 
 // forwardAsync starts one tracked attempt goroutine.
-func (rt *Router) forwardAsync(ctx context.Context, b *backend, body []byte, hdr http.Header, hedge bool, out chan<- attemptOutcome) {
+func (rt *Router) forwardAsync(ctx context.Context, b *backend, body []byte, hdr http.Header, hedge, probe bool, out chan<- attemptOutcome) {
 	rt.reqWG.Add(1)
 	go func() {
 		defer rt.reqWG.Done()
-		res, err := rt.forward(ctx, b, body, hdr)
+		res, err := rt.forward(ctx, b, body, hdr, probe)
 		out <- attemptOutcome{res: res, hedge: hedge, err: err}
 	}()
 }
@@ -254,13 +259,26 @@ func (rt *Router) forwardAsync(ctx context.Context, b *backend, body []byte, hdr
 var forwardHeaders = []string{"Content-Type", "X-Detect-Deadline-Ms"}
 
 // forward sends one request to one backend and classifies the outcome
-// for its breaker: transport errors and 5xx are failures, everything
-// else — including 4xx and 429, which prove the backend is alive and
-// reasoning — is a success.
-func (rt *Router) forward(ctx context.Context, b *backend, body []byte, hdr http.Header) (*proxyResult, error) {
+// for its breaker: transport errors, 5xx, and over-cap replies are
+// failures, everything else — including 4xx and 429, which prove the
+// backend is alive and reasoning — is a success. When probe is set
+// this attempt holds the backend's half-open probe and every exit
+// path resolves it: Success or Failure where the outcome is the
+// backend's doing, Release where the attempt was abandoned (cancelled
+// context) — otherwise the breaker would wedge half-open, Allow would
+// refuse forever, and the backend would never see traffic again.
+func (rt *Router) forward(ctx context.Context, b *backend, body []byte, hdr http.Header, probe bool) (*proxyResult, error) {
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
 	b.requests.Add(1)
+	resolved := false
+	if probe {
+		defer func() {
+			if !resolved {
+				b.breaker.Release()
+			}
+		}()
+	}
 
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/detect", bytes.NewReader(body))
 	if err != nil {
@@ -276,22 +294,34 @@ func (rt *Router) forward(ctx context.Context, b *backend, body []byte, hdr http
 		if ctx.Err() == nil {
 			// A connect failure is the backend's fault; a cancelled
 			// context is the client's and must not poison the breaker.
+			resolved = true
 			rt.noteFailure(b)
 		}
 		return nil, fmt.Errorf("route: %s: %w", b.name, err)
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes))
+	// One byte past the cap distinguishes "fits exactly" from "bigger":
+	// an over-cap reply must fail the attempt, never be truncated and
+	// relayed with the backend's success status as if it were whole.
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes+1))
 	if err != nil {
 		if ctx.Err() == nil {
+			resolved = true
 			rt.noteFailure(b)
 		}
 		return nil, fmt.Errorf("route: %s: reading reply: %w", b.name, err)
 	}
+	if int64(len(respBody)) > rt.cfg.MaxBodyBytes {
+		resolved = true
+		rt.noteFailure(b)
+		return nil, fmt.Errorf("route: %s reply exceeds %d bytes", b.name, rt.cfg.MaxBodyBytes)
+	}
 	if resp.StatusCode >= 500 {
+		resolved = true
 		rt.noteFailure(b)
 		return nil, fmt.Errorf("route: %s answered %d", b.name, resp.StatusCode)
 	}
+	resolved = true
 	b.breaker.Success()
 	return &proxyResult{
 		status:  resp.StatusCode,

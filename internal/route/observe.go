@@ -30,7 +30,10 @@ func NewMetrics() *Metrics {
 	return &Metrics{requests: make(map[int]*atomic.Uint64)}
 }
 
-// Request records one routed request by final status code.
+// Request records one routed /v1/detect request by final status code.
+// Observe endpoints (/healthz, /readyz, /metrics) do not feed it —
+// health probing at any frequency must not move the error-rate
+// counters the fleet alerts on.
 func (m *Metrics) Request(code int) {
 	m.mu.Lock()
 	c, ok := m.requests[code]
@@ -135,7 +138,7 @@ func (rt *Router) Health() RouteHealth { return rt.healthReport() }
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	report := rt.healthReport()
@@ -144,7 +147,6 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 		rt.shedHint(w)
 	}
-	rt.metrics.Request(code)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(report)
@@ -156,7 +158,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
 	ready, reason := true, ""
@@ -170,7 +172,6 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 		rt.shedHint(w)
 	}
-	rt.metrics.Request(code)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(struct {
@@ -183,10 +184,9 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		rt.status(w, http.StatusMethodNotAllowed, "GET only")
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	rt.metrics.Request(http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	rt.writeProm(w)
 }
@@ -207,7 +207,7 @@ func breakerStateValue(s core.BreakerState) int {
 // writeProm renders the router counters and per-backend gauges.
 func (rt *Router) writeProm(w io.Writer) {
 	m := rt.metrics
-	fmt.Fprintln(w, "# HELP shmd_route_requests_total Routed requests, by final status code.")
+	fmt.Fprintln(w, "# HELP shmd_route_requests_total Proxied /v1/detect requests, by final status code (observe endpoints excluded).")
 	fmt.Fprintln(w, "# TYPE shmd_route_requests_total counter")
 	m.mu.Lock()
 	codes := make([]int, 0, len(m.requests))

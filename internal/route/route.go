@@ -90,6 +90,12 @@ type Config struct {
 	ReadHeaderTimeout time.Duration
 	// ShutdownTimeout bounds the graceful drain (default 30s).
 	ShutdownTimeout time.Duration
+	// DrainDelay is the lame-duck window on shutdown: after the serve
+	// context is cancelled, /readyz answers 503 (and detect traffic is
+	// shed) while the listener stays open for this long, so an upstream
+	// tier probing the router ejects it before its connections start
+	// resetting (default: one ProbeInterval; negative disables).
+	DrainDelay time.Duration
 	// JitterSeed seeds retry backoff and Retry-After jitter (0 = from
 	// the clock; tests pin it).
 	JitterSeed int64
@@ -131,6 +137,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.ShutdownTimeout == 0 {
 		cfg.ShutdownTimeout = 30 * time.Second
+	}
+	if cfg.DrainDelay == 0 {
+		cfg.DrainDelay = cfg.ProbeInterval
 	}
 	if cfg.Transport == nil {
 		cfg.Transport = http.DefaultTransport
@@ -278,8 +287,11 @@ func (rt *Router) runProber(ctx context.Context) {
 }
 
 // Serve accepts connections on ln until ctx is cancelled, then drains
-// gracefully: /readyz flips 503 first, in-flight proxied requests run
-// to completion (bounded by ShutdownTimeout), and the prober stops.
+// gracefully: /readyz flips 503 first and the listener keeps
+// answering through the DrainDelay lame-duck window (so the tier
+// above sees the drain signal instead of connection resets), then
+// in-flight proxied requests run to completion (bounded by
+// ShutdownTimeout) and the prober stops.
 func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
 	probeCtx, stopProbes := context.WithCancel(context.Background())
 	defer stopProbes()
@@ -291,6 +303,20 @@ func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
 	select {
 	case <-ctx.Done():
 		rt.draining.Store(true)
+		if d := rt.cfg.DrainDelay; d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case err := <-done:
+				// The listener died during the lame-duck window; nothing
+				// left to drain.
+				t.Stop()
+				if errors.Is(err, http.ErrServerClosed) {
+					return nil
+				}
+				return err
+			}
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), rt.cfg.ShutdownTimeout)
 		defer cancel()
 		err := httpSrv.Shutdown(shCtx)

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -27,6 +28,9 @@ type fakeBackend struct {
 	ready atomic.Bool
 	// delay stalls /v1/detect to simulate a slow backend.
 	delay atomic.Int64 // nanoseconds
+	// replySize, when >0, makes /v1/detect answer 200 with a body of
+	// exactly this many bytes (exercises the router's relay cap).
+	replySize atomic.Int64
 	// hits counts /v1/detect requests served.
 	hits atomic.Int64
 }
@@ -49,6 +53,11 @@ func newFakeBackend(t *testing.T, name string) *fakeBackend {
 		code := int(fb.status.Load())
 		if code != http.StatusOK {
 			http.Error(w, "scripted failure", code)
+			return
+		}
+		if n := fb.replySize.Load(); n > 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(bytes.Repeat([]byte("x"), int(n)))
 			return
 		}
 		body, _ := io.ReadAll(r.Body)
@@ -156,14 +165,14 @@ func TestPickLoadAware(t *testing.T) {
 	rt := newTestRouter(t, Config{}, b0, b1)
 	rt.backends[0].inflight.Store(5)
 	for i := 0; i < 10; i++ {
-		if got := rt.pick(map[*backend]bool{}); got != rt.backends[1] {
+		if got, _ := rt.pick(map[*backend]bool{}); got != rt.backends[1] {
 			t.Fatalf("pick chose the loaded backend (inflight 5 vs 0)")
 		}
 	}
 	rt.backends[0].inflight.Store(0)
 	rt.backends[1].inflight.Store(3)
 	for i := 0; i < 10; i++ {
-		if got := rt.pick(map[*backend]bool{}); got != rt.backends[0] {
+		if got, _ := rt.pick(map[*backend]bool{}); got != rt.backends[0] {
 			t.Fatalf("pick chose the loaded backend (inflight 0 vs 3)")
 		}
 	}
@@ -178,7 +187,8 @@ func TestPickPowerOfTwo(t *testing.T) {
 	rt.backends[0].inflight.Store(100)
 	picks := map[string]int{}
 	for i := 0; i < 300; i++ {
-		picks[rt.pick(map[*backend]bool{}).name]++
+		b, _ := rt.pick(map[*backend]bool{})
+		picks[b.name]++
 	}
 	// The loaded backend can only win when sampled against itself —
 	// impossible with distinct indices — so it must never be picked.
@@ -197,12 +207,12 @@ func TestPickExcludesTried(t *testing.T) {
 	rt := newTestRouter(t, Config{}, b0, b1)
 	tried := map[*backend]bool{rt.backends[0]: true}
 	for i := 0; i < 10; i++ {
-		if got := rt.pick(tried); got != rt.backends[1] {
+		if got, _ := rt.pick(tried); got != rt.backends[1] {
 			t.Fatal("pick returned a tried backend")
 		}
 	}
 	tried[rt.backends[1]] = true
-	if got := rt.pick(tried); got != nil {
+	if got, _ := rt.pick(tried); got != nil {
 		t.Error("pick invented a backend with all tried")
 	}
 }
@@ -377,9 +387,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("metrics = %d", rec.Code)
 	}
 	out := rec.Body.String()
-	// The scrape itself is the second 200 (recorded before rendering).
+	// Only the detect request counts; the scrape itself must not.
 	for _, want := range []string{
-		`shmd_route_requests_total{code="200"} 2`,
+		`shmd_route_requests_total{code="200"} 1`,
 		fmt.Sprintf(`shmd_route_backend_up{backend="%s"} 1`, fb.host()),
 		fmt.Sprintf(`shmd_route_backend_breaker_state{backend="%s"} 0`, fb.host()),
 		fmt.Sprintf(`shmd_route_backend_requests_total{backend="%s"} 1`, fb.host()),
@@ -442,6 +452,142 @@ func TestBodyTooLarge(t *testing.T) {
 	}
 	if fb.hits.Load() != 0 {
 		t.Error("oversized body reached a backend")
+	}
+}
+
+// TestHalfOpenProbeReleasedOnCancel: an attempt holding the half-open
+// probe whose context dies (client disconnect, hedge loser) must hand
+// the probe back. A leaked probe wedges the breaker half-open — Allow
+// refuses forever — and the backend never serves again.
+func TestHalfOpenProbeReleasedOnCancel(t *testing.T) {
+	fb := newFakeBackend(t, "b0")
+	clock := time.Unix(0, 0)
+	rt := newTestRouter(t, Config{
+		Breaker: core.BreakerConfig{
+			Threshold: 1,
+			Cooldown:  time.Minute,
+			Now:       func() time.Time { return clock },
+		},
+	}, fb)
+	b := rt.backends[0]
+	b.breaker.Failure() // threshold 1: trips open
+	clock = clock.Add(time.Minute)
+
+	picked, probe := rt.pick(map[*backend]bool{})
+	if picked != b || !probe {
+		t.Fatalf("pick = %v probe=%v, want the half-open probe claimed", picked, probe)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rt.forward(ctx, b, []byte(`{}`), http.Header{}, true); err == nil {
+		t.Fatal("cancelled forward reported success")
+	}
+	snap := b.breaker.Snapshot()
+	if snap.State != core.BreakerOpen {
+		t.Fatalf("breaker = %v after abandoned probe, want open (released)", snap.State)
+	}
+	if snap.Reopens != 0 {
+		t.Errorf("abandoned probe counted as a reopen (%d)", snap.Reopens)
+	}
+	if snap.Cooldown != time.Minute {
+		t.Errorf("abandoned probe changed the cooldown to %v", snap.Cooldown)
+	}
+
+	// The backend re-earns traffic on the next cooldown: a fresh probe
+	// is granted and the healed backend closes its breaker.
+	clock = clock.Add(time.Minute)
+	if rec := postDetect(t, rt, `{}`); rec.Code != http.StatusOK {
+		t.Fatalf("post-release dispatch = %d, want 200", rec.Code)
+	}
+	if st := b.breaker.State(); st != core.BreakerClosed {
+		t.Errorf("breaker = %v after healed probe, want closed", st)
+	}
+}
+
+// TestOversizedReplyNotTruncated: a backend reply past MaxBodyBytes is
+// a failed attempt — retried onto a fresh backend or surfaced as 502 —
+// never truncated and relayed with the backend's 200.
+func TestOversizedReplyNotTruncated(t *testing.T) {
+	big := newFakeBackend(t, "big")
+	big.replySize.Store(100)
+	solo := newTestRouter(t, Config{MaxBodyBytes: 64}, big)
+	if rec := postDetect(t, solo, `{}`); rec.Code != http.StatusBadGateway {
+		t.Fatalf("oversized reply relayed as %d (body %d bytes), want 502", rec.Code, rec.Body.Len())
+	}
+	if solo.backends[0].failures.Load() == 0 {
+		t.Error("oversized reply not counted as a backend failure")
+	}
+
+	// With a sane peer available, the retry lands there and the client
+	// sees its complete reply.
+	big2, sane := newFakeBackend(t, "big2"), newFakeBackend(t, "sane")
+	big2.replySize.Store(100)
+	rt := newTestRouter(t, Config{MaxBodyBytes: 64, MaxRetries: 1}, big2, sane)
+	// Pin the primary pick onto the oversized backend.
+	rt.backends[1].inflight.Add(10)
+	rec := postDetect(t, rt, `{}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d %s, want 200 from the retry", rec.Code, rec.Body)
+	}
+	var reply struct {
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatalf("relayed body is not intact JSON: %v (%q)", err, rec.Body.String())
+	}
+	if reply.Backend != "sane" {
+		t.Errorf("verdict came from %q, want the sane backend", reply.Backend)
+	}
+}
+
+// TestServeLameDuck: after the serve context is cancelled the listener
+// keeps answering for DrainDelay with /readyz at 503 — the upstream
+// tier sees a drain signal, not connection resets.
+func TestServeLameDuck(t *testing.T) {
+	fb := newFakeBackend(t, "b0")
+	rt := newTestRouter(t, Config{
+		DrainDelay:      400 * time.Millisecond,
+		ShutdownTimeout: 5 * time.Second,
+	}, fb)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while up = %d", resp.StatusCode)
+	}
+
+	cancel()
+	saw503 := false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener closed; the window is over
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			saw503 = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !saw503 {
+		t.Error("no 503 drain signal observed over the listener during the lame-duck window")
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }
 
