@@ -20,6 +20,7 @@
 GO ?= go
 SOAK_DURATION ?= 30s
 SOAK_REPORT ?= soak_report.json
+SOAK_FLAGS ?=
 STATICCHECK_VERSION ?= 2024.1.1
 
 .PHONY: build test race vet verify bench soak fleet-soak conform lint
@@ -47,11 +48,12 @@ bench:
 	$(GO) run ./cmd/bench -count 3 -out BENCH_inference.json
 
 # conform runs the statistical conformance suite: chi-square/KS
-# goodness-of-fit of the skip-ahead injector against the closed-form
-# geometric gap law and the Fig 1 bit-location model, scalar-vs-bulk
-# homogeneity, and the SPRT detection-rate check against its pinned
-# golden value. Fixed seeds: deterministic in CI; a fresh seed would
-# pass with probability > 99% (alpha 1e-3 per check, <12 checks).
+# goodness-of-fit of the skip-ahead injector (scalar and span-planned
+# batch paths) against the closed-form geometric gap law and the Fig 1
+# bit-location model, scalar/bulk/batched homogeneity, and the SPRT
+# detection-rate checks against their pinned golden value. Fixed seeds:
+# deterministic in CI; a fresh seed would pass with probability > 98%
+# (alpha 1e-3 per check, <20 checks).
 conform:
 	$(GO) test ./internal/conform -count=1 -v
 
@@ -69,7 +71,7 @@ lint:
 # zero double-checkouts, bounded 5xx, and that every quarantined slot
 # respawned; writes $(SOAK_REPORT).
 soak:
-	$(GO) run -race ./cmd/shmd soak -duration $(SOAK_DURATION) -report $(SOAK_REPORT)
+	$(GO) run -race ./cmd/shmd soak -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(SOAK_FLAGS)
 
 # fleet-soak chaos-soaks the routed fleet topology under the race
 # detector: the router over three real backend listeners, a transient

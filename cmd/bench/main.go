@@ -15,18 +15,25 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"shmd/internal/experiments"
 	"shmd/internal/faults"
 	"shmd/internal/fxp"
 	"shmd/internal/hmd"
 	"shmd/internal/rng"
+	"shmd/internal/serve"
+	"shmd/internal/trace"
 )
 
 // Result is one benchmark row of the report.
@@ -39,6 +46,9 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	// Lanes is the batch width for the batch-lane rows (0 = scalar);
+	// per-lane cost is NsPerOp / Lanes.
+	Lanes int `json:"lanes,omitempty"`
 }
 
 // Speedups are the headline ratios of the A/B pairs.
@@ -53,6 +63,18 @@ type Speedups struct {
 	// EvaluateShardedVsSerial is 1-worker ns/op over sharded ns/op for
 	// a full test-corpus stochastic evaluation.
 	EvaluateShardedVsSerial float64 `json:"evaluate_sharded_vs_serial"`
+	// BatchLane64VsScalarFaulty is scalar skip-ahead ns/op over the
+	// per-lane cost of a 64-lane batched faulty pass.
+	BatchLane64VsScalarFaulty float64 `json:"batch_lane64_vs_faulty_skipahead"`
+	// BatchLane64VsExactFused is the headline batching criterion:
+	// exact-fused scalar ns/op over the 64-lane per-lane faulty cost.
+	// >= 1 means a batched UNDERVOLTED lane is no slower than an exact
+	// nominal-voltage pass.
+	BatchLane64VsExactFused float64 `json:"batch_lane64_vs_exact_fused"`
+	// ServeBatchedVsScalar is scalar-dispatch ns/request over
+	// micro-batched ns/request for the in-process /v1/detect server
+	// under concurrent load.
+	ServeBatchedVsScalar float64 `json:"serve_batched_vs_scalar"`
 }
 
 // Report is the JSON document written to -out.
@@ -66,7 +88,11 @@ type Report struct {
 	GoVersion string   `json:"go_version"`
 	GOARCH    string   `json:"goarch"`
 	NumCPU    int      `json:"num_cpu"`
-	Count     int      `json:"count"`
+	// MaxProcs is the effective worker count of the parallel rows
+	// (sharded evaluation, concurrent serve): with one proc those
+	// rows cannot speed up, so their ratio gates are skipped.
+	MaxProcs int      `json:"gomaxprocs"`
+	Count    int      `json:"count"`
 	Results   []Result `json:"results"`
 	Speedups  Speedups `json:"speedups"`
 }
@@ -142,6 +168,7 @@ func run(scale experiments.Scale, count int) (*Report, error) {
 		GoVersion: runtime.Version(),
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
 		Count:     count,
 	}
 	add := func(res Result, withMuls bool) Result {
@@ -167,12 +194,130 @@ func run(scale experiments.Scale, count int) (*Report, error) {
 		}
 	}), false)
 
+	// Batch-lane faulty passes: one RunBatch over k lanes, each lane on
+	// its own fault stream at the operating rate. NsPerOp is the cost of
+	// the whole batched call; per-lane cost is NsPerOp / k.
+	batchRows := map[int]Result{}
+	for _, k := range []int{1, 4, 16, 64} {
+		streams := make([]rand.Source64, k)
+		for l := range streams {
+			streams[l] = rng.NewSource64(2, uint64(l))
+		}
+		binj, err := faults.NewBatchInjector(experiments.OperatingErrorRate, nil, streams)
+		if err != nil {
+			return nil, err
+		}
+		net := fn.Clone()
+		ins := make([][]float64, k)
+		for j := range ins {
+			ins[j] = in
+		}
+		out := make([]float64, k*net.NumOutputs())
+		res := measure(fmt.Sprintf("batch_faulty_%d", k), count, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net.RunBatch(binj, ins, nil, out)
+			}
+		})
+		res.Lanes = k
+		res.MulsPerSec = float64(muls*k) / (res.NsPerOp * 1e-9)
+		rep.Results = append(rep.Results, res)
+		batchRows[k] = res
+	}
+
+	// In-process /v1/detect throughput, scalar dispatch vs micro-batched:
+	// same model, same pool shape, concurrent clients through the handler
+	// (no sockets). One op = one single-program request.
+	serveScalar, err := measureServe(env.Base, count, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, serveScalar)
+	serveBatched, err := measureServe(env.Base, count, 16)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, serveBatched)
+
+	lane64 := batchRows[64].NsPerOp / 64
 	rep.Speedups = Speedups{
 		ExactFusedVsScalar:         scalar.NsPerOp / fused.NsPerOp,
 		FaultySkipAheadVsBernoulli: bernoulli.NsPerOp / faulty.NsPerOp,
 		EvaluateShardedVsSerial:    serial.NsPerOp / sharded.NsPerOp,
+		BatchLane64VsScalarFaulty:  faulty.NsPerOp / lane64,
+		BatchLane64VsExactFused:    fused.NsPerOp / lane64,
+		ServeBatchedVsScalar:       serveScalar.NsPerOp / serveBatched.NsPerOp,
 	}
 	return rep, nil
+}
+
+// measureServe benchmarks the detection service end to end in-process:
+// a real serve.Server (pool of 4 undervolted sessions at the operating
+// rate), concurrent clients calling the handler directly. maxBatch 0
+// measures the scalar per-request dispatch; > 1 the micro-batching
+// dispatcher with that lane limit.
+func measureServe(base *hmd.HMD, count, maxBatch int) (Result, error) {
+	name := "serve_detect_scalar"
+	if maxBatch > 1 {
+		name = fmt.Sprintf("serve_detect_batched_%d", maxBatch)
+	}
+	win := 4
+	if p := base.Config().Period; p > win {
+		win = p
+	}
+	prog, err := trace.NewProgram(trace.Trojan, 0, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	windows, err := prog.Trace(win, 256)
+	if err != nil {
+		return Result{}, err
+	}
+	body, err := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{{
+		ID: "bench", Windows: serve.EncodeWindows(windows),
+	}}})
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := serve.Config{
+		Pool:         serve.PoolConfig{Size: 4, ErrorRate: experiments.OperatingErrorRate, Seed: 1},
+		QueueDepth:   1024,
+		MaxBatch:     maxBatch,
+		MaxBatchWait: 500 * time.Microsecond,
+	}
+	res := Result{Name: name}
+	for i := 0; i < count; i++ {
+		srv, err := serve.New(base, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		handler := srv.Handler()
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			// Enough concurrent clients to keep batches forming regardless
+			// of core count.
+			b.SetParallelism(32/runtime.GOMAXPROCS(0) + 1)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodPost, "/v1/detect", bytes.NewReader(body))
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Errorf("detect status %d: %s", rec.Code, rec.Body.Bytes())
+						return
+					}
+				}
+			})
+		})
+		srv.Close()
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if res.Iterations == 0 || ns < res.NsPerOp {
+			res.NsPerOp = ns
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+			res.Iterations = r.N
+		}
+	}
+	return res, nil
 }
 
 // write renders the report as indented JSON to path.
@@ -221,7 +366,23 @@ func compare(rep, base *Report, maxRegress float64) []string {
 	}
 	ratio("exact_fused_vs_scalar", rep.Speedups.ExactFusedVsScalar, base.Speedups.ExactFusedVsScalar)
 	ratio("faulty_skipahead_vs_bernoulli", rep.Speedups.FaultySkipAheadVsBernoulli, base.Speedups.FaultySkipAheadVsBernoulli)
-	ratio("evaluate_sharded_vs_serial", rep.Speedups.EvaluateShardedVsSerial, base.Speedups.EvaluateShardedVsSerial)
+	ratio("batch_lane64_vs_faulty_skipahead", rep.Speedups.BatchLane64VsScalarFaulty, base.Speedups.BatchLane64VsScalarFaulty)
+	ratio("batch_lane64_vs_exact_fused", rep.Speedups.BatchLane64VsExactFused, base.Speedups.BatchLane64VsExactFused)
+	// The parallel rows cannot speed up on one proc: a 1-core runner
+	// reporting a ~1.0x ratio against a multi-core baseline is the
+	// machine, not a regression — skip those gates there.
+	if rep.MaxProcs > 1 {
+		ratio("evaluate_sharded_vs_serial", rep.Speedups.EvaluateShardedVsSerial, base.Speedups.EvaluateShardedVsSerial)
+		// The serve ratio's upside depends on core count and scheduler,
+		// so its baseline is capped at 1.0: the portable invariant is
+		// that micro-batching never collapses throughput below scalar
+		// dispatch, not the exact speedup this machine happened to see.
+		want := base.Speedups.ServeBatchedVsScalar
+		if want > 1 {
+			want = 1
+		}
+		ratio("serve_batched_vs_scalar", rep.Speedups.ServeBatchedVsScalar, want)
+	}
 
 	baseByName := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
@@ -290,6 +451,9 @@ func main() {
 	}
 	for _, r := range rep.Results {
 		fmt.Printf("%-28s %12.1f ns/op %6d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.Lanes > 1 {
+			fmt.Printf("  %10.1f ns/lane", r.NsPerOp/float64(r.Lanes))
+		}
 		if r.MulsPerSec > 0 {
 			fmt.Printf("  %8.1f Mmuls/s", r.MulsPerSec/1e6)
 		}
@@ -297,7 +461,10 @@ func main() {
 	}
 	fmt.Printf("exact fused vs scalar:        %.2fx\n", rep.Speedups.ExactFusedVsScalar)
 	fmt.Printf("faulty skip-ahead vs bernoulli: %.2fx\n", rep.Speedups.FaultySkipAheadVsBernoulli)
-	fmt.Printf("evaluate sharded vs serial:   %.2fx\n", rep.Speedups.EvaluateShardedVsSerial)
+	fmt.Printf("evaluate sharded vs serial:   %.2fx (%d procs)\n", rep.Speedups.EvaluateShardedVsSerial, rep.MaxProcs)
+	fmt.Printf("batch lane64 vs scalar faulty: %.2fx\n", rep.Speedups.BatchLane64VsScalarFaulty)
+	fmt.Printf("batch lane64 vs exact fused:  %.2fx\n", rep.Speedups.BatchLane64VsExactFused)
+	fmt.Printf("serve batched vs scalar:      %.2fx\n", rep.Speedups.ServeBatchedVsScalar)
 	fmt.Printf("wrote %s\n", *out)
 
 	if base != nil {

@@ -14,7 +14,15 @@ import (
 // (it is machine-dependent), and degradations inside the margin pass.
 func TestCompareGate(t *testing.T) {
 	base := &Report{
-		Speedups: Speedups{ExactFusedVsScalar: 2.0, FaultySkipAheadVsBernoulli: 4.0, EvaluateShardedVsSerial: 3.0},
+		MaxProcs: 8,
+		Speedups: Speedups{
+			ExactFusedVsScalar:         2.0,
+			FaultySkipAheadVsBernoulli: 4.0,
+			EvaluateShardedVsSerial:    3.0,
+			BatchLane64VsScalarFaulty:  5.0,
+			BatchLane64VsExactFused:    1.1,
+			ServeBatchedVsScalar:       1.8,
+		},
 		Results: []Result{
 			{Name: "inference_exact_fused", NsPerOp: 100, AllocsPerOp: 0},
 			{Name: "evaluate_sharded", NsPerOp: 1e6, AllocsPerOp: 40},
@@ -67,6 +75,38 @@ func TestCompareGate(t *testing.T) {
 	}), base, 0.25); len(p) != 0 {
 		t.Errorf("unknown benchmark gated: %v", p)
 	}
+	// Batch-lane ratio collapse: fails regardless of proc count.
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.BatchLane64VsScalarFaulty = 1.0
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("batch-lane regression not flagged: %v", p)
+	}
+	// Parallel ratios on a 1-proc runner: the machine cannot shard or
+	// overlap requests, so their gates are skipped, not failed.
+	if p := compare(clone(func(r *Report) {
+		r.MaxProcs = 1
+		r.Speedups.EvaluateShardedVsSerial = 1.0
+		r.Speedups.ServeBatchedVsScalar = 0.9
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("1-proc parallel ratios wrongly gated: %v", p)
+	}
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.EvaluateShardedVsSerial = 1.0
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("multi-proc sharding regression not flagged: %v", p)
+	}
+	// The serve baseline is capped at 1.0: losing this machine's 1.8x
+	// upside passes, dropping well below scalar throughput fails.
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.ServeBatchedVsScalar = 1.05
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("serve upside wrongly gated: %v", p)
+	}
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.ServeBatchedVsScalar = 0.5
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("serve throughput collapse not flagged: %v", p)
+	}
 }
 
 // TestLoadRoundTrip pins load() against write().
@@ -96,8 +136,8 @@ func TestRunAndWriteReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 6 {
-		t.Fatalf("got %d results, want 6", len(rep.Results))
+	if len(rep.Results) != 12 {
+		t.Fatalf("got %d results, want 12", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {

@@ -45,6 +45,8 @@ func serveRun(ctx context.Context, args []string) error {
 	lifecycle := fs.Bool("lifecycle", true, "quarantine and respawn terminally degraded sessions")
 	journalPath := fs.String("journal", "", "calibration journal path (empty = journaling off)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "re-dispatch a slow batch to a second slot after this budget (0 = off)")
+	maxBatch := fs.Int("max-batch", 0, "coalesce concurrent programs into micro-batches of up to this many lanes (0 or 1 = scalar dispatch)")
+	maxBatchWait := fs.Duration("max-batch-wait", 0, "flush a partial micro-batch after this wait (0 = 2ms default when -max-batch enables batching)")
 	deadline := fs.Duration("deadline", 0, "default per-request detection deadline (0 = unbounded)")
 	tracePath := fs.String("trace", "", "decision trace file for `shmd replay` audits (empty = tracing off)")
 	traceBuffer := fs.Int("trace-buffer", replay.DefaultSinkBuffer, "decision trace ring size; overflow drops records, never blocks serving")
@@ -78,6 +80,8 @@ func serveRun(ctx context.Context, args []string) error {
 		EnablePprof:       *withPprof,
 		DefaultDeadline:   *deadline,
 		HedgeAfter:        *hedgeAfter,
+		MaxBatch:          *maxBatch,
+		MaxBatchWait:      *maxBatchWait,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ShutdownTimeout:   *shutdownTimeout,
 	}

@@ -66,6 +66,8 @@ func soakRun(ctx context.Context, args []string) error {
 	rate := fs.Float64("rate", 0.1, "target multiplier error rate")
 	seed := fs.Uint64("seed", 1, "root seed (fault streams, storm schedule)")
 	hedgeAfter := fs.Duration("hedge-after", 5*time.Millisecond, "hedged re-dispatch budget (0 = off)")
+	maxBatch := fs.Int("max-batch", 0, "micro-batch lane limit (0 or 1 = scalar dispatch)")
+	maxBatchWait := fs.Duration("max-batch-wait", 0, "partial micro-batch flush wait (0 = serve default)")
 	deadline := fs.Duration("deadline", 2*time.Second, "server-side default detection deadline")
 	journal := fs.String("journal", "", "calibration journal path (empty = journaling off)")
 	report := fs.String("report", "soak_report.json", "JSON report output path")
@@ -120,6 +122,8 @@ func soakRun(ctx context.Context, args []string) error {
 		QueueDepth:      4 * *clients,
 		DefaultDeadline: *deadline,
 		HedgeAfter:      *hedgeAfter,
+		MaxBatch:        *maxBatch,
+		MaxBatchWait:    *maxBatchWait,
 	}
 	srv, err := serve.New(base, cfg)
 	if err != nil {

@@ -1,0 +1,245 @@
+package conform
+
+import (
+	"math/rand"
+	"testing"
+
+	"shmd/internal/faults"
+	"shmd/internal/rng"
+	"shmd/internal/trace"
+)
+
+// The checks in this file hold the *batched* sampler — BatchInjector's
+// span-planned draws consumed through the batch-lane kernels — to the
+// same closed-form laws the scalar suite enforces. The bit-identity
+// tests in internal/faults prove batched == scalar stream-for-stream;
+// these prove the batched machinery's draws obey the law on their own,
+// so a defect that slipped into both paths at once (a shared alias
+// table rebuilt wrong, a span planner consuming a biased stream) is
+// still caught.
+
+// pooledGaps concatenates the first n gap draws of every lane. Lanes
+// are independent streams of the same law, so the pooled sample is
+// i.i.d. and the one-sample tests apply directly.
+func pooledGaps(logs []faults.DrawLog, n int) []int64 {
+	out := make([]int64, 0, len(logs)*n)
+	for l := range logs {
+		out = append(out, logs[l].Gaps[:n]...)
+	}
+	return out
+}
+
+// TestBatchGapLaw holds the batched sampler's gap draws to the
+// Geometric(rate) law at an alias-table rate (0.1) and a log-inversion
+// rate (1/256). The geometry is adversarial on purpose: rows of width
+// 7 and 112-multiplication spans mean gaps at the low rate (mean 256)
+// almost always straddle row and span boundaries, so the pending-gap
+// carryover between spans is on the tested path.
+func TestBatchGapLaw(t *testing.T) {
+	const lanes, perLane = 4, 6000
+	for _, rate := range []float64{0.1, 1.0 / 256} {
+		logs, err := SampleBatchDraws(rate, nil, perLane, lanes, 7, batchSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := pooledGaps(logs, perLane)
+		chi, err := GapChi2(gaps, rate, Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log(chi)
+		if !chi.Pass {
+			t.Errorf("batched gap law chi-square rejected at rate %g", rate)
+		}
+		ks, err := GapKS(gaps, rate, batchSeed, Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log(ks)
+		if !ks.Pass {
+			t.Errorf("batched gap law KS rejected at rate %g", rate)
+		}
+	}
+}
+
+// TestBatchGapLawRejectsWrongRate is the batched gap-law mutation
+// check: draws planned at a perturbed rate must fail against the
+// nominal law, or the batched checks above carry no power.
+func TestBatchGapLawRejectsWrongRate(t *testing.T) {
+	logs, err := SampleBatchDraws(0.12, nil, 6000, 4, 7, batchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := pooledGaps(logs, 6000)
+	chi, err := GapChi2(gaps, 0.1, Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(chi)
+	if chi.Pass {
+		t.Error("batched chi-square failed to reject a 20% rate perturbation")
+	}
+	ks, err := GapKS(gaps, 0.1, batchSeed, Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(ks)
+	if ks.Pass {
+		t.Error("batched KS failed to reject a 20% rate perturbation")
+	}
+}
+
+// TestScalarBatchEquivalence holds the scalar Mul path and the batched
+// span sampler to one gap distribution without assuming which is
+// right, and holds the lanes of one batch to each other — lane
+// homogeneity is what batch-size invariance looks like
+// distributionally.
+func TestScalarBatchEquivalence(t *testing.T) {
+	const rate, perLane, kmax = 0.1, 5000, 60
+	scalar, err := SampleGaps(rate, 4*perLane, batchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs, err := SampleBatchDraws(rate, nil, perLane, 4, 24, batchSeed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Homogeneity("scalar-vs-batch", BinGaps(scalar, kmax), BinGaps(pooledGaps(logs, perLane), kmax), Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Pass {
+		t.Error("scalar and batched gap distributions diverge")
+	}
+	lane, err := Homogeneity("lane0-vs-lane3", BinGaps(logs[0].Gaps[:perLane], kmax), BinGaps(logs[3].Gaps[:perLane], kmax), Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(lane)
+	if !lane.Pass {
+		t.Error("lanes of one batch draw different gap distributions")
+	}
+
+	// Mutation: a batch planner running at a drifted rate must be caught.
+	drifted, err := SampleBatchDraws(0.12, nil, perLane, 4, 24, batchSeed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Homogeneity("scalar-vs-drifted-batch", BinGaps(scalar, kmax), BinGaps(pooledGaps(drifted, perLane), kmax), Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(bad)
+	if bad.Pass {
+		t.Error("homogeneity test failed to reject a drifted batch rate")
+	}
+}
+
+// TestBatchBitLaw holds the fault-bit draws made by the span planner
+// (one fused site+bit draw per presampled fault) to the Fig 1 location
+// model, with the mutation pairing: a tilted model sampled through the
+// batched path must be rejected against Fig 1.
+func TestBatchBitLaw(t *testing.T) {
+	count := func(dist *faults.Distribution, seed uint64) [faults.ProductBits]float64 {
+		logs, err := SampleBatchDraws(0.5, dist, 30000, 4, 24, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counts [faults.ProductBits]float64
+		for l := range logs {
+			for _, b := range logs[l].Bits {
+				counts[b]++
+			}
+		}
+		return counts
+	}
+	res, err := BitChi2(count(nil, batchSeed+2), nil, Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Pass {
+		t.Error("batched bit-location chi-square rejected the Fig 1 model")
+	}
+	bad, err := BitChi2(count(tiltedFig1(t), batchSeed+2), nil, Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(bad)
+	if bad.Pass {
+		t.Error("batched bit-location chi-square failed to reject a tilted model")
+	}
+}
+
+// flipTrialsBatch runs one batch of end-to-end verdict-flip trials
+// through the fully batched path: lane j decides its program via
+// DetectTracesUnit over a BatchInjector whose lane streams use the
+// scalar trial derivation, so lane j is the exact batched counterpart
+// of flipTrial(t, er, seeds[j]).
+func flipTrialsBatch(t testing.TB, er float64, seeds []uint64) []bool {
+	t.Helper()
+	initFlipFixture(t)
+	srcs := make([]rand.Source64, len(seeds))
+	traces := make([][]trace.WindowCounts, len(seeds))
+	exact := make([]bool, len(seeds))
+	for j, seed := range seeds {
+		srcs[j] = rng.NewSource64(seed, conformStream, 1)
+		idx := int(seed) % len(flipFixture.programs)
+		traces[j] = flipFixture.programs[idx]
+		exact[j] = flipFixture.exact[idx]
+	}
+	b, err := faults.NewBatchInjector(er, nil, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flips := make([]bool, len(seeds))
+	for j, d := range flipFixture.h.DetectTracesUnit(b, traces) {
+		flips[j] = d.Malware != exact[j]
+	}
+	return flips
+}
+
+// TestBatchDetectionRateSPRT re-runs the end-to-end detection-rate
+// check through the batched serving path: trials arrive 64 lanes at a
+// time from DetectTracesUnit and feed the same SPRT against the same
+// pinned flip rate — pinnedFlipRate is a property of the fault law,
+// not of the execution layout, so the batched path must reproduce it.
+// The first batch is additionally asserted flip-for-flip equal to
+// scalar trials on the same streams: the end-to-end form of the
+// per-lane bit-identity guarantee.
+func TestBatchDetectionRateSPRT(t *testing.T) {
+	const delta = 0.03
+	const lanes = 64
+	check, err := NewRateCheck(pinnedFlipRate, delta, 1e-3, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := Continue
+	const maxTrials = 8000
+	for base := 0; base < maxTrials && status == Continue; base += lanes {
+		seeds := make([]uint64, lanes)
+		for j := range seeds {
+			seeds[j] = uint64(sprtSeed*1000000 + base + j)
+		}
+		flips := flipTrialsBatch(t, pinnedFlipER, seeds)
+		if base == 0 {
+			for j, f := range flips {
+				if f != flipTrial(t, pinnedFlipER, seeds[j]) {
+					t.Fatalf("lane %d: batched flip trial disagrees with the scalar trial on the same stream", j)
+				}
+			}
+		}
+		for _, f := range flips {
+			if status != Continue {
+				break
+			}
+			status = check.Observe(f)
+		}
+	}
+	res := check.Result("batch-detection-flip-sprt", status)
+	t.Log(res)
+	if !res.Pass {
+		t.Errorf("batched flip rate drifted from pinned %.4f: %s", pinnedFlipRate, res.Detail)
+	}
+}

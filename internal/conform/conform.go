@@ -16,13 +16,14 @@
 // levels still matter — they are the false-alarm probability a *new*
 // seed would have, and they bound how surprising the pinned seed's
 // statistic is allowed to be. At the suite's alpha of 1e-3 per check
-// and fewer than a dozen checks, a fresh seed passes the whole suite
-// with probability better than 99%.
+// and fewer than twenty checks (scalar and batched paths together), a
+// fresh seed passes the whole suite with probability better than 98%.
 package conform
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"shmd/internal/faults"
 	"shmd/internal/fxp"
@@ -110,6 +111,74 @@ func SampleBulkGaps(rate float64, n, rowLen int, seed uint64) ([]int64, error) {
 	}
 	in.StopRecord()
 	return append([]int64(nil), log.Gaps[:n]...), nil
+}
+
+// SampleBatchDraws collects per-lane draw logs from a production
+// BatchInjector driving the span-planned batch kernel: every iteration
+// announces a span across all lanes (BeginSpan) and consumes it with
+// DotRowBatch over all-ones rows, until each lane has recorded at
+// least nGaps gap draws. The geometry knobs matter: with rowLen not
+// dividing the span and spans short relative to 1/rate, gap draws
+// routinely straddle row and span boundaries, exercising the pending
+// carryover bookkeeping the scalar sampler never touches. Recording
+// lanes take the batch planner's generic (non-fused) consume loop, but
+// draw streams and fault placement are identical to the fused path —
+// that equivalence is pinned bit-for-bit in internal/faults; here the
+// draws themselves are held to the law.
+func SampleBatchDraws(rate float64, dist *faults.Distribution, nGaps, lanes, rowLen int, seed uint64) ([]faults.DrawLog, error) {
+	if rate <= 0 || rate >= 1 {
+		return nil, fmt.Errorf("conform: batch sampling needs rate in (0,1), got %v", rate)
+	}
+	if lanes < 1 || rowLen < 1 {
+		return nil, fmt.Errorf("conform: batch geometry %d lanes x %d row", lanes, rowLen)
+	}
+	srcs := make([]rand.Source64, lanes)
+	for l := range srcs {
+		srcs[l] = rng.NewSource64(seed, conformStream, 3, uint64(l))
+	}
+	b, err := faults.NewBatchInjector(rate, dist, srcs)
+	if err != nil {
+		return nil, err
+	}
+	logs := make([]faults.DrawLog, lanes)
+	laneIDs := make([]int, lanes)
+	for l := range laneIDs {
+		laneIDs[l] = l
+		b.Lane(l).StartRecord(&logs[l])
+	}
+	w := make([]fxp.Value, rowLen)
+	xs := make([]fxp.Value, lanes*rowLen)
+	for i := range w {
+		w[i] = 1
+	}
+	for i := range xs {
+		xs[i] = 1
+	}
+	bt := &fxp.Batch{Xs: xs, Stride: rowLen, WAbs: float64(rowLen)}
+	out := make([]fxp.Value, lanes)
+	const spanRows = 16
+	for {
+		done := true
+		for l := range logs {
+			if len(logs[l].Gaps) < nGaps {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		// Exact-consumption contract: every announced span is walked to
+		// completion before the next BeginSpan.
+		b.BeginSpan(laneIDs, spanRows*rowLen)
+		for r := 0; r < spanRows; r++ {
+			b.DotRowBatch(fxp.Format{}, w, bt, out)
+		}
+	}
+	for l := range laneIDs {
+		b.Lane(l).StopRecord()
+	}
+	return logs, nil
 }
 
 // SampleBits collects nFaults fault-bit draws from a production

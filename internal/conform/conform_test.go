@@ -17,10 +17,11 @@ import (
 // seed's statistic is allowed to be; see the package comment for the
 // suite-wide false-alarm bound.
 const (
-	gapSeed  = 11
-	bitSeed  = 12
-	bulkSeed = 13
-	sprtSeed = 14
+	gapSeed   = 11
+	bitSeed   = 12
+	bulkSeed  = 13
+	sprtSeed  = 14
+	batchSeed = 15 // batched-sampler checks, batch_test.go
 )
 
 // TestGapLaw holds the production sampler's gap draws to the
@@ -97,12 +98,12 @@ func TestBitLaw(t *testing.T) {
 	}
 }
 
-// TestBitLawRejectsPerturbedModel samples from a tilted location model
-// and checks the suite rejects it against Fig 1 — the bit-law mutation
-// check.
-func TestBitLawRejectsPerturbedModel(t *testing.T) {
+// tiltedFig1 builds the mutation model for the bit-law rejection
+// checks: ~20% of each faultable bit's Fig 1 mass shifted one position
+// up.
+func tiltedFig1(t testing.TB) *faults.Distribution {
+	t.Helper()
 	w := faults.Fig1Distribution().Weights()
-	// Shift ~20% of the mass of each faultable bit one position up.
 	var tilted [faults.ProductBits]float64
 	for bit := faults.MinFaultBit; bit <= faults.MaxFaultBit; bit++ {
 		tilted[bit] += 0.8 * w[bit]
@@ -116,7 +117,14 @@ func TestBitLawRejectsPerturbedModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	counts, err := SampleBits(0.5, dist, 200000, bitSeed)
+	return dist
+}
+
+// TestBitLawRejectsPerturbedModel samples from a tilted location model
+// and checks the suite rejects it against Fig 1 — the bit-law mutation
+// check.
+func TestBitLawRejectsPerturbedModel(t *testing.T) {
+	counts, err := SampleBits(0.5, tiltedFig1(t), 200000, bitSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,29 +248,38 @@ var flipFixture struct {
 	exact    []bool
 }
 
+// initFlipFixture lazily builds the shared model, program traces, and
+// exact-inference verdicts used by both the scalar and batched
+// detection-rate checks.
+func initFlipFixture(t testing.TB) {
+	t.Helper()
+	if flipFixture.h != nil {
+		return
+	}
+	flipFixture.h = flipModel(t)
+	const nProgs = 16
+	for i := 0; i < nProgs; i++ {
+		cls := []trace.Class{trace.Benign, trace.Backdoor, trace.Rogue, trace.Trojan}[i%4]
+		prog, err := trace.NewProgram(cls, i/4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := prog.Trace(4, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipFixture.programs = append(flipFixture.programs, ws)
+		flipFixture.exact = append(flipFixture.exact, flipFixture.h.DetectProgram(ws).Malware)
+	}
+}
+
 // flipTrial runs one Bernoulli trial of the end-to-end check: decide a
 // synthetic program through an undervolted unit at rate er with an
 // independent fault stream, and report whether the stochastic verdict
 // flipped relative to exact inference.
 func flipTrial(t testing.TB, er float64, seed uint64) bool {
 	t.Helper()
-	if flipFixture.h == nil {
-		flipFixture.h = flipModel(t)
-		const nProgs = 16
-		for i := 0; i < nProgs; i++ {
-			cls := []trace.Class{trace.Benign, trace.Backdoor, trace.Rogue, trace.Trojan}[i%4]
-			prog, err := trace.NewProgram(cls, i/4, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ws, err := prog.Trace(4, 256)
-			if err != nil {
-				t.Fatal(err)
-			}
-			flipFixture.programs = append(flipFixture.programs, ws)
-			flipFixture.exact = append(flipFixture.exact, flipFixture.h.DetectProgram(ws).Malware)
-		}
-	}
+	initFlipFixture(t)
 	idx := int(seed) % len(flipFixture.programs)
 	inj, err := faults.NewInjector(er, nil, rng.NewRand(seed, conformStream, 1))
 	if err != nil {

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"shmd/internal/faults"
+	"shmd/internal/fxp"
+	"shmd/internal/hmd"
+	"shmd/internal/rng"
+	"shmd/internal/trace"
+)
+
+// This file is the serving-side batch surface: whole groups of traces
+// — concurrent requests coalesced by the serve dispatcher — evaluated
+// in one lane-batched undervolted pass, carried through the Session
+// enter/exit protocol and the Supervisor recovery machinery with the
+// same guarantees the scalar path gives each program individually.
+
+// batchPassLabel separates serving-batch lane streams from the
+// detector's own stream (0x5BD in New), the evaluation shard streams
+// (0x5A4D), and the pool slot streams (0x5E54).
+const batchPassLabel = 0x5BA7
+
+// EnableBatchStreams installs a root seed and fault-location
+// distribution for batched detection on a detector whose fault streams
+// could not otherwise be re-derived per lane — one built by
+// NewWithHardware on caller-supplied hardware (nil dist selects the
+// Fig 1 model). Detectors built by New already carry their seed and
+// need no opt-in. The caller-supplied FaultUnit keeps serving the
+// scalar path; batched passes run on derived per-lane injectors at the
+// unit's current rate, so the moving-target property and the
+// calibrated operating point are preserved either way.
+func (s *StochasticHMD) EnableBatchStreams(seed uint64, dist *faults.Distribution) {
+	if dist == nil {
+		dist = faults.Fig1Distribution()
+	}
+	s.laneSeeded = true
+	s.seed = seed
+	s.dist = dist
+}
+
+// BatchCapable reports whether DetectTracesBatch will accept batches:
+// true for detectors built by New and for hardware-backed detectors
+// after EnableBatchStreams.
+func (s *StochasticHMD) BatchCapable() bool { return s.shardable || s.laneSeeded }
+
+// DetectTracesBatch evaluates every trace in one lane-batched pass
+// through the undervolted multiplier. Lane j's fault stream is derived
+// from (root seed, pass counter, current rate, lane index), so lanes
+// are mutually independent, every batched pass re-rolls its faults
+// exactly as consecutive scalar detections would — the moving-target
+// property — and a given (seed, pass, rate, lane) reproduces exactly.
+//
+// When record is set, the returned logs hold lane j's stochastic draw
+// log (replayable off-hardware via faults.Replayer); otherwise logs is
+// nil. ok is false when the detector cannot derive per-lane streams
+// (NewWithHardware without EnableBatchStreams) — callers fall back to
+// the scalar path.
+//
+// Unlike ScoreWindows, a batched pass never consumes the detector's
+// own fault stream; it is not safe for concurrent use with itself or
+// the scalar path (the serving layer serializes through Session).
+func (s *StochasticHMD) DetectTracesBatch(traces [][]trace.WindowCounts, record bool) (decs []hmd.Decision, logs []faults.DrawLog, ok bool) {
+	if !s.BatchCapable() {
+		return nil, nil, false
+	}
+	rate := s.inj.Rate()
+	pass := s.batchPass
+	s.batchPass++
+	srcs := make([]rand.Source64, len(traces))
+	for j := range srcs {
+		srcs[j] = rng.NewSource64(s.seed, batchPassLabel, pass, math.Float64bits(rate), uint64(j))
+	}
+	binj, err := faults.NewBatchInjector(rate, s.dist, srcs)
+	if err != nil {
+		return nil, nil, false
+	}
+	if record {
+		logs = make([]faults.DrawLog, len(traces))
+		for j := range logs {
+			binj.Lane(j).StartRecord(&logs[j])
+		}
+		defer func() {
+			for j := range logs {
+				binj.Lane(j).StopRecord()
+			}
+		}()
+	}
+	decs = s.base.WithFreshBuffers().DetectTracesUnit(binj, traces)
+	return decs, logs, true
+}
+
+// DetectBatch runs one enter → batched infer → exit cycle: a whole
+// group of coalesced requests pays a single undervolt transition
+// instead of one per program, while faults still never reach
+// computation outside the cycle. When the detector cannot derive
+// per-lane streams the group is served sequentially inside the same
+// cycle, so callers get batch semantics either way. logs follows
+// DetectTracesBatch's contract (per-lane draw logs when record is
+// set; the sequential fallback records through the detector's own
+// recordable unit, if any).
+func (sess *Session) DetectBatch(traces [][]trace.WindowCounts, record bool) (decs []hmd.Decision, logs []faults.DrawLog, err error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := sess.enter(); err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if exitErr := sess.exit(); exitErr != nil && err == nil {
+			err = exitErr
+		}
+	}()
+	decs, logs, ok := sess.s.DetectTracesBatch(traces, record)
+	if !ok {
+		decs = make([]hmd.Decision, len(traces))
+		if record {
+			logs = make([]faults.DrawLog, len(traces))
+			for j, w := range traces {
+				decs[j], logs[j] = sess.s.DetectProgramTraced(w)
+			}
+		} else {
+			logs = nil
+			for j, w := range traces {
+				decs[j] = sess.s.DetectProgram(w)
+			}
+		}
+	}
+	return decs, logs, nil
+}
+
+// DetectBatch serves one coalesced group of detection requests through
+// the recovery state machine. It mirrors DetectProgram exactly — the
+// whole batch is one protected cycle (retried, breaker-gated, canary-
+// counted), and on exhaustion the whole batch degrades together to
+// deterministic nominal-voltage decisions flagged Unprotected — with
+// per-request counters scaled by the batch size, so Health reads the
+// same whether requests arrive one at a time or coalesced. Like
+// DetectProgram, it never returns an error for environmental faults.
+//
+// logs[j] is lane j's draw log when record is set and the batch ran
+// protected; degraded batches return nil logs (there are no draws at
+// nominal voltage).
+func (sup *Supervisor) DetectBatch(traces [][]trace.WindowCounts, record bool) ([]Verdict, []faults.DrawLog, error) {
+	n := len(traces)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	sup.mu.Lock()
+	defer sup.mu.Unlock()
+	sup.h.Detections += uint64(n)
+
+	if sup.state == Degraded {
+		sup.ticks += int64(n) // degraded detections are the breaker's clock
+		if sup.breaker.Allow() {
+			// Half-open probe: one protected attempt set for the batch.
+			if v, logs, err := sup.tryProtectedBatch(traces, record); err == nil {
+				sup.breaker.Success()
+				sup.state = Healthy
+				sup.h.Recoveries++
+				return v, logs, nil
+			}
+			sup.breaker.Failure()
+		}
+		return sup.degradedBatch(traces), nil, nil
+	}
+
+	v, logs, err := sup.tryProtectedBatch(traces, record)
+	if err != nil {
+		sup.h.Failures += uint64(n)
+		sup.state = Retrying
+		if permanentErr(err) {
+			sup.breaker.Trip()
+		} else {
+			sup.breaker.Failure()
+		}
+		if sup.breaker.State() == BreakerOpen {
+			sup.state = Degraded
+			sup.h.Trips++
+		}
+		return sup.degradedBatch(traces), nil, nil
+	}
+	sup.breaker.Success()
+	if v[0].Attempts > 1 {
+		sup.state = Retrying
+	} else {
+		sup.state = Healthy
+	}
+
+	if sup.cfg.CanaryEvery > 0 && sup.targetRate > 0 {
+		sup.sinceCanary += n
+		if sup.sinceCanary >= sup.cfg.CanaryEvery {
+			sup.sinceCanary = 0
+			sup.canary()
+		}
+	}
+	return v, logs, nil
+}
+
+// tryProtectedBatch is tryProtected for a coalesced group: the whole
+// batch is one retriable cycle, Retries counts cycle retries (not per
+// lane — one faulted cycle is one recovery action), Protected scales
+// by the lanes served. Callers hold sup.mu.
+func (sup *Supervisor) tryProtectedBatch(traces [][]trace.WindowCounts, record bool) ([]Verdict, []faults.DrawLog, error) {
+	var lastErr error
+	for attempt := 0; attempt <= sup.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			sup.h.Retries++
+			sup.backoff(attempt)
+		}
+		decs, logs, err := sup.sess.DetectBatch(traces, record)
+		if err == nil {
+			sup.h.Protected += uint64(len(traces))
+			out := make([]Verdict, len(decs))
+			for j, dec := range decs {
+				out[j] = Verdict{Decision: dec, Attempts: attempt + 1}
+			}
+			return out, logs, nil
+		}
+		lastErr = err
+		if permanentErr(err) {
+			break
+		}
+	}
+	sup.failSafe()
+	return nil, nil, lastErr
+}
+
+// degradedBatch serves the group deterministically at nominal voltage
+// through the exact batch kernels — the unprotected baseline HMD, one
+// batched pass. Callers hold sup.mu.
+func (sup *Supervisor) degradedBatch(traces [][]trace.WindowCounts) []Verdict {
+	sup.failSafe()
+	sup.h.Unprotected += uint64(len(traces))
+	decs := sup.s.Base().WithFreshBuffers().DetectTracesUnit(fxp.Exact{}, traces)
+	out := make([]Verdict, len(decs))
+	for j, dec := range decs {
+		out[j] = Verdict{Decision: dec, Unprotected: true}
+	}
+	return out
+}

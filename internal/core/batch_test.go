@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"shmd/internal/hmd"
+	"shmd/internal/trace"
+)
+
+// hideBatch masks DetectBatch so evaluation takes the per-program
+// sharded reference path.
+type hideBatch struct{ s *StochasticHMD }
+
+func (h hideBatch) ScoreWindows(w []trace.WindowCounts) []float64 { return h.s.ScoreWindows(w) }
+func (h hideBatch) DetectProgram(w []trace.WindowCounts) hmd.Decision {
+	return h.s.DetectProgram(w)
+}
+func (h hideBatch) DetectorForProgram(idx int) hmd.Detector { return h.s.DetectorForProgram(idx) }
+
+// TestStochasticDetectBatchBitIdentity is the tentpole guarantee at
+// the detector level: batched stochastic evaluation is bit-identical
+// per program to the per-program derived path — same verdicts, same
+// score bits — for batch sizes covering single-lane, ragged, and
+// full-width groupings, and for any lane order.
+func TestStochasticDetectBatchBitIdentity(t *testing.T) {
+	d, base := fixtures(t)
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := d.Select(split.Test)
+	if len(test) > 48 {
+		test = test[:48]
+	}
+	for _, rate := range []float64{0.1, 0.5} {
+		s, err := New(base, Options{ErrorRate: rate, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-program reference decisions through DetectorForProgram —
+		// the exact contract DetectBatch lanes must reproduce.
+		want := make([]hmd.Decision, len(test))
+		for i := range test {
+			want[i] = s.DetectorForProgram(i).DetectProgram(test[i].Windows)
+		}
+		for _, batch := range []int{1, 2, 7, 64} {
+			for start := 0; start < len(test); start += batch {
+				end := start + batch
+				if end > len(test) {
+					end = len(test)
+				}
+				idxs := make([]int, 0, end-start)
+				for i := start; i < end; i++ {
+					idxs = append(idxs, i)
+				}
+				got := s.DetectBatch(idxs, test)
+				for j, idx := range idxs {
+					if got[j].Malware != want[idx].Malware ||
+						math.Float64bits(got[j].Score) != math.Float64bits(want[idx].Score) {
+						t.Fatalf("rate %v batch=%d program %d: batched %+v != per-program %+v",
+							rate, batch, idx, got[j], want[idx])
+					}
+				}
+			}
+		}
+		// Lane order must not matter: reversed batch, same decisions.
+		n := len(test)
+		if n > 16 {
+			n = 16
+		}
+		rev := make([]int, n)
+		for i := range rev {
+			rev[i] = n - 1 - i
+		}
+		got := s.DetectBatch(rev, test)
+		for j, idx := range rev {
+			if got[j].Malware != want[idx].Malware ||
+				math.Float64bits(got[j].Score) != math.Float64bits(want[idx].Score) {
+				t.Fatalf("rate %v reversed lane %d (program %d): %+v != %+v",
+					rate, j, idx, got[j], want[idx])
+			}
+		}
+	}
+}
+
+// TestStochasticEvaluateBatchMatchesSharded pins the evaluation-level
+// equivalence: the batched evaluator and the per-program sharded
+// reference produce the same confusion matrix at every batch size.
+func TestStochasticEvaluateBatchMatchesSharded(t *testing.T) {
+	d, base := fixtures(t)
+	split, err := d.ThreeFold(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := d.Select(split.Test)
+	s, err := New(base, Options{ErrorRate: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := hmd.EvaluateParallel(hideBatch{s}, test, 2)
+	for _, batch := range []int{1, 7, 64} {
+		if got := hmd.EvaluateBatch(s, test, batch, 2); got != ref {
+			t.Errorf("batch=%d: confusion %+v != per-program reference %+v", batch, got, ref)
+		}
+	}
+}

@@ -14,7 +14,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
+	"shmd/internal/dataset"
 	"shmd/internal/faults"
 	"shmd/internal/fxp"
 	"shmd/internal/hmd"
@@ -95,6 +97,14 @@ type StochasticHMD struct {
 	shardable bool
 	seed      uint64
 	dist      *faults.Distribution
+
+	// Batched-serving support (DetectTracesBatch): laneSeeded marks a
+	// detector whose seed/dist were installed by EnableBatchStreams
+	// (the opt-in for caller-supplied hardware), and batchPass counts
+	// batched passes so every batch draws fresh per-lane fault streams
+	// — the moving-target property across batches.
+	laneSeeded bool
+	batchPass  uint64
 
 	// Decision tracing (opt-in, see EnableDecisionTrace): when on,
 	// every ScoreWindows pass records its stochastic draws into
@@ -299,6 +309,29 @@ func (s *StochasticHMD) DetectorForProgram(idx int) hmd.Detector {
 	return s.base.WithUnit(inj)
 }
 
+// DetectBatch implements hmd.BatchSharder: one lane-batched evaluation
+// pass over programs[idx], idx in idxs, where lane j's fault stream is
+// the per-program derived stream DetectorForProgram(idxs[j]) would use
+// — same seed, label, rate, and program index — so the batched
+// verdicts are bit-identical to the per-program path under any batch
+// grouping. Declines (nil) exactly when DetectorForProgram declines.
+func (s *StochasticHMD) DetectBatch(idxs []int, programs []dataset.TracedProgram) []hmd.Decision {
+	if !s.shardable {
+		return nil
+	}
+	rate := s.inj.Rate()
+	srcs := make([]rand.Source64, len(idxs))
+	for j, idx := range idxs {
+		srcs[j] = rng.NewSource64(s.seed, shardStreamLabel, math.Float64bits(rate), uint64(idx))
+	}
+	binj, err := faults.NewBatchInjector(rate, s.dist, srcs)
+	if err != nil {
+		return nil
+	}
+	return s.base.WithFreshBuffers().DetectBatchUnit(binj, idxs, programs)
+}
+
 var _ hmd.Detector = (*StochasticHMD)(nil)
 var _ hmd.ProgramSharder = (*StochasticHMD)(nil)
+var _ hmd.BatchSharder = (*StochasticHMD)(nil)
 var _ hmd.TracedDetector = (*StochasticHMD)(nil)

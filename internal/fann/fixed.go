@@ -19,9 +19,15 @@ type FixedNetwork struct {
 	output  Activation
 	weights [][]fxp.Value
 
+	// rowAbs caches Σ|w| per layer per neuron row (read-only, shared
+	// across Clones): the magnitude bound the batch kernels use to
+	// prove the unchecked fast path safe without re-walking weights.
+	rowAbs [][]float64
+
 	// scratch buffers reused across runs to keep the per-inference
 	// allocation count flat (the detector is "always on").
 	actA, actB []fxp.Value
+	batch      batchScratch
 }
 
 // ToFixed quantizes the network into the given format.
@@ -51,6 +57,15 @@ func (n *Network) ToFixed(f fxp.Format) (*FixedNetwork, error) {
 	}
 	fn.actA = make([]fxp.Value, maxWidth+1)
 	fn.actB = make([]fxp.Value, maxWidth+1)
+	fn.rowAbs = make([][]float64, len(fn.weights))
+	for l, w := range fn.weights {
+		stride := fn.layers[l] + 1
+		rows := make([]float64, fn.layers[l+1])
+		for r := range rows {
+			rows[r] = float64(fxp.SumAbs(w[r*stride : (r+1)*stride]))
+		}
+		fn.rowAbs[l] = rows
+	}
 	return fn, nil
 }
 
@@ -61,6 +76,7 @@ func (fn *FixedNetwork) Clone() *FixedNetwork {
 	c := *fn
 	c.actA = make([]fxp.Value, len(fn.actA))
 	c.actB = make([]fxp.Value, len(fn.actB))
+	c.batch = batchScratch{}
 	return &c
 }
 

@@ -62,6 +62,12 @@ type Injector struct {
 	rate  float64
 	dist  *Distribution
 	rnd   *rand.Rand
+	// src, when non-nil, is the Source64 behind rnd (same state, two
+	// views). The fused per-fault draw reads it directly to skip the
+	// rand.Rand call wrapper; batch-injector lanes set it. Draw values
+	// are identical either way — rand.Rand.Uint64 on a Source64
+	// delegates to the source.
+	src   rand.Source64
 	stats Counters
 	// gap is the number of fault-free multiplications remaining before
 	// the next fault site. Negative means "not drawn yet": the gap is
@@ -100,10 +106,13 @@ const (
 
 // geomTable is a Walker alias table over the (truncated) Geometric(p)
 // gap law. Sampling costs one table row per 32 random bits — no log,
-// no division, no data-dependent search.
+// no division, no data-dependent search. Rows hold integer acceptance
+// thresholds (u accepts its own row iff the 23-bit fraction is below
+// thresh), drawing the exact same outcomes as the float comparison —
+// see the derivation on Distribution.buildAlias — from a single
+// 8-byte row load.
 type geomTable struct {
-	prob  [gapTableSize]float64
-	alias [gapTableSize]uint16
+	rows [gapTableSize]aliasRow32
 }
 
 // newGeomTable tabulates Geometric(rate) for rate in
@@ -118,9 +127,11 @@ func newGeomTable(rate float64) *geomTable {
 	w[gapTableTail] = q // P(gap >= gapTableTail)
 	t := &geomTable{}
 	prob, alias := aliasBuild(w)
-	copy(t.prob[:], prob)
-	for i, a := range alias {
-		t.alias[i] = uint16(a)
+	for i := range t.rows {
+		t.rows[i] = aliasRow32{
+			thresh: uint32(math.Ceil(prob[i] * (1 << gapFracBits))),
+			alias:  uint16(alias[i]),
+		}
 	}
 	return t
 }
@@ -128,18 +139,35 @@ func newGeomTable(rate float64) *geomTable {
 // next samples a gap from 32 pre-drawn random bits, pulling fresh
 // draws only on the (rare) tail rows.
 func (t *geomTable) next(u uint32, rnd *rand.Rand) int64 {
-	var base int64
+	i := u >> gapFracBits
+	r := t.rows[i]
+	k := int64(i)
+	if u&gapFracMask >= r.thresh {
+		k = int64(r.alias)
+	}
+	if k < gapTableTail {
+		return k
+	}
+	return t.tail(rnd)
+}
+
+// tail finishes a draw that landed on the tail row "gap ≥ 511": the
+// geometric tail is itself geometric, so add the truncation point and
+// resample until a non-tail row lands.
+func (t *geomTable) tail(rnd *rand.Rand) int64 {
+	base := int64(gapTableTail)
 	for {
+		u := uint32(rnd.Uint64() >> 32)
 		i := u >> gapFracBits
+		r := t.rows[i]
 		k := int64(i)
-		if float64(u&gapFracMask)*(1.0/(1<<gapFracBits)) >= t.prob[i] {
-			k = int64(t.alias[i])
+		if u&gapFracMask >= r.thresh {
+			k = int64(r.alias)
 		}
 		if k < gapTableTail {
 			return base + k
 		}
 		base += gapTableTail
-		u = uint32(rnd.Uint64() >> 32)
 	}
 }
 
@@ -233,9 +261,23 @@ func (in *Injector) drawGap() int64 {
 // bits pick the bit, the high 32 the gap. This fused draw is the whole
 // per-fault cost of the skip-ahead sampler.
 func (in *Injector) fault(p fxp.Product) fxp.Product {
+	return p ^ fxp.Product(1)<<uint(in.drawFault())
+}
+
+// drawFault performs the fused per-fault draw — bit sample, next gap,
+// recording, statistics — and returns the sampled bit. It is the
+// single place fault randomness is consumed, shared by the scalar
+// fault application and the batch planner, so both consume the stream
+// identically.
+func (in *Injector) drawFault() int {
 	var bit int
 	if in.gapTable != nil {
-		r := in.rnd.Uint64()
+		var r uint64
+		if in.src != nil {
+			r = in.src.Uint64()
+		} else {
+			r = in.rnd.Uint64()
+		}
 		bit = in.dist.sampleBits32(uint32(r))
 		in.gap = in.gapTable.next(uint32(r>>32), in.rnd)
 	} else {
@@ -248,7 +290,7 @@ func (in *Injector) fault(p fxp.Product) fxp.Product {
 	}
 	in.stats.Faults++
 	in.stats.PerBit[bit]++
-	return p ^ fxp.Product(1)<<uint(bit)
+	return bit
 }
 
 // Mul multiplies two fixed-point values, faulting when the

@@ -49,6 +49,19 @@ type Distribution struct {
 	// cost of the skip-ahead injector.
 	aliasProb [ProductBits]float64
 	alias     [ProductBits]int
+	// bits32 is the integer-threshold form of the alias table read by
+	// sampleBits32: row i accepts itself iff the 26-bit fraction is
+	// below thresh, which is the exact same acceptance set as the float
+	// comparison (see the threshold derivation in buildAlias), with the
+	// row fused into 8 bytes so a draw touches one cache line and does
+	// no int→float conversion.
+	bits32 [ProductBits]aliasRow32
+}
+
+// aliasRow32 is one integer-threshold alias row.
+type aliasRow32 struct {
+	thresh uint32
+	alias  uint16
 }
 
 // NewDistribution builds a Distribution from raw non-negative weights.
@@ -81,10 +94,20 @@ func NewDistribution(weights [ProductBits]float64) (*Distribution, error) {
 }
 
 // buildAlias fills the Walker alias tables from the normalized weights.
+// The integer thresholds are exact: an m-bit fraction u accepts iff
+// u·2⁻ᵐ < p, and since float64(u)·2⁻ᵐ and p·2ᵐ are both exact
+// (power-of-two scaling), that holds iff u < ceil(p·2ᵐ) — so the
+// integer compare draws the identical outcome for every random input.
 func (d *Distribution) buildAlias() {
 	prob, alias := aliasBuild(d.weights[:])
 	copy(d.aliasProb[:], prob)
 	copy(d.alias[:], alias)
+	for i := range d.bits32 {
+		d.bits32[i] = aliasRow32{
+			thresh: uint32(math.Ceil(prob[i] * (1 << bitFracBits))),
+			alias:  uint16(alias[i]),
+		}
+	}
 }
 
 // aliasBuild runs Vose's O(n) alias-table construction over normalized
@@ -236,16 +259,23 @@ func (d *Distribution) sampleCDF(rnd *rand.Rand) int {
 	return lo
 }
 
-// sampleBits32 draws a fault bit from 32 pre-drawn random bits: the
-// top 6 index the alias row (ProductBits = 64 rows), the low 26 form
-// the acceptance fraction. The injector's fused per-fault draw uses
-// this so one 64-bit RNG output covers both the bit and the next gap;
-// the 2^-26 fraction granularity biases each bit's mass by < 2^-31,
-// far below the statistical-equivalence test tolerances.
+// Bit-sampler fraction split of a 32-bit draw: the top 6 bits index
+// the alias row (ProductBits = 64 rows), the low 26 form the
+// acceptance fraction.
+const (
+	bitFracBits = 26
+	bitFracMask = 1<<bitFracBits - 1
+)
+
+// sampleBits32 draws a fault bit from 32 pre-drawn random bits. The
+// injector's fused per-fault draw uses this so one 64-bit RNG output
+// covers both the bit and the next gap; the 2^-26 fraction granularity
+// biases each bit's mass by < 2^-31, far below the
+// statistical-equivalence test tolerances.
 func (d *Distribution) sampleBits32(u uint32) int {
-	i := int(u >> 26)
-	if float64(u&(1<<26-1))*(1.0/(1<<26)) < d.aliasProb[i] {
-		return i
+	r := d.bits32[u>>bitFracBits]
+	if u&bitFracMask < r.thresh {
+		return int(u >> bitFracBits)
 	}
-	return d.alias[i]
+	return int(r.alias)
 }

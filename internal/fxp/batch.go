@@ -1,0 +1,298 @@
+package fxp
+
+import "fmt"
+
+// This file holds the batch-lane kernels: the same fixed-point MAC the
+// scalar path runs, restructured so one walk over a weight row drives
+// N independent activation lanes. The layout is structure-of-arrays
+// and lane-major — lane j's activations live at
+// Xs[j*Stride : j*Stride+len(w)] — so each lane streams contiguously
+// while the weight row stays resident in L1 across lanes, and the
+// per-row bounds checks, loop control, and weight loads are paid once
+// per row instead of once per lane.
+//
+// Every batch kernel is bit-identical per lane to the scalar reference
+// (Dot / AccumExact): the checked kernels run the identical saturating
+// add sequence, and the unchecked fast path is only taken when a
+// conservative magnitude bound proves no intermediate sum can leave
+// the int64 range in any association order — in which case plain adds,
+// reassociated adds, and saturating adds all compute the same value.
+
+// Batch describes one packed batch of activation lanes for a batched
+// MAC row. Packing is dense: packed position j holds an active lane;
+// Lanes maps packed positions back to a unit's stable lane identities
+// so lanes can drop out (ragged tails, expired deadlines) without
+// disturbing the surviving lanes' state or streams.
+type Batch struct {
+	// Xs is the lane-major activation arena: packed lane j's inputs are
+	// Xs[j*Stride : j*Stride+rowLen].
+	Xs []Value
+	// Stride is the lane pitch in Xs (>= the row length).
+	Stride int
+	// Lanes maps packed position j to the unit's lane identity. A nil
+	// Lanes means the identity mapping (packed j is unit lane j).
+	Lanes []int
+	// MaxAbs, when non-nil, gives for each packed lane an upper bound
+	// on |x| over that lane's activations. Units use it to prove the
+	// no-saturation bound that unlocks the unchecked fast path; nil
+	// means unknown, forcing the checked kernels.
+	MaxAbs []int64
+	// WAbs, when nonzero, is Σ|w| of the current weight row (the caller
+	// typically precomputes it once per model). Zero means unknown; the
+	// unit computes it on the fly if it wants the fast path.
+	WAbs float64
+}
+
+// Lane returns the unit lane identity of packed position j.
+func (b *Batch) Lane(j int) int {
+	if b.Lanes == nil {
+		return j
+	}
+	return b.Lanes[j]
+}
+
+// BatchUnit is a multiply unit that can drive a whole batch of lanes
+// down one weight row per call. Implementations must produce, for each
+// packed lane, exactly the Value the scalar Dot path would produce for
+// that lane's multiplication sequence — batching is a layout change,
+// never a semantics change.
+type BatchUnit interface {
+	// DotRowBatch computes out[j] = Dot(w, lane j's activations) for
+	// every packed lane j in [0, len(out)), with per-lane state (fault
+	// streams, draw logs) addressed through b.Lane(j).
+	DotRowBatch(f Format, w []Value, b *Batch, out []Value)
+}
+
+// SpanPlanner is an optional BatchUnit extension: a unit that can
+// presample all per-lane randomness for a span of multiplications in
+// one pass per lane. Batched callers that know their total
+// multiplication count up front (a forward pass is a fixed mul
+// sequence) announce it so the unit can draw each lane's faults in one
+// tight cache-hot loop instead of interleaving tiny per-row draws
+// across many lanes — draw order and values per lane are unchanged.
+//
+// The contract is exact consumption: planning a lane draws from its
+// stream, so after BeginSpan(lanes, muls) the subsequent DotRowBatch
+// calls must walk exactly muls multiplications on each announced lane
+// — and only announced lanes — before the next BeginSpan or any scalar
+// use of a lane's stream. Callers must pass the explicit unit lane ids
+// they will address through Batch.Lanes (materializing the identity
+// list when using nil Batch.Lanes).
+type SpanPlanner interface {
+	BeginSpan(lanes []int, muls int)
+}
+
+// NoSatBound is the magnitude budget under which the unchecked kernels
+// are provably exact: if the sum of absolute contributions to a row's
+// accumulator stays below 2^62, no partial sum in any association
+// order can overflow int64 (the bound is evaluated in float64, whose
+// rounding error at these magnitudes is dwarfed by the 2x headroom to
+// 2^63). Fault units add their sampled bit-flip inflation (Σ 2^bit)
+// to the weight-activation bound before comparing.
+const NoSatBound = float64(1 << 62)
+
+const noSatBound = NoSatBound
+
+// SumAbs returns Σ|w| as an int64. With len(w) bounded by network
+// fan-in (thousands) and |w| < 2^31 the sum cannot overflow.
+func SumAbs(w []Value) int64 {
+	var s int64
+	for _, v := range w {
+		x := int64(v)
+		if x < 0 {
+			x = -x
+		}
+		s += x
+	}
+	return s
+}
+
+// DotUnchecked is the fast-path row kernel: a 4-way unrolled plain MAC
+// with independent partial accumulators, so the multiply latency is
+// off the critical path and the loop runs at multiplier throughput.
+// It is exact (bit-identical to AccumExact(0, w, x)) precisely when no
+// partial sum in any order can overflow — the caller must establish
+// that via the noSatBound test before choosing this kernel.
+func DotUnchecked(w, x []Value) int64 {
+	x = x[:len(w)] // one bounds check for the whole row
+	var a0, a1, a2, a3 int64
+	i := 0
+	for ; i+4 <= len(w); i += 4 {
+		a0 += int64(w[i]) * int64(x[i])
+		a1 += int64(w[i+1]) * int64(x[i+1])
+		a2 += int64(w[i+2]) * int64(x[i+2])
+		a3 += int64(w[i+3]) * int64(x[i+3])
+	}
+	for ; i < len(w); i++ {
+		a0 += int64(w[i]) * int64(x[i])
+	}
+	return a0 + a1 + a2 + a3
+}
+
+// DotUncheckedBatch runs the unchecked MAC over all packed lanes,
+// blocked four at a time so each weight element is loaded and
+// sign-extended once per four lanes instead of once per lane, writing
+// each lane's raw int64 sum into accs. Exactness has the same
+// precondition as DotUnchecked, and the caller must have proven it for
+// every lane: per lane the products are accumulated in ascending index
+// order, so under the no-saturation bound the result is bit-identical
+// to the scalar kernel.
+func DotUncheckedBatch(w, xs []Value, stride int, accs []int64) {
+	n := len(w)
+	k := len(accs)
+	j := 0
+	for ; j+4 <= k; j += 4 {
+		x0 := xs[(j+0)*stride:]
+		x1 := xs[(j+1)*stride:]
+		x2 := xs[(j+2)*stride:]
+		x3 := xs[(j+3)*stride:]
+		x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+		var a0, a1, a2, a3 int64
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			wi, wk := int64(w[i]), int64(w[i+1])
+			a0 += wi*int64(x0[i]) + wk*int64(x0[i+1])
+			a1 += wi*int64(x1[i]) + wk*int64(x1[i+1])
+			a2 += wi*int64(x2[i]) + wk*int64(x2[i+1])
+			a3 += wi*int64(x3[i]) + wk*int64(x3[i+1])
+		}
+		if i < n {
+			wi := int64(w[i])
+			a0 += wi * int64(x0[i])
+			a1 += wi * int64(x1[i])
+			a2 += wi * int64(x2[i])
+			a3 += wi * int64(x3[i])
+		}
+		accs[j+0] = a0
+		accs[j+1] = a1
+		accs[j+2] = a2
+		accs[j+3] = a3
+	}
+	for ; j < k; j++ {
+		accs[j] = DotUnchecked(w, xs[j*stride:j*stride+n])
+	}
+}
+
+// BatchAccum extends one running accumulator per lane with the exact
+// products of the shared weight row against each lane's activations,
+// using AccumExact's saturating-add semantics per lane. Lanes are
+// walked four at a time so the weight load and loop control amortize
+// across lanes; the per-lane add sequence (and therefore saturation
+// behavior) is identical to the scalar kernel. len(xs) must cover
+// (len(accs)-1)*stride + len(w).
+func BatchAccum(accs []Product, w, xs []Value, stride int) {
+	n := len(w)
+	k := len(accs)
+	j := 0
+	for ; j+4 <= k; j += 4 {
+		x0 := xs[(j+0)*stride:]
+		x1 := xs[(j+1)*stride:]
+		x2 := xs[(j+2)*stride:]
+		x3 := xs[(j+3)*stride:]
+		x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+		a0 := int64(accs[j+0])
+		a1 := int64(accs[j+1])
+		a2 := int64(accs[j+2])
+		a3 := int64(accs[j+3])
+		for i := 0; i < n; i++ {
+			wi := int64(w[i])
+			a0 = satMac(a0, wi, int64(x0[i]))
+			a1 = satMac(a1, wi, int64(x1[i]))
+			a2 = satMac(a2, wi, int64(x2[i]))
+			a3 = satMac(a3, wi, int64(x3[i]))
+		}
+		accs[j+0] = Product(a0)
+		accs[j+1] = Product(a1)
+		accs[j+2] = Product(a2)
+		accs[j+3] = Product(a3)
+	}
+	for ; j < k; j++ {
+		accs[j] = AccumExact(accs[j], w, xs[j*stride:j*stride+n])
+	}
+}
+
+// satMac is one saturating multiply-accumulate step, the branchless-
+// test body of AccumExact shared by the blocked kernel.
+func satMac(a, w, x int64) int64 {
+	p := w * x
+	s := a + p
+	if (a^s)&(p^s) < 0 {
+		if a > 0 {
+			return int64(maxProduct)
+		}
+		return int64(minProduct)
+	}
+	return s
+}
+
+const (
+	maxProduct = Product(1<<63 - 1)
+	minProduct = Product(-1 << 63)
+)
+
+// BatchDot runs the checked batch kernel from zero accumulators and
+// scales each lane's sum back to Value precision: out[j] is
+// bit-identical to Dot(Exact{}, f, w, xs[j*stride:j*stride+len(w)]).
+func BatchDot(f Format, w, xs []Value, stride int, out []Value) {
+	if stride < len(w) {
+		panic(fmt.Sprintf("fxp: BatchDot stride %d shorter than row %d", stride, len(w)))
+	}
+	var accArr [16]Product
+	accs := accArr[:0]
+	if len(out) <= len(accArr) {
+		accs = accArr[:len(out)]
+	} else {
+		accs = make([]Product, len(out))
+	}
+	for j := range accs {
+		accs[j] = 0
+	}
+	BatchAccum(accs, w, xs, stride)
+	for j := range out {
+		out[j] = f.ScaleProduct(accs[j])
+	}
+}
+
+// DotRowBatch implements BatchUnit for the exact multiplier. Lanes
+// whose magnitude bound clears noSatBound take the unchecked fast
+// path; the rest (or all lanes, when no bounds are known) run the
+// checked kernel. Either way each lane's result is bit-identical to
+// the scalar exact dot product.
+func (Exact) DotRowBatch(f Format, w []Value, b *Batch, out []Value) {
+	if b.MaxAbs == nil {
+		BatchDot(f, w, b.Xs, b.Stride, out)
+		return
+	}
+	wAbs := b.WAbs
+	if wAbs == 0 {
+		wAbs = float64(SumAbs(w))
+	}
+	n := len(w)
+	var maxAbs int64
+	for _, m := range b.MaxAbs[:len(out)] {
+		if m > maxAbs {
+			maxAbs = m
+		}
+	}
+	if wAbs*float64(maxAbs) < noSatBound && len(out) <= 64 {
+		// Every lane clears the bound: one blocked walk over the row,
+		// weight loads shared across lanes.
+		var accArr [64]int64
+		accs := accArr[:len(out)]
+		DotUncheckedBatch(w, b.Xs, b.Stride, accs)
+		for j := range out {
+			out[j] = f.ScaleProduct(Product(accs[j]))
+		}
+		return
+	}
+	for j := range out {
+		x := b.Xs[j*b.Stride : j*b.Stride+n]
+		if wAbs*float64(b.MaxAbs[j]) < noSatBound {
+			out[j] = f.ScaleProduct(Product(DotUnchecked(w, x)))
+		} else {
+			out[j] = f.ScaleProduct(AccumExact(0, w, x))
+		}
+	}
+}
+
+var _ BatchUnit = Exact{}

@@ -1,0 +1,116 @@
+package hmd
+
+import (
+	"math"
+	"testing"
+
+	"shmd/internal/trace"
+)
+
+// TestDetectBatchMatchesDetectProgram pins per-lane bit-identity of
+// the exact batched evaluator: every program's batched decision —
+// verdict and score bits — equals its scalar DetectProgram decision,
+// at batch sizes covering single-lane, ragged-tail, and full-width
+// groupings.
+func TestDetectBatchMatchesDetectProgram(t *testing.T) {
+	programs, h := evalPrograms(t)
+	want := make([]Decision, len(programs))
+	for i, p := range programs {
+		want[i] = h.DetectProgram(p.Windows)
+	}
+	for _, batch := range []int{1, 2, 7, 64} {
+		for start := 0; start < len(programs); start += batch {
+			end := min(start+batch, len(programs))
+			idxs := make([]int, 0, end-start)
+			for i := start; i < end; i++ {
+				idxs = append(idxs, i)
+			}
+			got := h.DetectBatch(idxs, programs)
+			for j, idx := range idxs {
+				if got[j].Malware != want[idx].Malware ||
+					math.Float64bits(got[j].Score) != math.Float64bits(want[idx].Score) {
+					t.Fatalf("batch=%d program %d: batched %+v != scalar %+v",
+						batch, idx, got[j], want[idx])
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchSizeInvariance is the evaluation-level guarantee:
+// the confusion matrix is identical for every batch size and worker
+// count, and equal to the serial reference.
+func TestEvaluateBatchSizeInvariance(t *testing.T) {
+	programs, h := evalPrograms(t)
+	serial := EvaluateBatch(hideSharder{h}, programs, 0, 1)
+	for _, batch := range []int{1, 2, 7, 64} {
+		for _, workers := range []int{1, 4} {
+			if got := EvaluateBatch(h, programs, batch, workers); got != serial {
+				t.Errorf("batch=%d workers=%d: confusion %+v != serial %+v",
+					batch, workers, got, serial)
+			}
+		}
+	}
+}
+
+// TestDetectBatchLaneOrderInvariance: a program's decision depends
+// only on its index, never on where in the batch it lands or which
+// programs share the batch.
+func TestDetectBatchLaneOrderInvariance(t *testing.T) {
+	programs, h := evalPrograms(t)
+	n := min(16, len(programs))
+	fwd := make([]int, n)
+	rev := make([]int, n)
+	for i := 0; i < n; i++ {
+		fwd[i] = i
+		rev[i] = n - 1 - i
+	}
+	a := h.DetectBatch(fwd, programs)
+	b := h.DetectBatch(rev, programs)
+	for j := 0; j < n; j++ {
+		if a[j] != b[n-1-j] {
+			t.Fatalf("program %d: decision %+v in forward order, %+v reversed",
+				fwd[j], a[j], b[n-1-j])
+		}
+	}
+}
+
+// embeddingSharder reproduces the method-promotion hazard: it embeds
+// the HMD (inheriting its exact-unit DetectBatch) but overrides
+// DetectorForProgram with detectors whose verdicts differ. The
+// consistency probe must reject the promoted DetectBatch and honour
+// the override.
+type embeddingSharder struct {
+	*HMD
+	inverted *HMD
+}
+
+func (s *embeddingSharder) DetectorForProgram(idx int) Detector {
+	return invertedDetector{s.inverted.WithFreshBuffers()}
+}
+
+// invertedDetector flips every verdict, making the override's
+// decisions observably different from the embedded HMD's.
+type invertedDetector struct{ h *HMD }
+
+func (d invertedDetector) ScoreWindows(w []trace.WindowCounts) []float64 {
+	return d.h.ScoreWindows(w)
+}
+func (d invertedDetector) DetectProgram(w []trace.WindowCounts) Decision {
+	dec := d.h.DetectProgram(w)
+	dec.Malware = !dec.Malware
+	return dec
+}
+
+// TestEvaluateBatchRejectsPromotedDetectBatch pins the probe: an
+// embedding wrapper with divergent per-program semantics must be
+// evaluated through its own DetectorForProgram, not the promoted
+// batched path.
+func TestEvaluateBatchRejectsPromotedDetectBatch(t *testing.T) {
+	programs, h := evalPrograms(t)
+	s := &embeddingSharder{HMD: h, inverted: h}
+	want := EvaluateBatch(hideSharder{Detector(invertedDetector{h})}, programs, 0, 1)
+	if got := EvaluateBatch(s, programs, 0, 4); got != want {
+		t.Errorf("promoted DetectBatch won over the override: %+v != %+v", got, want)
+	}
+}

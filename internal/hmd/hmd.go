@@ -275,9 +275,11 @@ var _ ProgramSharder = (*HMD)(nil)
 
 // Evaluate runs a detector over labelled programs and returns the
 // confusion matrix of program-level decisions. Detectors implementing
-// ProgramSharder are evaluated in parallel across programs with
-// per-program derived detectors; the result is identical for any
-// worker count, including 1.
+// BatchSharder are evaluated in lane-batched groups fanned out over
+// workers (one batched forward pass per window step); detectors
+// implementing only ProgramSharder are evaluated in parallel across
+// single programs with per-program derived detectors. The result is
+// identical for any worker count, including 1.
 func Evaluate(d Detector, programs []dataset.TracedProgram) stats.Confusion {
 	return EvaluateParallel(d, programs, 0)
 }
@@ -286,22 +288,11 @@ func Evaluate(d Detector, programs []dataset.TracedProgram) stats.Confusion {
 // (workers <= 0 means GOMAXPROCS). Worker count affects wall-clock
 // only, never the result.
 func EvaluateParallel(d Detector, programs []dataset.TracedProgram, workers int) stats.Confusion {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if len(programs) > 0 {
-		if sharder, ok := d.(ProgramSharder); ok {
-			if first := sharder.DetectorForProgram(0); first != nil {
-				return evaluateSharded(sharder, first, programs, workers)
-			}
-		}
-	}
-	var c stats.Confusion
-	for _, p := range programs {
-		c.Record(d.DetectProgram(p.Windows).Malware, p.IsMalware())
-	}
-	return c
+	return EvaluateBatch(d, programs, DefaultEvalBatch, workers)
 }
+
+// defaultWorkers is the worker count used when callers pass <= 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // evaluateSharded fans program indices out over workers. Each program
 // is scored by its own derived detector, so the verdicts — and hence

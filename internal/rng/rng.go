@@ -54,3 +54,27 @@ func DeriveSeed(root uint64, labels ...uint64) uint64 {
 func NewRand(root uint64, labels ...uint64) *rand.Rand {
 	return rand.New(rand.NewSource(int64(DeriveSeed(root, labels...))))
 }
+
+// NewSource64 returns the raw source behind NewRand with the same
+// derivation: rand.New(NewSource64(root, labels...)) draws the stream
+// NewRand(root, labels...) would. Hot samplers (the batch fault
+// planner) take the source directly to skip the *rand.Rand call
+// wrapper on their fused per-fault draws.
+func NewSource64(root uint64, labels ...uint64) rand.Source64 {
+	src := rand.NewSource(int64(DeriveSeed(root, labels...)))
+	if s64, ok := src.(rand.Source64); ok {
+		return s64
+	}
+	// math/rand's source has implemented Source64 since Go 1.8; if that
+	// ever changes, fall back to the exact expansion rand.Rand.Uint64
+	// uses for non-64-bit sources so streams stay identical.
+	return int63Source{src}
+}
+
+// int63Source lifts a Source to Source64 with the same two-Int63
+// expansion math/rand uses internally.
+type int63Source struct{ rand.Source }
+
+func (s int63Source) Uint64() uint64 {
+	return uint64(s.Int63())>>31 | uint64(s.Int63())<<32
+}

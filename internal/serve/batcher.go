@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"shmd/internal/core"
+	"shmd/internal/faults"
+	"shmd/internal/trace"
+)
+
+// The micro-batching serve path: concurrent /v1/detect programs
+// coalesce into lane batches, each served by ONE pool-slot checkout
+// and ONE batched undervolted pass (core.Supervisor.DetectBatch feeding
+// the batch-lane kernels) instead of a slot checkout and a scalar pass
+// per program. Admission control, per-request deadlines, hedged
+// dispatch, and decision tracing all survive unchanged:
+//
+//   - the admission queue token is held by each request's handler for
+//     its whole life, batching wait included;
+//   - a lane whose request deadline expires while the batch forms is
+//     shed at flush time (its handler has already replied 503) and
+//     never occupies a kernel lane;
+//   - a batch past the hedge budget re-dispatches onto a second idle
+//     slot, first outcome winning, exactly like scalar dispatch;
+//   - with a trace sink attached, every lane's verdict records its own
+//     per-lane draw log, replayable through the unchanged scalar
+//     replay path (batched lane scores are bit-identical to scalar).
+type batcher struct {
+	srv  *Server
+	max  int
+	wait time.Duration
+
+	mu      sync.Mutex
+	pending []*lane
+	// gen counts flushes; the flush timer captures the generation it was
+	// armed for and stands down if the batch it guarded already flushed
+	// full, so a late timer never double-flushes or mislabels a flush.
+	gen   uint64
+	timer *time.Timer
+}
+
+// lane is one program awaiting batched detection.
+type lane struct {
+	windows []trace.WindowCounts
+	ctx     context.Context
+	enq     time.Time
+	// done receives the lane's outcome; buffered so a flusher delivering
+	// to an abandoned lane (deadline already expired) never blocks.
+	done chan laneOutcome
+}
+
+// laneOutcome is one lane's verdict (or failure) as delivered to its
+// waiting handler.
+type laneOutcome struct {
+	v       core.Verdict
+	session int
+	hedged  bool
+	err     error
+}
+
+// newBatcher wires the dispatcher to the server's pool and metrics.
+func newBatcher(srv *Server) *batcher {
+	return &batcher{srv: srv, max: srv.cfg.MaxBatch, wait: srv.cfg.MaxBatchWait}
+}
+
+// dispatch submits every program as a lane and assembles the request's
+// results as lanes complete. Lanes from one request may land in
+// different batches (and thus different slots); the reported session is
+// the first lane's. A request error (deadline, pool closed) aborts the
+// request; verdict-level degradation does not.
+func (b *batcher) dispatch(ctx context.Context, programs []DecodedProgram) (batchOutcome, error) {
+	lanes := make([]*lane, len(programs))
+	now := time.Now()
+	for i, p := range programs {
+		lanes[i] = &lane{windows: p.Windows, ctx: ctx, enq: now, done: make(chan laneOutcome, 1)}
+		b.submit(lanes[i])
+	}
+	out := batchOutcome{results: make([]DetectResult, len(programs)), session: -1}
+	for i, ln := range lanes {
+		select {
+		case lo := <-ln.done:
+			if lo.err != nil {
+				return batchOutcome{}, lo.err
+			}
+			if out.session < 0 {
+				out.session = lo.session
+			}
+			out.hedge = out.hedge || lo.hedged
+			out.results[i] = DetectResult{
+				ID:          programs[i].ID,
+				Malware:     lo.v.Malware,
+				Score:       lo.v.Score,
+				Confidence:  Confidence(lo.v.Score, b.srv.threshold, lo.v.Malware),
+				Unprotected: lo.v.Unprotected,
+				Attempts:    lo.v.Attempts,
+				Windows:     len(programs[i].Windows),
+			}
+		case <-ctx.Done():
+			// The remaining lanes stay in the batcher; the flusher sheds
+			// or completes them into their buffered channels.
+			return batchOutcome{}, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
+// submit adds one lane to the forming batch, flushing when it reaches
+// MaxBatch and arming the MaxBatchWait timer when it opens a new batch.
+func (b *batcher) submit(ln *lane) {
+	b.mu.Lock()
+	b.pending = append(b.pending, ln)
+	if len(b.pending) >= b.max {
+		batch := b.take()
+		b.mu.Unlock()
+		b.flushAsync(batch, "full")
+		return
+	}
+	if len(b.pending) == 1 {
+		gen := b.gen
+		b.timer = time.AfterFunc(b.wait, func() { b.onTimer(gen) })
+	}
+	b.mu.Unlock()
+}
+
+// take claims the forming batch and disarms its timer. Callers hold
+// b.mu.
+func (b *batcher) take() []*lane {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// onTimer flushes the batch the timer was armed for, unless that batch
+// already flushed full (the generation moved on).
+func (b *batcher) onTimer(gen uint64) {
+	b.mu.Lock()
+	if gen != b.gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
+	b.mu.Unlock()
+	b.flushAsync(batch, "timer")
+}
+
+// flushAsync runs the flush in a tracked goroutine: a flush can outlive
+// every one of its lanes' handlers (all deadlines expired), and
+// shutdown must still wait for it to release its slot.
+func (b *batcher) flushAsync(lanes []*lane, reason string) {
+	b.srv.detWG.Add(1)
+	go func() {
+		defer b.srv.detWG.Done()
+		b.flush(lanes, reason)
+	}()
+}
+
+// flush sheds expired lanes, acquires one slot for the survivors, and
+// runs them as one batch.
+func (b *batcher) flush(lanes []*lane, reason string) {
+	m := b.srv.metrics
+	m.BatchFlush(reason, len(lanes))
+	now := time.Now()
+	live := lanes[:0]
+	for _, ln := range lanes {
+		m.ObserveBatchWait(now.Sub(ln.enq))
+		if err := ln.ctx.Err(); err != nil {
+			// The handler already replied (503 on deadline, 499 on a gone
+			// client); the buffered send is bookkeeping for a listener
+			// that may still be in its select.
+			ln.done <- laneOutcome{err: err}
+			continue
+		}
+		live = append(live, ln)
+	}
+	for len(live) > 0 {
+		slot, err := b.srv.pool.Acquire(live[0].ctx)
+		if err == nil {
+			b.run(slot, live)
+			return
+		}
+		if errors.Is(err, ErrPoolClosed) {
+			for _, ln := range live {
+				ln.done <- laneOutcome{err: err}
+			}
+			return
+		}
+		// Acquire gave up because live[0]'s context ended while waiting;
+		// fail that lane and keep acquiring for the rest, whose deadlines
+		// may still have room.
+		live[0].done <- laneOutcome{err: err}
+		live = live[1:]
+	}
+}
+
+// batchRun is one runner's outcome for a whole batch.
+type batchRun struct {
+	verdicts []core.Verdict
+	session  int
+	hedge    bool
+	err      error
+}
+
+// run executes the batch on the acquired slot, hedging onto a second
+// idle slot past the configured budget exactly like scalar dispatch;
+// the first successful outcome fans out to the lanes.
+func (b *batcher) run(primary *Slot, lanes []*lane) {
+	traces := make([][]trace.WindowCounts, len(lanes))
+	for i, ln := range lanes {
+		traces[i] = ln.windows
+	}
+	// Buffered for every possible runner so a loser's send never blocks.
+	outcomes := make(chan batchRun, 2)
+	b.runDetached(primary, traces, false, outcomes)
+
+	var hedgeC <-chan time.Time
+	if b.srv.cfg.HedgeAfter > 0 {
+		tm := time.NewTimer(b.srv.cfg.HedgeAfter)
+		defer tm.Stop()
+		hedgeC = tm.C
+	}
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case out := <-outcomes:
+			pending--
+			if out.err == nil {
+				for j, ln := range lanes {
+					ln.done <- laneOutcome{v: out.verdicts[j], session: out.session, hedged: out.hedge}
+				}
+				return
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			// Never wait for a hedge slot: hedging spends only capacity
+			// that is idle right now.
+			if hslot, ok := b.srv.pool.TryAcquire(); ok {
+				b.srv.metrics.Hedge()
+				pending++
+				b.runDetached(hslot, traces, true, outcomes)
+			}
+		}
+	}
+	for _, ln := range lanes {
+		ln.done <- laneOutcome{err: firstErr}
+	}
+}
+
+// runDetached starts one tracked runner that serves the whole batch
+// through the slot's supervisor in a single batched detection, records
+// each lane's provenance when tracing is on, and always releases its
+// own slot — so a hedged loser can finish after the winner replied.
+func (b *batcher) runDetached(slot *Slot, traces [][]trace.WindowCounts, hedge bool, outcomes chan<- batchRun) {
+	s := b.srv
+	s.detWG.Add(1)
+	go func() {
+		defer s.detWG.Done()
+		record := s.cfg.Trace != nil
+		verdicts, logs, err := slot.Sup.DetectBatch(traces, record)
+		if err == nil && record {
+			for j, v := range verdicts {
+				draws := faults.DrawLog{InitialGap: -1}
+				if logs != nil && !v.Unprotected {
+					draws = logs[j]
+				}
+				s.traceRecord(slot, traces[j], v, Confidence(v.Score, s.threshold, v.Malware), draws)
+			}
+		}
+		s.pool.Release(slot)
+		outcomes <- batchRun{verdicts: verdicts, session: slot.ID, hedge: hedge, err: err}
+	}()
+}

@@ -39,6 +39,36 @@ type Metrics struct {
 	latencySumNS atomic.Uint64
 	latency      [numLatencyBuckets]atomic.Uint64 // non-cumulative per-bucket counts
 	latencyOver  atomic.Uint64                    // observations above the last bound
+
+	// Micro-batching: flush counters by reason, batch-size histogram,
+	// and the per-lane wait between enqueue and flush.
+	batchFlushFull  atomic.Uint64
+	batchFlushTimer atomic.Uint64
+	batchSizeCount  atomic.Uint64
+	batchSizeSum    atomic.Uint64
+	batchSize       [numBatchSizeBuckets]atomic.Uint64
+	batchSizeOver   atomic.Uint64
+	batchWaitCount  atomic.Uint64
+	batchWaitSumNS  atomic.Uint64
+	batchWait       [numBatchWaitBuckets]atomic.Uint64
+	batchWaitOver   atomic.Uint64
+}
+
+// numBatchSizeBuckets sizes the batch-size histogram.
+const numBatchSizeBuckets = 7
+
+// batchSizeBuckets are the histogram upper bounds in lanes, spanning a
+// solo flush to the widest fused-kernel block.
+var batchSizeBuckets = [numBatchSizeBuckets]float64{1, 2, 4, 8, 16, 32, 64}
+
+// numBatchWaitBuckets sizes the batch-wait histogram.
+const numBatchWaitBuckets = 10
+
+// batchWaitBuckets are the histogram upper bounds in seconds: waits are
+// bounded by MaxBatchWait, so the range sits well below the end-to-end
+// latency buckets.
+var batchWaitBuckets = [numBatchWaitBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 }
 
 // NewMetrics builds an empty counter block.
@@ -105,6 +135,44 @@ func (m *Metrics) Observe(d time.Duration) {
 	m.latencyOver.Add(1)
 }
 
+// BatchFlush records one micro-batch flush with its trigger ("full" or
+// "timer") and the number of lanes it carried.
+func (m *Metrics) BatchFlush(reason string, size int) {
+	if reason == "full" {
+		m.batchFlushFull.Add(1)
+	} else {
+		m.batchFlushTimer.Add(1)
+	}
+	m.batchSizeCount.Add(1)
+	m.batchSizeSum.Add(uint64(size))
+	for i, le := range batchSizeBuckets {
+		if float64(size) <= le {
+			m.batchSize[i].Add(1)
+			return
+		}
+	}
+	m.batchSizeOver.Add(1)
+}
+
+// ObserveBatchWait records one lane's wait between enqueue and flush.
+func (m *Metrics) ObserveBatchWait(d time.Duration) {
+	m.batchWaitCount.Add(1)
+	m.batchWaitSumNS.Add(uint64(d.Nanoseconds()))
+	s := d.Seconds()
+	for i, le := range batchWaitBuckets {
+		if s <= le {
+			m.batchWait[i].Add(1)
+			return
+		}
+	}
+	m.batchWaitOver.Add(1)
+}
+
+// BatchFlushes reports micro-batch flushes by trigger.
+func (m *Metrics) BatchFlushes() (full, timer uint64) {
+	return m.batchFlushFull.Load(), m.batchFlushTimer.Load()
+}
+
 // WriteProm renders every counter plus per-session pool gauges in the
 // Prometheus text format.
 func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
@@ -161,6 +229,35 @@ func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
 	fmt.Fprintf(w, "shmd_detect_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "shmd_detect_duration_seconds_sum %g\n", float64(m.latencySumNS.Load())/1e9)
 	fmt.Fprintf(w, "shmd_detect_duration_seconds_count %d\n", m.latencyCount.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_batch_flush_total Micro-batch flushes, by trigger.")
+	fmt.Fprintln(w, "# TYPE shmd_batch_flush_total counter")
+	fmt.Fprintf(w, "shmd_batch_flush_total{reason=\"full\"} %d\n", m.batchFlushFull.Load())
+	fmt.Fprintf(w, "shmd_batch_flush_total{reason=\"timer\"} %d\n", m.batchFlushTimer.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_batch_size Lanes per micro-batch flush.")
+	fmt.Fprintln(w, "# TYPE shmd_batch_size histogram")
+	cum = 0
+	for i, le := range batchSizeBuckets {
+		cum += m.batchSize[i].Load()
+		fmt.Fprintf(w, "shmd_batch_size_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.batchSizeOver.Load()
+	fmt.Fprintf(w, "shmd_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "shmd_batch_size_sum %d\n", m.batchSizeSum.Load())
+	fmt.Fprintf(w, "shmd_batch_size_count %d\n", m.batchSizeCount.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_batch_wait_seconds Per-lane wait between enqueue and batch flush.")
+	fmt.Fprintln(w, "# TYPE shmd_batch_wait_seconds histogram")
+	cum = 0
+	for i, le := range batchWaitBuckets {
+		cum += m.batchWait[i].Load()
+		fmt.Fprintf(w, "shmd_batch_wait_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.batchWaitOver.Load()
+	fmt.Fprintf(w, "shmd_batch_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "shmd_batch_wait_seconds_sum %g\n", float64(m.batchWaitSumNS.Load())/1e9)
+	fmt.Fprintf(w, "shmd_batch_wait_seconds_count %d\n", m.batchWaitCount.Load())
 
 	if pool != nil {
 		writePoolProm(w, pool)

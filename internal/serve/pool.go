@@ -284,7 +284,17 @@ func (p *Pool) newDetector(opts core.Options, profile volt.DeviceProfile) (*core
 	if err != nil {
 		return nil, err
 	}
-	return core.NewWithHardware(p.base.WithFreshBuffers(), env, inj, opts)
+	det, err := core.NewWithHardware(p.base.WithFreshBuffers(), env, inj, opts)
+	if err != nil {
+		return nil, err
+	}
+	// A chaos-built detector runs on caller-supplied hardware, whose
+	// fault unit cannot be re-derived per lane; opt it into batched
+	// serving with lane streams rooted at the slot seed so micro-batched
+	// dispatch keeps working — and keeps its moving-target re-rolls —
+	// under chaos pools too.
+	det.EnableBatchStreams(opts.Seed, nil)
+	return det, nil
 }
 
 // Size returns the number of pooled sessions.

@@ -18,6 +18,7 @@ import (
 	"shmd/internal/faults"
 	"shmd/internal/hmd"
 	"shmd/internal/replay"
+	"shmd/internal/trace"
 )
 
 // Config configures the detection service.
@@ -44,6 +45,18 @@ type Config struct {
 	// stall a batch for many retry cycles while an idle neighbour would
 	// answer immediately.
 	HedgeAfter time.Duration
+	// MaxBatch enables dynamic micro-batching: programs from concurrent
+	// /v1/detect requests coalesce into lane batches of up to MaxBatch,
+	// each served by ONE slot checkout and ONE batched undervolted pass
+	// through the batch-lane kernels, with per-program verdicts fanned
+	// back out to their requests. 0 or 1 leaves the scalar per-request
+	// dispatch path in place.
+	MaxBatch int
+	// MaxBatchWait bounds how long a partial batch waits for more lanes
+	// before flushing (default 2ms when MaxBatch enables batching). The
+	// knob trades a bounded first-lane latency penalty for lane
+	// occupancy under load; full batches flush immediately.
+	MaxBatchWait time.Duration
 	// ReadHeaderTimeout bounds how long Serve waits for request headers
 	// (default 10s).
 	ReadHeaderTimeout time.Duration
@@ -75,6 +88,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ShutdownTimeout == 0 {
 		cfg.ShutdownTimeout = 30 * time.Second
 	}
+	if cfg.MaxBatch > 1 && cfg.MaxBatchWait == 0 {
+		cfg.MaxBatchWait = 2 * time.Millisecond
+	}
 	return cfg
 }
 
@@ -105,6 +121,9 @@ type Server struct {
 	// balancers stop routing here while the drain completes, even
 	// though /healthz (liveness) keeps answering for the pool.
 	draining atomic.Bool
+	// batcher coalesces concurrent programs into lane batches when
+	// Config.MaxBatch enables micro-batching (nil = scalar dispatch).
+	batcher *batcher
 }
 
 // New builds a Server around a trained baseline detector.
@@ -127,6 +146,9 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("serve: negative max batch %d", cfg.MaxBatch)
+	}
 	s := &Server{
 		cfg:       cfg,
 		pool:      pool,
@@ -135,6 +157,9 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 		queue:     make(chan struct{}, pool.Size()+cfg.QueueDepth),
 		inflight:  make(chan struct{}, pool.Size()+cfg.QueueDepth),
 		jitter:    backoff.New(seed),
+	}
+	if cfg.MaxBatch > 1 {
+		s.batcher = newBatcher(s)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
@@ -215,7 +240,12 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	out, err := s.dispatch(ctx, programs)
+	var out batchOutcome
+	if s.batcher != nil {
+		out, err = s.batcher.dispatch(ctx, programs)
+	} else {
+		out, err = s.dispatch(ctx, programs)
+	}
 	if err != nil {
 		s.failDetect(w, r, err)
 		return
@@ -395,6 +425,14 @@ func (s *Server) traceDecision(slot *Slot, p DecodedProgram, v core.Verdict, con
 	if !v.Unprotected {
 		draws = slot.Det.LastDraws()
 	}
+	s.traceRecord(slot, p.Windows, v, conf, draws)
+}
+
+// traceRecord offers one decision's provenance to the trace sink with
+// an explicit draw log — the shared tail of the scalar path (which
+// reads the slot detector's last recorded pass) and the batched path
+// (which carries each lane's own log from the batched pass).
+func (s *Server) traceRecord(slot *Slot, windows []trace.WindowCounts, v core.Verdict, conf float64, draws faults.DrawLog) {
 	s.cfg.Trace.Record(replay.Record{
 		Seed:        slot.Seed,
 		Slot:        slot.ID,
@@ -407,7 +445,7 @@ func (s *Server) traceDecision(slot *Slot, p DecodedProgram, v core.Verdict, con
 		Score:       v.Score,
 		Confidence:  conf,
 		Draws:       draws,
-		Windows:     p.Windows,
+		Windows:     windows,
 	})
 }
 
