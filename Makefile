@@ -21,6 +21,7 @@ GO ?= go
 SOAK_DURATION ?= 30s
 SOAK_REPORT ?= soak_report.json
 SOAK_FLAGS ?=
+FLEET_SOAK_FLAGS ?=
 STATICCHECK_VERSION ?= 2024.1.1
 
 .PHONY: build test race vet verify bench soak fleet-soak conform lint
@@ -78,6 +79,7 @@ soak:
 # fault storm across all of them, and one backend hard-killed
 # mid-run. Asserts zero requests lost at the client, bounded 5xx, the
 # dead backend ejected from rotation, and traffic re-converged onto
-# the survivors; writes $(SOAK_REPORT).
+# the survivors; writes $(SOAK_REPORT). FLEET_SOAK_FLAGS="-wire"
+# drives the same storm through the SHMDWIRE binary path via the SDK.
 fleet-soak:
-	$(GO) run -race ./cmd/shmd soak -fleet -duration $(SOAK_DURATION) -report $(SOAK_REPORT)
+	$(GO) run -race ./cmd/shmd soak -fleet -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(FLEET_SOAK_FLAGS)

@@ -1,8 +1,9 @@
 // Command bench measures the inference hot paths A/B — fused vs scalar
 // exact kernels, geometric skip-ahead vs per-multiplication Bernoulli
-// fault injection, sharded vs serial evaluation — and writes the
-// results to a JSON file (BENCH_inference.json by default) so the
-// speedups are recorded alongside the code that produced them.
+// fault injection, sharded vs serial evaluation, JSON/HTTP vs SHMDWIRE
+// streaming over real sockets — and writes the results to a JSON file
+// (BENCH_inference.json by default) so the speedups are recorded
+// alongside the code that produced them.
 //
 // Usage:
 //
@@ -16,14 +17,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -34,6 +40,8 @@ import (
 	"shmd/internal/rng"
 	"shmd/internal/serve"
 	"shmd/internal/trace"
+	"shmd/internal/wire"
+	"shmd/pkg/sdk"
 )
 
 // Result is one benchmark row of the report.
@@ -75,6 +83,11 @@ type Speedups struct {
 	// micro-batched ns/request for the in-process /v1/detect server
 	// under concurrent load.
 	ServeBatchedVsScalar float64 `json:"serve_batched_vs_scalar"`
+	// ServeWireVsJSON is JSON-over-TCP ns/request over SHMDWIRE
+	// streaming ns/request: the same single-program request mix through
+	// real sockets both ways, keep-alive HTTP clients vs the SDK's
+	// pipelined detect stream on one multiplexed connection.
+	ServeWireVsJSON float64 `json:"serve_wire_stream_vs_json"`
 }
 
 // Report is the JSON document written to -out.
@@ -84,17 +97,17 @@ type Report struct {
 	ErrorRate float64 `json:"error_rate"`
 	// NumMuls is the multiplication count of one forward pass through
 	// the deployed network (weights including bias terms).
-	NumMuls   int      `json:"num_muls"`
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
+	NumMuls   int    `json:"num_muls"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
 	// MaxProcs is the effective worker count of the parallel rows
 	// (sharded evaluation, concurrent serve): with one proc those
 	// rows cannot speed up, so their ratio gates are skipped.
 	MaxProcs int      `json:"gomaxprocs"`
 	Count    int      `json:"count"`
-	Results   []Result `json:"results"`
-	Speedups  Speedups `json:"speedups"`
+	Results  []Result `json:"results"`
+	Speedups Speedups `json:"speedups"`
 }
 
 // scalarUnit hides a unit's BulkUnit implementation, forcing fxp.Dot
@@ -238,6 +251,14 @@ func run(scale experiments.Scale, count int) (*Report, error) {
 	}
 	rep.Results = append(rep.Results, serveBatched)
 
+	// Transport A/B over real sockets: JSON/HTTP vs SHMDWIRE streaming,
+	// same request mix and server shape on both sides.
+	serveJSON, serveWire, err := measureServeTransports(env.Base, count, 16)
+	if err != nil {
+		return nil, err
+	}
+	rep.Results = append(rep.Results, serveJSON, serveWire)
+
 	lane64 := batchRows[64].NsPerOp / 64
 	rep.Speedups = Speedups{
 		ExactFusedVsScalar:         scalar.NsPerOp / fused.NsPerOp,
@@ -246,6 +267,7 @@ func run(scale experiments.Scale, count int) (*Report, error) {
 		BatchLane64VsScalarFaulty:  faulty.NsPerOp / lane64,
 		BatchLane64VsExactFused:    fused.NsPerOp / lane64,
 		ServeBatchedVsScalar:       serveScalar.NsPerOp / serveBatched.NsPerOp,
+		ServeWireVsJSON:            serveJSON.NsPerOp / serveWire.NsPerOp,
 	}
 	return rep, nil
 }
@@ -320,6 +342,138 @@ func measureServe(base *hmd.HMD, count, maxBatch int) (Result, error) {
 	return res, nil
 }
 
+// measureServeTransports benchmarks the detection service over real
+// TCP both ways: JSON/HTTP with keep-alive clients against SHMDWIRE
+// driven through the SDK's pipelined detect stream. Same model, same
+// single-program request, same pool and micro-batch shape; one op =
+// one request, so the ratio is the transport cost alone (connection
+// handling, framing, marshalling).
+func measureServeTransports(base *hmd.HMD, count, maxBatch int) (Result, Result, error) {
+	jsonRow := Result{Name: fmt.Sprintf("serve_json_tcp_batched_%d", maxBatch)}
+	wireRow := Result{Name: fmt.Sprintf("serve_wire_stream_batched_%d", maxBatch)}
+	win := 4
+	if p := base.Config().Period; p > win {
+		win = p
+	}
+	prog, err := trace.NewProgram(trace.Trojan, 0, 1)
+	if err != nil {
+		return jsonRow, wireRow, err
+	}
+	windows, err := prog.Trace(win, 256)
+	if err != nil {
+		return jsonRow, wireRow, err
+	}
+	body, err := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{{
+		ID: "bench", Windows: serve.EncodeWindows(windows),
+	}}})
+	if err != nil {
+		return jsonRow, wireRow, err
+	}
+	wireReq := wire.DetectRequest{Programs: []wire.DetectProgram{{ID: "bench", Windows: windows}}}
+	cfg := serve.Config{
+		Pool:            serve.PoolConfig{Size: 4, ErrorRate: experiments.OperatingErrorRate, Seed: 1},
+		QueueDepth:      1024,
+		MaxBatch:        maxBatch,
+		MaxBatchWait:    500 * time.Microsecond,
+		ShutdownTimeout: 5 * time.Second,
+	}
+	keep := func(res Result, r testing.BenchmarkResult) Result {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		if res.Iterations == 0 || ns < res.NsPerOp {
+			res.NsPerOp = ns
+			res.AllocsPerOp = r.AllocsPerOp()
+			res.BytesPerOp = r.AllocedBytesPerOp()
+			res.Iterations = r.N
+		}
+		return res
+	}
+	for i := 0; i < count; i++ {
+		srv, err := serve.New(base, cfg)
+		if err != nil {
+			return jsonRow, wireRow, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return jsonRow, wireRow, err
+		}
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			ln.Close()
+			return jsonRow, wireRow, err
+		}
+		httpCtx, stopHTTP := context.WithCancel(context.Background())
+		wireCtx, stopWire := context.WithCancel(context.Background())
+		httpDone := make(chan error, 1)
+		wireDone := make(chan error, 1)
+		go func() { httpDone <- srv.Serve(httpCtx, ln) }()
+		go func() { wireDone <- srv.ServeWire(wireCtx, wln) }()
+
+		tr := &http.Transport{MaxIdleConnsPerHost: 64}
+		client := &http.Client{Transport: tr}
+		url := "http://" + ln.Addr().String() + "/v1/detect"
+		jsonRow = keep(jsonRow, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetParallelism(32/runtime.GOMAXPROCS(0) + 1)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						b.Errorf("detect: %v", err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Errorf("detect status %d", resp.StatusCode)
+						return
+					}
+				}
+			})
+		}))
+		tr.CloseIdleConnections()
+
+		cl, err := sdk.Dial(wln.Addr().String(), sdk.Options{JitterSeed: 1})
+		if err == nil {
+			wireRow = keep(wireRow, testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				st := cl.DetectStream(context.Background(), 64)
+				var streamErr error
+				var drained sync.WaitGroup
+				drained.Add(1)
+				go func() {
+					defer drained.Done()
+					for res := range st.Results() {
+						if res.Err != nil && streamErr == nil {
+							streamErr = res.Err
+						}
+					}
+				}()
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Submit(wireReq); err != nil {
+						b.Errorf("submit: %v", err)
+						break
+					}
+				}
+				st.Close()
+				drained.Wait()
+				if streamErr != nil {
+					b.Errorf("stream detect: %v", streamErr)
+				}
+			}))
+			cl.Close()
+		}
+		// Wire drains before the HTTP shutdown closes the pool.
+		stopWire()
+		<-wireDone
+		stopHTTP()
+		<-httpDone
+		if err != nil {
+			return jsonRow, wireRow, err
+		}
+	}
+	return jsonRow, wireRow, nil
+}
+
 // write renders the report as indented JSON to path.
 func write(rep *Report, path string) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -382,6 +536,14 @@ func compare(rep, base *Report, maxRegress float64) []string {
 			want = 1
 		}
 		ratio("serve_batched_vs_scalar", rep.Speedups.ServeBatchedVsScalar, want)
+		// Same cap for the transport ratio: the portable invariant is
+		// that SHMDWIRE streaming never falls below JSON req/s, not the
+		// exact advantage this machine happened to see.
+		wantWire := base.Speedups.ServeWireVsJSON
+		if wantWire > 1 {
+			wantWire = 1
+		}
+		ratio("serve_wire_stream_vs_json", rep.Speedups.ServeWireVsJSON, wantWire)
 	}
 
 	baseByName := make(map[string]Result, len(base.Results))
@@ -391,6 +553,12 @@ func compare(rep, base *Report, maxRegress float64) []string {
 	for _, r := range rep.Results {
 		b, ok := baseByName[r.Name]
 		if !ok {
+			continue
+		}
+		// The real-socket transport rows include client-side connection
+		// churn, so their allocation counts are scheduler-dependent —
+		// their gate is the speedup ratio above, not allocs.
+		if strings.HasPrefix(r.Name, "serve_json_tcp") || strings.HasPrefix(r.Name, "serve_wire_stream") {
 			continue
 		}
 		// A couple of allocations of absolute slack: counts this small
@@ -465,6 +633,7 @@ func main() {
 	fmt.Printf("batch lane64 vs scalar faulty: %.2fx\n", rep.Speedups.BatchLane64VsScalarFaulty)
 	fmt.Printf("batch lane64 vs exact fused:  %.2fx\n", rep.Speedups.BatchLane64VsExactFused)
 	fmt.Printf("serve batched vs scalar:      %.2fx\n", rep.Speedups.ServeBatchedVsScalar)
+	fmt.Printf("serve wire stream vs json:    %.2fx\n", rep.Speedups.ServeWireVsJSON)
 	fmt.Printf("wrote %s\n", *out)
 
 	if base != nil {

@@ -22,6 +22,7 @@ func TestCompareGate(t *testing.T) {
 			BatchLane64VsScalarFaulty:  5.0,
 			BatchLane64VsExactFused:    1.1,
 			ServeBatchedVsScalar:       1.8,
+			ServeWireVsJSON:            1.3,
 		},
 		Results: []Result{
 			{Name: "inference_exact_fused", NsPerOp: 100, AllocsPerOp: 0},
@@ -107,6 +108,24 @@ func TestCompareGate(t *testing.T) {
 	}), base, 0.25); len(p) != 1 {
 		t.Errorf("serve throughput collapse not flagged: %v", p)
 	}
+	// The wire-vs-JSON baseline is capped at 1.0 the same way: losing
+	// the binary path's upside passes, falling well behind JSON fails.
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.ServeWireVsJSON = 1.0
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("wire upside wrongly gated: %v", p)
+	}
+	if p := compare(clone(func(r *Report) {
+		r.Speedups.ServeWireVsJSON = 0.5
+	}), base, 0.25); len(p) != 1 {
+		t.Errorf("wire throughput collapse not flagged: %v", p)
+	}
+	if p := compare(clone(func(r *Report) {
+		r.MaxProcs = 1
+		r.Speedups.ServeWireVsJSON = 0.5
+	}), base, 0.25); len(p) != 0 {
+		t.Errorf("1-proc wire ratio wrongly gated: %v", p)
+	}
 }
 
 // TestLoadRoundTrip pins load() against write().
@@ -136,8 +155,8 @@ func TestRunAndWriteReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 12 {
-		t.Fatalf("got %d results, want 12", len(rep.Results))
+	if len(rep.Results) != 14 {
+		t.Fatalf("got %d results, want 14", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {

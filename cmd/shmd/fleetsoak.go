@@ -37,6 +37,10 @@ type fleetParams struct {
 	max5xx     float64
 	report     string
 	model      string
+	// wire drives every client through the SHMDWIRE SDK against the
+	// router's binary listener, with binary upstream relays to every
+	// backend; probes stay on HTTP.
+	wire bool
 }
 
 // fleetBackendReport is one backend's row in the fleet soak report.
@@ -60,6 +64,7 @@ type fleetBackendReport struct {
 // fleetReport is the machine-readable fleet soak result.
 type fleetReport struct {
 	Duration      string               `json:"duration"`
+	Wire          bool                 `json:"wire"`
 	Backends      int                  `json:"backends"`
 	Requests      uint64               `json:"requests"`
 	Status        map[string]int       `json:"status"`
@@ -85,14 +90,22 @@ type fleetBackend struct {
 	ln   net.Listener
 	stop context.CancelFunc
 	done chan error
+	// wireLn/wireAddr/wireDone exist only in wire mode: the backend's
+	// SHMDWIRE listener alongside its HTTP one.
+	wireLn   net.Listener
+	wireAddr string
+	wireDone chan error
 }
 
-// kill hard-kills the backend: the listener closes first (new
+// kill hard-kills the backend: the listeners close first (new
 // connections refused at the TCP layer, exactly like a dead host),
 // then the serve context is cancelled. The exit error is consumed by
 // the harness's cleanup, which waits on done for every backend.
 func (fb *fleetBackend) kill() {
 	fb.ln.Close()
+	if fb.wireLn != nil {
+		fb.wireLn.Close()
+	}
 	fb.stop()
 }
 
@@ -117,6 +130,9 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 		for _, fb := range fleet {
 			fb.stop()
 			<-fb.done
+			if fb.wireDone != nil {
+				<-fb.wireDone
+			}
 		}
 	}()
 	for i := 0; i < p.backends; i++ {
@@ -155,6 +171,16 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 			done: make(chan error, 1),
 		}
 		go func() { fb.done <- fb.srv.Serve(bctx, fb.ln) }()
+		if p.wire {
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			fb.wireLn = wln
+			fb.wireAddr = wln.Addr().String()
+			fb.wireDone = make(chan error, 1)
+			go func() { fb.wireDone <- fb.srv.ServeWire(bctx, wln) }()
+		}
 		fleet = append(fleet, fb)
 	}
 
@@ -163,8 +189,16 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 	for i, fb := range fleet {
 		urls[i] = fb.url
 	}
+	var wireAddrs []string
+	if p.wire {
+		wireAddrs = make([]string, len(fleet))
+		for i, fb := range fleet {
+			wireAddrs[i] = fb.wireAddr
+		}
+	}
 	rt, err := route.New(route.Config{
 		Backends:      urls,
+		WireBackends:  wireAddrs,
 		ProbeInterval: 25 * time.Millisecond,
 		ProbeTimeout:  time.Second,
 		Breaker: core.BreakerConfig{
@@ -190,10 +224,29 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 	go func() { routeDone <- rt.Serve(routeCtx, rln) }()
 	defer func() { stopRoute(); <-routeDone }()
 	url := "http://" + rln.Addr().String()
-	log.Printf("fleet soak: router %s over %d backends (pool %d each, clients %d, %s)",
-		rln.Addr(), p.backends, p.pool, p.clients, p.duration)
+	// In wire mode the router also listens on SHMDWIRE; its drain runs
+	// before the HTTP shutdown (defers are LIFO) so the wire tier never
+	// outlives the probe/breaker machinery it shares.
+	var routerWireAddr string
+	if p.wire {
+		rwln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		routerWireAddr = rwln.Addr().String()
+		wireRouteCtx, stopWireRoute := context.WithCancel(context.Background())
+		routeWireDone := make(chan error, 1)
+		go func() { routeWireDone <- rt.ServeWire(wireRouteCtx, rwln) }()
+		defer func() { stopWireRoute(); <-routeWireDone }()
+	}
+	log.Printf("fleet soak: router %s over %d backends (pool %d each, clients %d, wire %v, %s)",
+		rln.Addr(), p.backends, p.pool, p.clients, p.wire, p.duration)
 
 	body, err := soakBody(p.seed)
+	if err != nil {
+		return err
+	}
+	wireReq, err := soakWireRequest(p.seed)
 	if err != nil {
 		return err
 	}
@@ -208,9 +261,21 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 		statusMu          sync.Mutex
 		status            = map[string]int{}
 	)
+	record := func(code int) {
+		statusMu.Lock()
+		status[fmt.Sprintf("%dxx", code/100)]++
+		statusMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for c := 0; c < p.clients; c++ {
 		wg.Add(1)
+		if p.wire {
+			go func(c int) {
+				defer wg.Done()
+				soakWireClient(soakCtx, routerWireAddr, int64(p.seed)+int64(c)+1, wireReq, &total, &clientErrs, record)
+			}(c)
+			continue
+		}
 		go func() {
 			defer wg.Done()
 			client := &http.Client{Timeout: p.deadline + 10*time.Second}
@@ -231,9 +296,7 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				total.Add(1)
-				statusMu.Lock()
-				status[fmt.Sprintf("%dxx", resp.StatusCode/100)]++
-				statusMu.Unlock()
+				record(resp.StatusCode)
 				if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 					time.Sleep(time.Millisecond) // honor the shed, keep hammering
 				}
@@ -314,6 +377,7 @@ func fleetSoakRun(ctx context.Context, p fleetParams) error {
 	m := rt.Metrics()
 	rep := fleetReport{
 		Duration:      p.duration.String(),
+		Wire:          p.wire,
 		Backends:      p.backends,
 		Requests:      total.Load(),
 		Status:        status,

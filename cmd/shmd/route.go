@@ -19,6 +19,10 @@ import (
 // router is accepting connections (tests hook it to find the port).
 var routeReady func(addr string)
 
+// routeWireReady, when non-nil, receives the bound SHMDWIRE listen
+// address (tests hook it to find the wire port).
+var routeWireReady func(addr string)
+
 // cmdRoute runs the fleet router until SIGINT or SIGTERM, then drains
 // gracefully: /readyz flips 503 first, in-flight proxied requests
 // finish, and the listener closes.
@@ -34,6 +38,8 @@ func routeRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("route", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8800", "listen address")
 	backends := fs.String("backends", "", "comma-separated backend base URLs (required), e.g. http://127.0.0.1:8801,http://127.0.0.1:8802")
+	wireAddr := fs.String("wire-addr", "", "SHMDWIRE binary protocol listen address (empty = wire listener off)")
+	wireBackends := fs.String("wire-backends", "", "comma-separated backend SHMDWIRE addresses, index-aligned with -backends (blank entry = HTTP-only backend)")
 	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "backend /readyz poll interval")
 	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "single health probe budget")
 	hedgeAfter := fs.Duration("hedge-after", 0, "re-dispatch a slow request to a second backend after this budget (0 = off)")
@@ -57,9 +63,16 @@ func routeRun(ctx context.Context, args []string) error {
 			urls = append(urls, b)
 		}
 	}
+	// Wire backend entries stay index-aligned with -backends; blank
+	// entries mark HTTP-only backends, so no TrimSpace-and-drop here.
+	var wireAddrs []string
+	if *wireBackends != "" {
+		wireAddrs = strings.Split(*wireBackends, ",")
+	}
 
 	rt, err := route.New(route.Config{
 		Backends:      urls,
+		WireBackends:  wireAddrs,
 		ProbeInterval: *probeInterval,
 		ProbeTimeout:  *probeTimeout,
 		Breaker: core.BreakerConfig{
@@ -83,10 +96,38 @@ func routeRun(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("shmd route: listening on %s (%d backends, hedge %v, retries %d)\n",
 		ln.Addr(), len(urls), *hedgeAfter, *retries)
+
+	// Mirror cmd serve: the HTTP path owns the prober and request
+	// bookkeeping the wire tier shares, so its drain starts only after
+	// the wire listener has fully drained.
+	httpCtx := ctx
+	var wireDone chan error
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shmd route: SHMDWIRE listening on %s\n", wln.Addr())
+		if routeWireReady != nil {
+			routeWireReady(wln.Addr().String())
+		}
+		var httpCancel context.CancelFunc
+		httpCtx, httpCancel = context.WithCancel(context.Background())
+		wireDone = make(chan error, 1)
+		go func() {
+			wireDone <- rt.ServeWire(ctx, wln)
+			httpCancel()
+		}()
+	}
 	if routeReady != nil {
 		routeReady(ln.Addr().String())
 	}
-	err = rt.Serve(ctx, ln)
+	err = rt.Serve(httpCtx, ln)
+	if wireDone != nil {
+		if werr := <-wireDone; err == nil {
+			err = werr
+		}
+	}
 	fmt.Println("shmd route: drained and shut down")
 	return err
 }

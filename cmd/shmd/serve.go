@@ -20,6 +20,10 @@ import (
 // service is accepting connections (tests hook it to find the port).
 var serveReady func(addr string)
 
+// serveWireReady, when non-nil, receives the bound SHMDWIRE listen
+// address (tests hook it to find the wire port).
+var serveWireReady func(addr string)
+
 // cmdServe runs the long-running detection service until SIGINT or
 // SIGTERM, then shuts down gracefully: in-flight requests drain and
 // every pooled session's voltage plane rolls back to nominal.
@@ -35,6 +39,7 @@ func serveRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	model := fs.String("model", "model.fann", "trained model path")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	wireAddr := fs.String("wire-addr", "", "SHMDWIRE binary protocol listen address (empty = wire listener off)")
 	pool := fs.Int("pool", 4, "pooled detection sessions")
 	queue := fs.Int("queue", 0, "waiting requests beyond in-service before 429 (0 = 2x pool)")
 	rate := fs.Float64("rate", 0.1, "target multiplier error rate (0 = nominal)")
@@ -118,10 +123,39 @@ func serveRun(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("shmd serve: listening on %s (pool %d, queue %d, rate %g, chaos %v)\n",
 		ln.Addr(), cfg.Pool.Size, qd, cfg.Pool.ErrorRate, cfg.Pool.Chaos)
+
+	// The HTTP listener's shutdown path owns the pool, so when a wire
+	// listener runs alongside it the HTTP drain must start only after
+	// the wire drain finishes — otherwise the pool could close under an
+	// in-flight wire detection.
+	httpCtx := ctx
+	var wireDone chan error
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shmd serve: SHMDWIRE listening on %s\n", wln.Addr())
+		if serveWireReady != nil {
+			serveWireReady(wln.Addr().String())
+		}
+		var httpCancel context.CancelFunc
+		httpCtx, httpCancel = context.WithCancel(context.Background())
+		wireDone = make(chan error, 1)
+		go func() {
+			wireDone <- srv.ServeWire(ctx, wln)
+			httpCancel()
+		}()
+	}
 	if serveReady != nil {
 		serveReady(ln.Addr().String())
 	}
-	err = srv.Serve(ctx, ln)
+	err = srv.Serve(httpCtx, ln)
+	if wireDone != nil {
+		if werr := <-wireDone; err == nil {
+			err = werr
+		}
+	}
 	fmt.Println("shmd serve: shut down, voltage planes at nominal")
 	return err
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,8 @@ import (
 	"shmd/internal/hmd"
 	"shmd/internal/serve"
 	"shmd/internal/trace"
+	"shmd/internal/wire"
+	"shmd/pkg/sdk"
 )
 
 // cmdSoak runs the chaos soak harness until the configured duration
@@ -37,6 +40,7 @@ func cmdSoak(args []string) error {
 // soakReport is the machine-readable soak result written to -report.
 type soakReport struct {
 	Duration        string         `json:"duration"`
+	Wire            bool           `json:"wire"`
 	Requests        uint64         `json:"requests"`
 	Status          map[string]int `json:"status"`
 	ClientErrors    uint64         `json:"clientErrors"`
@@ -78,6 +82,7 @@ func soakRun(ctx context.Context, args []string) error {
 	fleet := fs.Bool("fleet", false, "soak the fleet topology: router + real backend listeners + one hard backend kill")
 	fleetBackends := fs.Int("fleet-backends", 3, "backend services behind the router (fleet mode)")
 	killAt := fs.Float64("kill-at", 0.4, "fraction of the duration at which one backend is hard-killed (fleet mode)")
+	wireSoak := fs.Bool("wire", false, "drive detections over the SHMDWIRE binary protocol via the Go SDK instead of HTTP")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +101,7 @@ func soakRun(ctx context.Context, args []string) error {
 			max5xx:     *max5xx,
 			report:     *report,
 			model:      *model,
+			wire:       *wireSoak,
 		})
 	}
 
@@ -139,10 +145,42 @@ func soakRun(ctx context.Context, args []string) error {
 	url := "http://" + ln.Addr().String()
 	log.Printf("soak: serving on %s (pool %d, clients %d, %s)", ln.Addr(), *pool, *clients, *duration)
 
+	// In wire mode a SHMDWIRE listener runs alongside HTTP (the health
+	// poller stays on HTTP); the wire listener drains before the HTTP
+	// shutdown closes the pool.
+	var wireAddr string
+	wireCtx, stopWire := context.WithCancel(context.Background())
+	defer stopWire()
+	var wireDone chan error
+	if *wireSoak {
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stopServe()
+			<-serveDone
+			return err
+		}
+		wireAddr = wln.Addr().String()
+		wireDone = make(chan error, 1)
+		go func() { wireDone <- srv.ServeWire(wireCtx, wln) }()
+		log.Printf("soak: SHMDWIRE on %s", wireAddr)
+	}
+	shutdown := func() error {
+		if wireDone != nil {
+			stopWire()
+			<-wireDone
+		}
+		stopServe()
+		return <-serveDone
+	}
+
 	body, err := soakBody(*seed)
 	if err != nil {
-		stopServe()
-		<-serveDone
+		shutdown()
+		return err
+	}
+	wireReq, err := soakWireRequest(*seed)
+	if err != nil {
+		shutdown()
 		return err
 	}
 
@@ -163,6 +201,13 @@ func soakRun(ctx context.Context, args []string) error {
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
+		if *wireSoak {
+			go func(c int) {
+				defer wg.Done()
+				soakWireClient(soakCtx, wireAddr, int64(*seed)+int64(c)+1, wireReq, &total, &clientErrs, record)
+			}(c)
+			continue
+		}
 		go func() {
 			defer wg.Done()
 			client := &http.Client{Timeout: *deadline + 5*time.Second}
@@ -265,8 +310,7 @@ func soakRun(ctx context.Context, args []string) error {
 	for srv.Pool().QuarantinedNow() > 0 && time.Now().Before(drainDeadline) {
 		time.Sleep(20 * time.Millisecond)
 	}
-	stopServe()
-	if err := <-serveDone; err != nil {
+	if err := shutdown(); err != nil {
 		return fmt.Errorf("soak: server shutdown: %w", err)
 	}
 
@@ -275,6 +319,7 @@ func soakRun(ctx context.Context, args []string) error {
 	m := srv.Metrics()
 	rep := soakReport{
 		Duration:        duration.String(),
+		Wire:            *wireSoak,
 		Requests:        total.Load(),
 		Status:          status,
 		ClientErrors:    clientErrs.Load(),
@@ -355,6 +400,63 @@ func soakModel(path string) (*hmd.HMD, error) {
 		return nil, err
 	}
 	return hmd.FromNetwork(net, hmd.Config{})
+}
+
+// soakWireRequest builds the binary twin of soakBody: the same two
+// synthesized programs as a SHMDWIRE detect request.
+func soakWireRequest(seed uint64) (wire.DetectRequest, error) {
+	var req wire.DetectRequest
+	for i, cls := range []trace.Class{trace.Trojan, trace.Benign} {
+		prog, err := trace.NewProgram(cls, 0, seed)
+		if err != nil {
+			return wire.DetectRequest{}, err
+		}
+		windows, err := prog.Trace(4, 256)
+		if err != nil {
+			return wire.DetectRequest{}, err
+		}
+		req.Programs = append(req.Programs, wire.DetectProgram{
+			ID:      fmt.Sprintf("soak-%d", i),
+			Windows: windows,
+		})
+	}
+	return req, nil
+}
+
+// soakWireClient is one SDK-driven request loop: dial once, let the
+// SDK's own backoff handle reconnects, and classify every outcome the
+// way the HTTP loop classifies status codes. A typed server rejection
+// counts as a completed request in its status class; anything else —
+// a lost in-flight request, a dial that never recovers — is a client
+// error, the metric the soak must keep at zero through a fleet kill.
+func soakWireClient(ctx context.Context, addr string, seed int64, req wire.DetectRequest, total, clientErrs *atomic.Uint64, record func(int)) {
+	cl, err := sdk.Dial(addr, sdk.Options{JitterSeed: seed})
+	if err != nil {
+		clientErrs.Add(1)
+		return
+	}
+	defer cl.Close()
+	for ctx.Err() == nil {
+		_, err := cl.Detect(ctx, req)
+		switch {
+		case err == nil:
+			total.Add(1)
+			record(200)
+		case ctx.Err() != nil:
+			// The soak window closed while this request was in flight.
+		default:
+			var ef *wire.ErrorFrame
+			if errors.As(err, &ef) {
+				total.Add(1)
+				record(int(ef.Code))
+				if ef.Code == wire.CodeOverloaded || ef.Code == wire.CodeUnavailable {
+					time.Sleep(time.Millisecond) // honor the shed, keep hammering
+				}
+				continue
+			}
+			clientErrs.Add(1)
+		}
+	}
 }
 
 // soakBody marshals a fixed two-program detection batch from

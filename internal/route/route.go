@@ -55,6 +55,15 @@ type Config struct {
 	// Backends are the base URLs of the detection backends, e.g.
 	// "http://127.0.0.1:8801". At least one is required.
 	Backends []string
+	// WireBackends are the backends' SHMDWIRE listener addresses
+	// ("host:port"), index-aligned with Backends. Empty disables binary
+	// upstream proxying; when set, the length must equal len(Backends).
+	// A backend's readiness and breaker state are shared across both
+	// transports — /readyz probing and request outcomes feed one view.
+	WireBackends []string
+	// WireDialTimeout bounds one upstream SHMDWIRE dial + handshake
+	// (default 5s).
+	WireDialTimeout time.Duration
 	// ProbeInterval is how often each backend's /readyz is polled
 	// (default 500ms; negative disables the background prober — tests
 	// drive ProbeOnce deterministically instead).
@@ -141,6 +150,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.DrainDelay == 0 {
 		cfg.DrainDelay = cfg.ProbeInterval
 	}
+	if cfg.WireDialTimeout == 0 {
+		cfg.WireDialTimeout = 5 * time.Second
+	}
 	if cfg.Transport == nil {
 		cfg.Transport = http.DefaultTransport
 	}
@@ -160,6 +172,9 @@ type backend struct {
 	ready    atomic.Bool
 	inflight atomic.Int64
 	breaker  *core.Breaker
+	// wire is the pooled SHMDWIRE upstream (nil when the backend has no
+	// wire address).
+	wire *wirePool
 
 	requests  atomic.Uint64 // dispatch attempts sent (incl. hedges, retries)
 	failures  atomic.Uint64 // attempts that counted as breaker failures
@@ -182,6 +197,11 @@ type Router struct {
 	// losers are tracked too (their attempt must finish before the
 	// backends are declared quiet).
 	reqWG sync.WaitGroup
+	// wireCorr issues correlation ids for upstream SHMDWIRE requests.
+	wireCorr atomic.Uint64
+	// wireConns tracks live client-facing SHMDWIRE connections for the
+	// drain's GOAWAY broadcast.
+	wireConns wireConnSet
 }
 
 // New builds a Router. Backends start in the rotation (optimistic:
@@ -203,8 +223,12 @@ func New(cfg Config) (*Router, error) {
 		jitter:  backoff.New(seed),
 		metrics: NewMetrics(),
 	}
+	if len(cfg.WireBackends) != 0 && len(cfg.WireBackends) != len(cfg.Backends) {
+		return nil, fmt.Errorf("route: %d wire backends for %d backends; lists must be index-aligned",
+			len(cfg.WireBackends), len(cfg.Backends))
+	}
 	seen := map[string]bool{}
-	for _, raw := range cfg.Backends {
+	for i, raw := range cfg.Backends {
 		u, err := url.Parse(strings.TrimSuffix(strings.TrimSpace(raw), "/"))
 		if err != nil || u.Scheme == "" || u.Host == "" {
 			return nil, fmt.Errorf("route: backend %q is not an absolute URL", raw)
@@ -217,6 +241,11 @@ func New(cfg Config) (*Router, error) {
 			name:    u.Host,
 			base:    u.String(),
 			breaker: core.NewBreaker(cfg.Breaker),
+		}
+		if len(cfg.WireBackends) > 0 {
+			if addr := strings.TrimSpace(cfg.WireBackends[i]); addr != "" {
+				b.wire = newWirePool(addr, cfg.WireDialTimeout, int(cfg.MaxBodyBytes))
+			}
 		}
 		b.ready.Store(true)
 		rt.backends = append(rt.backends, b)

@@ -214,49 +214,91 @@ func decodeProgram(p ProgramJSON, idx int, lim Limits) ([]trace.WindowCounts, er
 	return out, nil
 }
 
-// decodeWindow validates one window's counts and converts them to the
-// internal measurement type.
+// decodeWindow validates one window's JSON shape, converts it to the
+// internal measurement type, and applies the transport-independent
+// semantic checks.
 func decodeWindow(win WindowJSON, prog, idx int) (trace.WindowCounts, error) {
 	var wc trace.WindowCounts
 	if len(win.Opcode) != isa.NumOpcodes {
 		return wc, badRequest("program %d window %d: %d opcode counts, want %d",
 			prog, idx, len(win.Opcode), isa.NumOpcodes)
 	}
-	total := 0
-	for op, n := range win.Opcode {
-		if n < 0 || n > maxCount {
-			return wc, badRequest("program %d window %d: opcode %d count %d outside [0, %d]",
-				prog, idx, op, n, maxCount)
-		}
-		wc.Opcode[op] = n
-		total += n
-	}
-	if total == 0 {
-		return wc, badRequest("program %d window %d: empty window (all opcode counts zero)", prog, idx)
-	}
-	if total > maxCount {
-		return wc, badRequest("program %d window %d: window total %d exceeds %d", prog, idx, total, maxCount)
-	}
-	if win.Taken < 0 {
-		return wc, badRequest("program %d window %d: negative taken-branch count %d", prog, idx, win.Taken)
-	}
-	if branches := wc.Branches(); win.Taken > branches {
-		return wc, badRequest("program %d window %d: %d taken branches but only %d branch instructions",
-			prog, idx, win.Taken, branches)
-	}
+	copy(wc.Opcode[:], win.Opcode)
 	wc.Taken = win.Taken
 	if len(win.Stride) != 0 && len(win.Stride) != trace.StrideBuckets {
 		return wc, badRequest("program %d window %d: %d stride buckets, want 0 or %d",
 			prog, idx, len(win.Stride), trace.StrideBuckets)
 	}
-	for b, n := range win.Stride {
-		if n < 0 || n > maxCount {
-			return wc, badRequest("program %d window %d: stride bucket %d count %d outside [0, %d]",
-				prog, idx, b, n, maxCount)
-		}
-		wc.Stride[b] = n
+	copy(wc.Stride[:], win.Stride)
+	if err := validateWindowCounts(wc, prog, idx); err != nil {
+		return trace.WindowCounts{}, err
 	}
 	return wc, nil
+}
+
+// validateWindowCounts applies the semantic checks every transport
+// shares — the JSON decoder after shape conversion, the binary wire
+// path on already-structured measurements. Both transports therefore
+// accept and reject exactly the same windows, which the cross-transport
+// equivalence suite depends on.
+func validateWindowCounts(wc trace.WindowCounts, prog, idx int) error {
+	total := 0
+	for op, n := range wc.Opcode {
+		if n < 0 || n > maxCount {
+			return badRequest("program %d window %d: opcode %d count %d outside [0, %d]",
+				prog, idx, op, n, maxCount)
+		}
+		total += n
+	}
+	if total == 0 {
+		return badRequest("program %d window %d: empty window (all opcode counts zero)", prog, idx)
+	}
+	if total > maxCount {
+		return badRequest("program %d window %d: window total %d exceeds %d", prog, idx, total, maxCount)
+	}
+	if wc.Taken < 0 {
+		return badRequest("program %d window %d: negative taken-branch count %d", prog, idx, wc.Taken)
+	}
+	if branches := wc.Branches(); wc.Taken > branches {
+		return badRequest("program %d window %d: %d taken branches but only %d branch instructions",
+			prog, idx, wc.Taken, branches)
+	}
+	for b, n := range wc.Stride {
+		if n < 0 || n > maxCount {
+			return badRequest("program %d window %d: stride bucket %d count %d outside [0, %d]",
+				prog, idx, b, n, maxCount)
+		}
+	}
+	return nil
+}
+
+// ValidatePrograms applies the request-level semantic limits to
+// already-structured programs — the binary transport's counterpart of
+// DecodeDetectRequest. Every rejection is a *RequestError mapping to
+// the same status the JSON decoder would have produced.
+func ValidatePrograms(programs []DecodedProgram, lim Limits) error {
+	lim = lim.withDefaults()
+	if len(programs) == 0 {
+		return badRequest("empty batch: need at least one program")
+	}
+	if len(programs) > lim.MaxPrograms {
+		return badRequest("batch of %d programs exceeds limit %d", len(programs), lim.MaxPrograms)
+	}
+	for i, p := range programs {
+		if len(p.Windows) < lim.MinWindows {
+			return badRequest("program %d: %d windows, need at least %d for one detection period",
+				i, len(p.Windows), lim.MinWindows)
+		}
+		if len(p.Windows) > lim.MaxWindows {
+			return badRequest("program %d: %d windows exceeds limit %d", i, len(p.Windows), lim.MaxWindows)
+		}
+		for w, win := range p.Windows {
+			if err := validateWindowCounts(win, i, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // EncodeWindows converts internal window measurements back to the wire

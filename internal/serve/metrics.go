@@ -52,6 +52,14 @@ type Metrics struct {
 	batchWaitSumNS  atomic.Uint64
 	batchWait       [numBatchWaitBuckets]atomic.Uint64
 	batchWaitOver   atomic.Uint64
+
+	// SHMDWIRE transport: connection lifecycle, frame volume, and the
+	// forward-compatibility skip counter.
+	wireConnsTotal    atomic.Uint64
+	wireConnsActive   atomic.Int64
+	wireFrames        atomic.Uint64
+	wireUnknownFrames atomic.Uint64
+	wireGoAways       atomic.Uint64
 }
 
 // numBatchSizeBuckets sizes the batch-size histogram.
@@ -173,6 +181,28 @@ func (m *Metrics) BatchFlushes() (full, timer uint64) {
 	return m.batchFlushFull.Load(), m.batchFlushTimer.Load()
 }
 
+// WireConnOpen records one accepted SHMDWIRE connection.
+func (m *Metrics) WireConnOpen() {
+	m.wireConnsTotal.Add(1)
+	m.wireConnsActive.Add(1)
+}
+
+// WireConnClose records one closed SHMDWIRE connection.
+func (m *Metrics) WireConnClose() { m.wireConnsActive.Add(-1) }
+
+// WireFrame records one frame read from a SHMDWIRE connection.
+func (m *Metrics) WireFrame() { m.wireFrames.Add(1) }
+
+// WireUnknownFrame records one unknown-type frame skipped with a
+// warning (forward compatibility, never fatal).
+func (m *Metrics) WireUnknownFrame() { m.wireUnknownFrames.Add(1) }
+
+// WireUnknownFrames reports skipped unknown-type frames.
+func (m *Metrics) WireUnknownFrames() uint64 { return m.wireUnknownFrames.Load() }
+
+// WireGoAway records one GOAWAY frame sent to a draining client.
+func (m *Metrics) WireGoAway() { m.wireGoAways.Add(1) }
+
 // WriteProm renders every counter plus per-session pool gauges in the
 // Prometheus text format.
 func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
@@ -258,6 +288,26 @@ func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
 	fmt.Fprintf(w, "shmd_batch_wait_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "shmd_batch_wait_seconds_sum %g\n", float64(m.batchWaitSumNS.Load())/1e9)
 	fmt.Fprintf(w, "shmd_batch_wait_seconds_count %d\n", m.batchWaitCount.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_wire_connections_total SHMDWIRE connections accepted since boot.")
+	fmt.Fprintln(w, "# TYPE shmd_wire_connections_total counter")
+	fmt.Fprintf(w, "shmd_wire_connections_total %d\n", m.wireConnsTotal.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_wire_connections_active SHMDWIRE connections currently open.")
+	fmt.Fprintln(w, "# TYPE shmd_wire_connections_active gauge")
+	fmt.Fprintf(w, "shmd_wire_connections_active %d\n", m.wireConnsActive.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_wire_frames_total Frames read off SHMDWIRE connections.")
+	fmt.Fprintln(w, "# TYPE shmd_wire_frames_total counter")
+	fmt.Fprintf(w, "shmd_wire_frames_total %d\n", m.wireFrames.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_wire_unknown_frames_total Unknown-type frames skipped with a warning.")
+	fmt.Fprintln(w, "# TYPE shmd_wire_unknown_frames_total counter")
+	fmt.Fprintf(w, "shmd_wire_unknown_frames_total %d\n", m.wireUnknownFrames.Load())
+
+	fmt.Fprintln(w, "# HELP shmd_wire_goaways_total GOAWAY frames sent to draining clients.")
+	fmt.Fprintln(w, "# TYPE shmd_wire_goaways_total counter")
+	fmt.Fprintf(w, "shmd_wire_goaways_total %d\n", m.wireGoAways.Load())
 
 	if pool != nil {
 		writePoolProm(w, pool)

@@ -124,6 +124,9 @@ type Server struct {
 	// batcher coalesces concurrent programs into lane batches when
 	// Config.MaxBatch enables micro-batching (nil = scalar dispatch).
 	batcher *batcher
+	// wire tracks live SHMDWIRE connections so a graceful drain can
+	// broadcast GOAWAY and wait for their in-flight detects.
+	wire wireState
 }
 
 // New builds a Server around a trained baseline detector.
@@ -514,14 +517,10 @@ type SessionHealth struct {
 	LastCanaryRate *float64 `json:"lastCanaryRate,omitempty"`
 }
 
-// handleHealthz serves GET /healthz: 200 while at least one session
-// can still detect protected, 503 when the whole pool is degraded.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		s.status(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
+// healthReport assembles the pool health snapshot shared by the HTTP
+// /healthz handler and the wire HEALTH frame, plus the status code it
+// maps to (200 ok, 503 degraded).
+func (s *Server) healthReport() (HealthReport, int) {
 	report := HealthReport{
 		Status:      "ok",
 		Respawns:    s.pool.Respawns(),
@@ -558,6 +557,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		report.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
+	return report, code
+}
+
+// handleHealthz serves GET /healthz: 200 while at least one session
+// can still detect protected, 503 when the whole pool is degraded.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.status(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	report, code := s.healthReport()
 	s.metrics.Request(code)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

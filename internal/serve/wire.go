@@ -1,0 +1,362 @@
+package serve
+
+// The SHMDWIRE streaming listener: persistent binary connections
+// multiplexing detect streams into the same admission queue, deadline
+// plumbing, micro-batcher, hedged dispatch, tracing, and metrics as
+// the HTTP transport. One connection carries many concurrent DETECT
+// frames; each frame becomes one tracked detection whose VERDICT (or
+// typed ERROR) is written back under the frame's correlation id, so
+// windows from a Pin-style collector stream without per-request
+// connection or JSON re-encoding cost.
+//
+// Graceful drain mirrors the HTTP path: the server broadcasts a
+// GOAWAY frame to every live connection, stops admitting new DETECTs
+// (typed 503), finishes in-flight ones, and only then closes.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"shmd/internal/wire"
+)
+
+// wireState tracks live SHMDWIRE connections for drain broadcast.
+type wireState struct {
+	mu    sync.Mutex
+	conns map[*wireConn]struct{}
+}
+
+// wireConn is one accepted SHMDWIRE connection.
+type wireConn struct {
+	c *wire.Conn
+	// wg counts in-flight detect goroutines on this connection.
+	wg sync.WaitGroup
+	// cancel ends the connection's context, unblocking any dispatch
+	// still waiting when the connection is force-closed.
+	cancel context.CancelFunc
+}
+
+// register adds a live connection (nil map allocates on first use).
+func (ws *wireState) register(wc *wireConn) {
+	ws.mu.Lock()
+	if ws.conns == nil {
+		ws.conns = make(map[*wireConn]struct{})
+	}
+	ws.conns[wc] = struct{}{}
+	ws.mu.Unlock()
+}
+
+// unregister removes a connection.
+func (ws *wireState) unregister(wc *wireConn) {
+	ws.mu.Lock()
+	delete(ws.conns, wc)
+	ws.mu.Unlock()
+}
+
+// snapshot copies the live connection set.
+func (ws *wireState) snapshot() []*wireConn {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make([]*wireConn, 0, len(ws.conns))
+	for wc := range ws.conns {
+		out = append(out, wc)
+	}
+	return out
+}
+
+// ServeWire accepts SHMDWIRE connections on ln until ctx is cancelled,
+// then drains gracefully: GOAWAY to every connection, in-flight
+// detects finish (bounded by ShutdownTimeout), stragglers are cut.
+// It serves the same pool as the HTTP listener and does not close it —
+// the caller owns the pool's lifetime (Serve's shutdown path, or an
+// explicit Close when running wire-only).
+func (s *Server) ServeWire(ctx context.Context, ln net.Listener) error {
+	done := make(chan error, 1)
+	go func() { done <- s.acceptWire(ln) }()
+	select {
+	case <-ctx.Done():
+		s.draining.Store(true) // /readyz goes 503 before the drain starts
+		ln.Close()
+		shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+		defer cancel()
+		s.drainWire(shCtx)
+		s.waitRunners(shCtx)
+		<-done
+		return nil
+	case err := <-done:
+		return err
+	}
+}
+
+// acceptWire runs the accept loop; a closed listener ends it cleanly.
+func (s *Server) acceptWire(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.handleWireConn(nc)
+	}
+}
+
+// drainWire broadcasts GOAWAY, waits for every connection's in-flight
+// detects (bounded by ctx), then closes whatever remains.
+func (s *Server) drainWire(ctx context.Context) {
+	conns := s.wire.snapshot()
+	goaway := wire.AppendGoAway(nil, wire.GoAway{Code: 0, Msg: "draining"})
+	for _, wc := range conns {
+		s.metrics.WireGoAway()
+		wc.c.WriteFrame(wire.Frame{Type: wire.FrameGoAway, Payload: goaway})
+	}
+	idle := make(chan struct{})
+	go func() {
+		for _, wc := range conns {
+			wc.wg.Wait()
+		}
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+	}
+	for _, wc := range conns {
+		wc.cancel()
+		wc.c.Close()
+	}
+}
+
+// handleWireConn owns one connection: handshake, HELLO, then the frame
+// loop. Detect frames run in per-frame goroutines so one slow batch
+// never blocks the next frame — that concurrency is what feeds the
+// micro-batcher from a single connection.
+func (s *Server) handleWireConn(nc net.Conn) {
+	c := wire.NewConn(nc, int(s.cfg.Limits.MaxBodyBytes))
+	v, err := c.Handshake(s.cfg.ReadHeaderTimeout)
+	if err != nil {
+		c.Close()
+		return
+	}
+	s.metrics.WireConnOpen()
+	defer s.metrics.WireConnClose()
+	if v != wire.ProtoVersion {
+		// Answer skew with a typed error, not a silent hangup, so the
+		// client can report something actionable.
+		c.WriteError(0, wire.CodeVersion, fmt.Sprintf("server speaks SHMDWIRE v%d, client sent v%d", wire.ProtoVersion, v))
+		c.Close()
+		return
+	}
+	if err := c.WriteFrame(wire.Frame{
+		Type:    wire.FrameHello,
+		Payload: wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, MaxFrame: uint32(c.MaxPayload())}),
+	}); err != nil {
+		c.Close()
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wc := &wireConn{c: c, cancel: cancel}
+	s.wire.register(wc)
+	defer func() {
+		s.wire.unregister(wc)
+		cancel()
+		// The reader is gone; wait for in-flight detects (their verdict
+		// writes fail fast once the conn closes) before releasing the conn.
+		wc.wg.Wait()
+		c.Close()
+	}()
+	if s.draining.Load() {
+		s.metrics.WireGoAway()
+		c.WriteFrame(wire.Frame{Type: wire.FrameGoAway, Payload: wire.AppendGoAway(nil, wire.GoAway{Code: 0, Msg: "draining"})})
+	}
+
+	for {
+		f, err := c.ReadFrame()
+		if err != nil {
+			var tooBig *wire.TooLargeError
+			if errors.As(err, &tooBig) {
+				// The stream is still synchronized: reject this frame and
+				// keep the connection.
+				s.metrics.Request(int(wire.CodeTooLarge))
+				c.WriteError(tooBig.Corr, wire.CodeTooLarge, err.Error())
+				continue
+			}
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				log.Printf("serve: wire: closing %s: %v", c.RemoteAddr(), err)
+			}
+			return
+		}
+		s.metrics.WireFrame()
+		switch f.Type {
+		case wire.FrameDetect:
+			s.wireDetect(ctx, wc, f)
+		case wire.FramePing:
+			c.WriteFrame(wire.Frame{Type: wire.FramePong, Corr: f.Corr})
+		case wire.FrameHealthReq:
+			s.wireHealth(c, f.Corr)
+		case wire.FrameGoAway:
+			// The client is draining its side; it will close when its
+			// in-flight requests complete. Nothing to do server-side.
+		default:
+			if !f.Type.Known() {
+				// Forward compatibility: skip with a warning, never kill
+				// the connection over a frame we don't understand.
+				s.metrics.WireUnknownFrame()
+				log.Printf("serve: wire: skipping unknown frame type 0x%02x from %s", uint8(f.Type), c.RemoteAddr())
+				continue
+			}
+			s.metrics.Request(int(wire.CodeBadRequest))
+			c.WriteError(f.Corr, wire.CodeBadRequest, fmt.Sprintf("unexpected %v frame", f.Type))
+		}
+	}
+}
+
+// wireHealth answers a HEALTH_REQ with the same JSON report /healthz
+// serves, carried opaquely in a HEALTH frame.
+func (s *Server) wireHealth(c *wire.Conn, corr uint64) {
+	report, code := s.healthReport()
+	s.metrics.Request(code)
+	payload, err := json.Marshal(report)
+	if err != nil {
+		c.WriteError(corr, wire.CodeInternal, err.Error())
+		return
+	}
+	c.WriteFrame(wire.Frame{Type: wire.FrameHealth, Corr: corr, Payload: payload})
+}
+
+// wireDetect admits, decodes, and launches one DETECT frame. Admission
+// and decode happen on the read loop (both are cheap and their typed
+// rejections must preserve frame order); the dispatch itself runs in a
+// tracked goroutine so the connection keeps multiplexing.
+func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
+	start := time.Now()
+	c := wc.c
+	if s.draining.Load() {
+		s.metrics.Request(int(wire.CodeUnavailable))
+		c.WriteError(f.Corr, wire.CodeUnavailable, "draining")
+		return
+	}
+	// Admission control before any decode work, exactly like the HTTP
+	// path: shed at the backpressure limit with a typed 429.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.QueueReject()
+		s.metrics.Request(int(wire.CodeOverloaded))
+		c.WriteError(f.Corr, wire.CodeOverloaded, fmt.Sprintf("detection queue full; retry in %ds", s.jitter.Seconds(1, 3)))
+		return
+	}
+	// Holding a queue token guarantees inflight capacity (same sizes).
+	s.inflight <- struct{}{}
+	release := func() { <-s.inflight; <-s.queue }
+
+	req, err := wire.DecodeDetectRequest(f.Payload)
+	if err != nil {
+		release()
+		s.metrics.Request(int(wire.CodeBadRequest))
+		c.WriteError(f.Corr, wire.CodeBadRequest, err.Error())
+		return
+	}
+	programs := make([]DecodedProgram, len(req.Programs))
+	for i, p := range req.Programs {
+		programs[i] = DecodedProgram{ID: p.ID, Windows: p.Windows}
+	}
+	if err := ValidatePrograms(programs, s.cfg.Limits); err != nil {
+		release()
+		s.metrics.Request(StatusOf(err))
+		c.WriteError(f.Corr, wire.ErrorCode(StatusOf(err)), err.Error())
+		return
+	}
+	deadline := req.Deadline()
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+
+	wc.wg.Add(1)
+	go func() {
+		defer wc.wg.Done()
+		defer release()
+		dctx := ctx
+		if deadline > 0 {
+			var cancel context.CancelFunc
+			dctx, cancel = context.WithTimeout(dctx, deadline)
+			defer cancel()
+		}
+		var out batchOutcome
+		var err error
+		if s.batcher != nil {
+			out, err = s.batcher.dispatch(dctx, programs)
+		} else {
+			out, err = s.dispatch(dctx, programs)
+		}
+		if err != nil {
+			s.failWireDetect(ctx, c, f.Corr, err)
+			return
+		}
+		if out.hedge {
+			s.metrics.HedgeWin()
+		}
+		results := make([]wire.VerdictResult, len(out.results))
+		for i, res := range out.results {
+			s.metrics.Decision(res.Malware, res.Unprotected)
+			results[i] = wire.VerdictResult{
+				ID:          res.ID,
+				Malware:     res.Malware,
+				Unprotected: res.Unprotected,
+				Score:       res.Score,
+				Confidence:  res.Confidence,
+				Attempts:    uint32(res.Attempts),
+				Windows:     uint32(res.Windows),
+			}
+		}
+		payload, encErr := wire.AppendVerdict(nil, wire.Verdict{
+			Session: int32(out.session),
+			Hedged:  out.hedge,
+			Results: results,
+		})
+		if encErr != nil {
+			s.metrics.Request(int(wire.CodeInternal))
+			c.WriteError(f.Corr, wire.CodeInternal, encErr.Error())
+			return
+		}
+		s.metrics.Request(200)
+		s.metrics.Observe(time.Since(start))
+		c.WriteFrame(wire.Frame{Type: wire.FrameVerdict, Corr: f.Corr, Payload: payload})
+	}()
+}
+
+// failWireDetect maps a dispatch failure to its typed ERROR frame,
+// mirroring the HTTP transport's failDetect status mapping so the two
+// transports shed and fail with the same vocabulary.
+func (s *Server) failWireDetect(connCtx context.Context, c *wire.Conn, corr uint64, err error) {
+	switch {
+	case connCtx.Err() != nil:
+		// The connection is gone; nobody is listening.
+		s.metrics.Request(statusClientClosedRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.DeadlineExpired()
+		s.metrics.Request(int(wire.CodeUnavailable))
+		c.WriteError(corr, wire.CodeUnavailable, "detection deadline exceeded")
+	case errors.Is(err, ErrPoolClosed):
+		s.metrics.Request(int(wire.CodeUnavailable))
+		c.WriteError(corr, wire.CodeUnavailable, err.Error())
+	default:
+		var ae *AcquireError
+		if errors.As(err, &ae) {
+			s.metrics.Request(int(wire.CodeUnavailable))
+			c.WriteError(corr, wire.CodeUnavailable, err.Error())
+			return
+		}
+		s.metrics.Request(int(wire.CodeInternal))
+		c.WriteError(corr, wire.CodeInternal, err.Error())
+	}
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"shmd/internal/trace"
+)
+
+// fuzzSeedFrames returns encoded frames of every v1 type plus the
+// adversarial variants the issue calls out: truncated, bit-flipped,
+// oversized, and version-skewed bytes.
+func fuzzSeedFrames(t interface{ Helper() }) [][]byte {
+	t.Helper()
+	detect, _ := AppendDetectRequest(nil, DetectRequest{
+		DeadlineMs: 100,
+		Programs:   []DetectProgram{{ID: "p", Windows: []trace.WindowCounts{goldenWindow(1)}}},
+	})
+	verdict, _ := AppendVerdict(nil, Verdict{Session: 1, Results: []VerdictResult{{ID: "p", Score: 0.5, Confidence: 1, Attempts: 1, Windows: 1}}})
+	frames := [][]byte{
+		EncodeFrame(Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: 1, MaxFrame: 1 << 20})}),
+		EncodeFrame(Frame{Type: FrameDetect, Corr: 1, Payload: detect}),
+		EncodeFrame(Frame{Type: FrameVerdict, Corr: 1, Payload: verdict}),
+		EncodeFrame(Frame{Type: FrameError, Corr: 2, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeUnavailable, Msg: "draining"})}),
+		EncodeFrame(Frame{Type: FramePing, Corr: 3}),
+		EncodeFrame(Frame{Type: FramePong, Corr: 3}),
+		EncodeFrame(Frame{Type: FrameGoAway, Payload: AppendGoAway(nil, GoAway{Msg: "bye"})}),
+		EncodeFrame(Frame{Type: FrameHealthReq, Corr: 4}),
+		EncodeFrame(Frame{Type: FrameHealth, Corr: 4, Payload: []byte(`{"status":"ok"}`)}),
+		EncodeFrame(Frame{Type: 0x7F, Corr: 5, Payload: []byte("future")}),
+	}
+	seeds := append([][]byte{}, frames...)
+	for _, f := range frames {
+		// Truncated at an awkward boundary.
+		seeds = append(seeds, f[:len(f)/2])
+		// Bit-flipped mid-frame.
+		flipped := append([]byte{}, f...)
+		flipped[len(flipped)/2] ^= 0x10
+		seeds = append(seeds, flipped)
+	}
+	// Oversized: a header whose length field dwarfs any real payload.
+	huge := append([]byte{}, frames[1]...)
+	huge[10], huge[11] = 0x7f, 0xff
+	seeds = append(seeds,
+		huge,
+		// Version-skewed preambles where a frame should be.
+		AppendPreamble(nil, ProtoVersion),
+		AppendPreamble(nil, 2),
+		AppendPreamble(nil, 0xff),
+	)
+	return seeds
+}
+
+// FuzzWireFrameDecode holds the frame decoder to its contract on
+// arbitrary bytes: it never panics, every failure is ErrCorrupt-family
+// or *TooLargeError, and a successful decode re-encodes to exactly the
+// bytes consumed (identity). Typed payload decoders get the same
+// treatment on whatever payload survives framing.
+func FuzzWireFrameDecode(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data, DefaultMaxFramePayload)
+		if err != nil {
+			var tooBig *TooLargeError
+			if !errors.Is(err, ErrCorrupt) && !errors.As(err, &tooBig) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+		} else {
+			if n <= 0 || n > len(data) {
+				t.Fatalf("consumed %d of %d bytes", n, len(data))
+			}
+			if enc := EncodeFrame(fr); !bytes.Equal(enc, data[:n]) {
+				t.Fatalf("re-encode is not identity:\n got %x\nwant %x", enc, data[:n])
+			}
+			// The streaming reader must agree with the buffer decoder.
+			rf, rerr := ReadWireFrame(bytes.NewReader(data), DefaultMaxFramePayload)
+			if rerr != nil {
+				t.Fatalf("ReadWireFrame disagrees: %v", rerr)
+			}
+			if rf.Type != fr.Type || rf.Corr != fr.Corr || !bytes.Equal(rf.Payload, fr.Payload) {
+				t.Fatalf("ReadWireFrame decoded %+v, DecodeFrame %+v", rf, fr)
+			}
+			checkPayloadDecoder(t, fr)
+		}
+		// The streaming reader independently must never panic and only
+		// fail typed (or io.EOF at a clean boundary).
+		if _, rerr := ReadWireFrame(bytes.NewReader(data), DefaultMaxFramePayload); rerr != nil {
+			var tooBig *TooLargeError
+			if rerr != io.EOF && !errors.Is(rerr, ErrCorrupt) && !errors.As(rerr, &tooBig) {
+				t.Fatalf("untyped stream error: %v", rerr)
+			}
+		}
+	})
+}
+
+// checkPayloadDecoder runs the typed codec for fr's type; failures
+// must wrap ErrCorrupt, successes must re-encode canonically.
+func checkPayloadDecoder(t *testing.T, fr Frame) {
+	t.Helper()
+	assert := func(reenc []byte, err error) {
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%v payload: untyped error %v", fr.Type, err)
+			}
+			return
+		}
+		if !bytes.Equal(reenc, fr.Payload) {
+			t.Fatalf("%v payload re-encode is not identity:\n got %x\nwant %x", fr.Type, reenc, fr.Payload)
+		}
+	}
+	switch fr.Type {
+	case FrameDetect:
+		req, err := DecodeDetectRequest(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		enc, encErr := AppendDetectRequest(nil, req)
+		if encErr != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", encErr)
+		}
+		assert(enc, nil)
+	case FrameVerdict:
+		v, err := DecodeVerdict(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		enc, encErr := AppendVerdict(nil, v)
+		if encErr != nil {
+			t.Fatalf("decoded verdict failed to re-encode: %v", encErr)
+		}
+		assert(enc, nil)
+	case FrameError:
+		e, err := DecodeErrorFrame(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		assert(AppendErrorFrame(nil, e), nil)
+	case FrameHello:
+		h, err := DecodeHello(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		assert(AppendHello(nil, h), nil)
+	case FrameGoAway:
+		g, err := DecodeGoAway(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		assert(AppendGoAway(nil, g), nil)
+	}
+}
+
+// FuzzDetectFrameRoundTrip drives the DETECT and VERDICT payload
+// codecs directly with raw bytes: any payload that decodes must
+// re-encode to the identical bytes (the encoding is canonical), and
+// any rejection must be typed. This is the decode→encode dual of the
+// construct→encode→decode tests.
+func FuzzDetectFrameRoundTrip(f *testing.F) {
+	detect, _ := AppendDetectRequest(nil, DetectRequest{
+		DeadlineMs: 250,
+		Programs: []DetectProgram{
+			{ID: "prog-0", Windows: []trace.WindowCounts{goldenWindow(2), goldenWindow(3)}},
+			{Windows: []trace.WindowCounts{goldenWindow(4)}},
+		},
+	})
+	verdict, _ := AppendVerdict(nil, Verdict{
+		Session: 3, Hedged: true,
+		Results: []VerdictResult{{ID: "prog-0", Malware: true, Score: 0.75, Confidence: 0.5, Attempts: 2, Windows: 2}},
+	})
+	f.Add(detect)
+	f.Add(verdict)
+	f.Add([]byte{})
+	trunc := detect[:len(detect)-5]
+	f.Add(trunc)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeDetectRequest(data); err == nil {
+			enc, encErr := AppendDetectRequest(nil, req)
+			if encErr != nil {
+				t.Fatalf("decoded request failed to re-encode: %v", encErr)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("detect round trip not identity:\n got %x\nwant %x", enc, data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped detect decode error: %v", err)
+		}
+		if v, err := DecodeVerdict(data); err == nil {
+			enc, encErr := AppendVerdict(nil, v)
+			if encErr != nil {
+				t.Fatalf("decoded verdict failed to re-encode: %v", encErr)
+			}
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("verdict round trip not identity:\n got %x\nwant %x", enc, data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped verdict decode error: %v", err)
+		}
+	})
+}

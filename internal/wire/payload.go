@@ -1,0 +1,456 @@
+package wire
+
+// SHMDWIRE v1 payload codecs: the bodies of DETECT, VERDICT, ERROR,
+// HELLO, and GOAWAY frames. All integers are big-endian; float64
+// values travel as their IEEE-754 bit patterns, so a verdict's score
+// and confidence survive the wire bit-exactly — the property the
+// cross-transport equivalence suite pins.
+//
+// Encoding is canonical: there is exactly one byte sequence for a
+// given value (window stride histograms are always emitted, string
+// lengths are exact), which is what lets the golden-frame corpus
+// assert decode→re-encode byte identity. Every decode failure wraps
+// ErrCorrupt; decoders bound every length they allocate for and never
+// panic on any input — the frame fuzzers hold them to it.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"shmd/internal/isa"
+	"shmd/internal/trace"
+)
+
+// Structural decode bounds. These cap what a decoder will allocate
+// for; the serving layer applies its own (tighter, configurable)
+// semantic limits on top.
+const (
+	// MaxPrograms bounds the programs in one DETECT frame.
+	MaxPrograms = 4096
+	// MaxWindows bounds the windows in one program.
+	MaxWindows = 65535
+	// MaxIDLen bounds a program id (u8 length prefix).
+	MaxIDLen = 255
+	// MaxMsgLen bounds an error / goaway message (u16 length prefix).
+	MaxMsgLen = 65535
+	// windowWireLen is the fixed encoded size of one window: taken +
+	// opcode counts + stride buckets, 4 bytes each.
+	windowWireLen = 4 * (1 + isa.NumOpcodes + trace.StrideBuckets)
+	// maxWireCount bounds any single count on the wire (u32).
+	maxWireCount = math.MaxUint32
+)
+
+// DetectProgram is one program in a DETECT frame.
+type DetectProgram struct {
+	// ID is an optional caller-assigned label echoed in the verdict.
+	ID string
+	// Windows are the per-window instruction-count measurements.
+	Windows []trace.WindowCounts
+}
+
+// DetectRequest is the DETECT frame payload.
+type DetectRequest struct {
+	// DeadlineMs bounds the detection server-side, in integer
+	// milliseconds (0 = server default), mirroring the HTTP transport's
+	// X-Detect-Deadline-Ms header.
+	DeadlineMs uint32
+	Programs   []DetectProgram
+}
+
+// Deadline converts the millisecond field to a duration.
+func (r DetectRequest) Deadline() time.Duration {
+	return time.Duration(r.DeadlineMs) * time.Millisecond
+}
+
+// AppendDetectRequest appends the canonical encoding of req. Encoding
+// fails only on values the wire cannot carry (oversized ids or
+// counts, too many programs or windows, negative counts).
+func AppendDetectRequest(dst []byte, req DetectRequest) ([]byte, error) {
+	if len(req.Programs) > MaxPrograms {
+		return nil, fmt.Errorf("wire: %d programs exceeds %d", len(req.Programs), MaxPrograms)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, req.DeadlineMs)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Programs)))
+	for i, p := range req.Programs {
+		if len(p.ID) > MaxIDLen {
+			return nil, fmt.Errorf("wire: program %d id is %d bytes, limit %d", i, len(p.ID), MaxIDLen)
+		}
+		if len(p.Windows) > MaxWindows {
+			return nil, fmt.Errorf("wire: program %d has %d windows, limit %d", i, len(p.Windows), MaxWindows)
+		}
+		dst = append(dst, byte(len(p.ID)))
+		dst = append(dst, p.ID...)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Windows)))
+		for w, win := range p.Windows {
+			var err error
+			if dst, err = appendWindow(dst, win, i, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// appendWindow appends one window's fixed-size encoding.
+func appendWindow(dst []byte, w trace.WindowCounts, prog, idx int) ([]byte, error) {
+	count := func(n int) (uint32, error) {
+		if n < 0 || n > maxWireCount {
+			return 0, fmt.Errorf("wire: program %d window %d: count %d outside [0, %d]", prog, idx, n, int64(maxWireCount))
+		}
+		return uint32(n), nil
+	}
+	c, err := count(w.Taken)
+	if err != nil {
+		return nil, err
+	}
+	dst = binary.BigEndian.AppendUint32(dst, c)
+	for _, n := range w.Opcode {
+		if c, err = count(n); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	for _, n := range w.Stride {
+		if c, err = count(n); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	return dst, nil
+}
+
+// DecodeDetectRequest decodes a DETECT payload. Every failure wraps
+// ErrCorrupt; the decoder never allocates more than the payload's own
+// length implies and never panics.
+func DecodeDetectRequest(p []byte) (DetectRequest, error) {
+	d := decoder{buf: p}
+	req := DetectRequest{DeadlineMs: d.u32("deadline")}
+	n := int(d.u16("program count"))
+	if n > MaxPrograms {
+		return DetectRequest{}, corrupt("%d programs exceeds %d", n, MaxPrograms)
+	}
+	if d.err == nil && n > 0 {
+		req.Programs = make([]DetectProgram, 0, min(n, len(p)/windowWireLen+1))
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		prog := DetectProgram{ID: d.str8("program id")}
+		w := int(d.u16("window count"))
+		if w > MaxWindows {
+			return DetectRequest{}, corrupt("program %d: %d windows exceeds %d", i, w, MaxWindows)
+		}
+		if d.err == nil && w > 0 {
+			if rem := len(d.buf) - d.off; rem < w*windowWireLen {
+				return DetectRequest{}, corrupt("program %d claims %d windows, %d bytes remain", i, w, rem)
+			}
+			prog.Windows = make([]trace.WindowCounts, w)
+			for j := range prog.Windows {
+				prog.Windows[j] = d.window()
+			}
+		}
+		req.Programs = append(req.Programs, prog)
+	}
+	d.done()
+	if d.err != nil {
+		return DetectRequest{}, d.err
+	}
+	return req, nil
+}
+
+// VerdictResult is one program's verdict in a VERDICT frame.
+type VerdictResult struct {
+	ID          string
+	Malware     bool
+	Unprotected bool
+	Score       float64
+	Confidence  float64
+	Attempts    uint32
+	Windows     uint32
+}
+
+// Verdict is the VERDICT frame payload.
+type Verdict struct {
+	// Session is the backend pool slot that served the batch.
+	Session int32
+	// Hedged marks a reply won by a hedge runner.
+	Hedged  bool
+	Results []VerdictResult
+}
+
+const (
+	verdictHedged     = 1 << 0
+	resultMalware     = 1 << 0
+	resultUnprotected = 1 << 1
+)
+
+// AppendVerdict appends the canonical encoding of v.
+func AppendVerdict(dst []byte, v Verdict) ([]byte, error) {
+	if len(v.Results) > MaxPrograms {
+		return nil, fmt.Errorf("wire: %d results exceeds %d", len(v.Results), MaxPrograms)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(v.Session))
+	var flags byte
+	if v.Hedged {
+		flags |= verdictHedged
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(v.Results)))
+	for i, r := range v.Results {
+		if len(r.ID) > MaxIDLen {
+			return nil, fmt.Errorf("wire: result %d id is %d bytes, limit %d", i, len(r.ID), MaxIDLen)
+		}
+		dst = append(dst, byte(len(r.ID)))
+		dst = append(dst, r.ID...)
+		var rf byte
+		if r.Malware {
+			rf |= resultMalware
+		}
+		if r.Unprotected {
+			rf |= resultUnprotected
+		}
+		dst = append(dst, rf)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Score))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Confidence))
+		dst = binary.BigEndian.AppendUint32(dst, r.Attempts)
+		dst = binary.BigEndian.AppendUint32(dst, r.Windows)
+	}
+	return dst, nil
+}
+
+// DecodeVerdict decodes a VERDICT payload.
+func DecodeVerdict(p []byte) (Verdict, error) {
+	d := decoder{buf: p}
+	v := Verdict{Session: int32(d.u32("session"))}
+	flags := d.u8("verdict flags")
+	if d.err == nil && flags&^byte(verdictHedged) != 0 {
+		return Verdict{}, corrupt("reserved verdict flags 0x%02x set", flags)
+	}
+	v.Hedged = flags&verdictHedged != 0
+	n := int(d.u16("result count"))
+	if n > MaxPrograms {
+		return Verdict{}, corrupt("%d results exceeds %d", n, MaxPrograms)
+	}
+	if d.err == nil && n > 0 {
+		v.Results = make([]VerdictResult, 0, min(n, len(p)/26+1))
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		r := VerdictResult{ID: d.str8("result id")}
+		rf := d.u8("result flags")
+		if d.err == nil && rf&^byte(resultMalware|resultUnprotected) != 0 {
+			return Verdict{}, corrupt("result %d: reserved flags 0x%02x set", i, rf)
+		}
+		r.Malware = rf&resultMalware != 0
+		r.Unprotected = rf&resultUnprotected != 0
+		r.Score = math.Float64frombits(d.u64("score"))
+		r.Confidence = math.Float64frombits(d.u64("confidence"))
+		r.Attempts = d.u32("attempts")
+		r.Windows = d.u32("windows")
+		v.Results = append(v.Results, r)
+	}
+	d.done()
+	if d.err != nil {
+		return Verdict{}, d.err
+	}
+	return v, nil
+}
+
+// ErrorFrame is the ERROR frame payload: a typed failure code (HTTP
+// vocabulary) plus a human-readable message.
+type ErrorFrame struct {
+	Code ErrorCode
+	Msg  string
+}
+
+// Error implements error so a relayed frame can flow as a Go error.
+func (e *ErrorFrame) Error() string {
+	return fmt.Sprintf("wire: server error %d: %s", e.Code, e.Msg)
+}
+
+// AppendErrorFrame appends the canonical encoding of e, truncating
+// the message at MaxMsgLen (an error about an error must never itself
+// fail to encode).
+func AppendErrorFrame(dst []byte, e ErrorFrame) []byte {
+	msg := e.Msg
+	if len(msg) > MaxMsgLen {
+		msg = msg[:MaxMsgLen]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(e.Code))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// DecodeErrorFrame decodes an ERROR payload.
+func DecodeErrorFrame(p []byte) (ErrorFrame, error) {
+	d := decoder{buf: p}
+	e := ErrorFrame{Code: ErrorCode(d.u16("error code"))}
+	e.Msg = d.str16("error message")
+	d.done()
+	if d.err != nil {
+		return ErrorFrame{}, d.err
+	}
+	return e, nil
+}
+
+// Hello is the HELLO frame payload: the server's protocol version and
+// the largest frame payload it will accept.
+type Hello struct {
+	Version  uint8
+	MaxFrame uint32
+}
+
+// AppendHello appends the canonical encoding of h.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, h.Version)
+	return binary.BigEndian.AppendUint32(dst, h.MaxFrame)
+}
+
+// DecodeHello decodes a HELLO payload.
+func DecodeHello(p []byte) (Hello, error) {
+	d := decoder{buf: p}
+	h := Hello{Version: d.u8("version")}
+	h.MaxFrame = d.u32("max frame")
+	d.done()
+	if d.err != nil {
+		return Hello{}, d.err
+	}
+	return h, nil
+}
+
+// GoAway is the GOAWAY frame payload: the drain reason.
+type GoAway struct {
+	// Code 0 means a graceful drain; other values are reserved.
+	Code uint16
+	Msg  string
+}
+
+// AppendGoAway appends the canonical encoding of g (message truncated
+// at MaxMsgLen, as for errors).
+func AppendGoAway(dst []byte, g GoAway) []byte {
+	msg := g.Msg
+	if len(msg) > MaxMsgLen {
+		msg = msg[:MaxMsgLen]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, g.Code)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+	return append(dst, msg...)
+}
+
+// DecodeGoAway decodes a GOAWAY payload.
+func DecodeGoAway(p []byte) (GoAway, error) {
+	d := decoder{buf: p}
+	g := GoAway{Code: d.u16("goaway code")}
+	g.Msg = d.str16("goaway message")
+	d.done()
+	if d.err != nil {
+		return GoAway{}, d.err
+	}
+	return g, nil
+}
+
+// decoder is a bounds-checked big-endian cursor. The first failure
+// latches in err and every later read returns zero values, so payload
+// codecs read straight-line and check once at the end.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// need reserves n bytes, latching a corruption error when they are
+// not there.
+func (d *decoder) need(n int, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.buf)-d.off < n {
+		d.err = corrupt("truncated %s: need %d bytes, %d remain", what, n, len(d.buf)-d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8(what string) uint8 {
+	if !d.need(1, what) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16(what string) uint16 {
+	if !d.need(2, what) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32(what string) uint32 {
+	if !d.need(4, what) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64(what string) uint64 {
+	if !d.need(8, what) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// str8 reads a u8-length-prefixed string.
+func (d *decoder) str8(what string) string {
+	n := int(d.u8(what))
+	if !d.need(n, what) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// str16 reads a u16-length-prefixed string.
+func (d *decoder) str16(what string) string {
+	n := int(d.u16(what))
+	if !d.need(n, what) {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// window reads one fixed-size window encoding.
+func (d *decoder) window() trace.WindowCounts {
+	var w trace.WindowCounts
+	if !d.need(windowWireLen, "window") {
+		return w
+	}
+	w.Taken = int(binary.BigEndian.Uint32(d.buf[d.off:]))
+	d.off += 4
+	for i := range w.Opcode {
+		w.Opcode[i] = int(binary.BigEndian.Uint32(d.buf[d.off:]))
+		d.off += 4
+	}
+	for i := range w.Stride {
+		w.Stride[i] = int(binary.BigEndian.Uint32(d.buf[d.off:]))
+		d.off += 4
+	}
+	return w
+}
+
+// done asserts the payload was consumed exactly: trailing garbage is
+// corruption, not padding.
+func (d *decoder) done() {
+	if d.err == nil && d.off != len(d.buf) {
+		d.err = corrupt("%d trailing payload bytes", len(d.buf)-d.off)
+	}
+}

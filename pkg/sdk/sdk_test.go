@@ -1,0 +1,352 @@
+package sdk_test
+
+// Torture tests for the SDK's connection lifecycle, run under -race
+// in CI: server death mid-stream, drain honoring, context
+// cancellation, and many concurrent streams on one client.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shmd/internal/fann"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/serve"
+	"shmd/internal/trace"
+	"shmd/internal/wire"
+	"shmd/pkg/sdk"
+)
+
+// newDetector synthesizes the deterministic untrained detector the
+// serve tests use: arbitrary but stable decisions.
+func newDetector(t testing.TB) *hmd.HMD {
+	t.Helper()
+	n, err := fann.New(fann.Config{
+		Layers: []int{features.DimInstrFreq, 8, 1},
+		Hidden: fann.SigmoidSymmetric,
+		Output: fann.Sigmoid,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hmd.FromNetwork(n, hmd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// wireServer is one SHMDWIRE server instance tests can kill and
+// resurrect on a pinned address.
+type wireServer struct {
+	srv  *serve.Server
+	addr string
+	stop func()
+}
+
+// startWireServer boots a detection server with a SHMDWIRE listener on
+// addr ("127.0.0.1:0" picks a port; a previous instance's address pins
+// it for resurrection).
+func startWireServer(t testing.TB, addr string) *wireServer {
+	t.Helper()
+	srv, err := serve.New(newDetector(t), serve.Config{
+		Pool:            serve.PoolConfig{Size: 2, Seed: 1, ErrorRate: 0.1},
+		QueueDepth:      64,
+		ShutdownTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeWire(ctx, ln) }()
+	var once sync.Once
+	ws := &wireServer{srv: srv, addr: ln.Addr().String()}
+	ws.stop = func() {
+		once.Do(func() {
+			cancel()
+			if err := <-done; err != nil {
+				t.Errorf("ServeWire: %v", err)
+			}
+			srv.Close()
+		})
+	}
+	t.Cleanup(ws.stop)
+	return ws
+}
+
+// detectRequest builds a deterministic single-program request.
+func detectRequest(t testing.TB, index int) wire.DetectRequest {
+	t.Helper()
+	prog, err := trace.NewProgram(trace.Trojan, index, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := prog.Trace(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.DetectRequest{Programs: []wire.DetectProgram{{
+		ID:      fmt.Sprintf("prog-%d", index),
+		Windows: windows,
+	}}}
+}
+
+// TestStreamSurvivesServerDeath kills the server mid-stream and
+// resurrects it on the same address: every accepted submission must
+// produce exactly one result (lost connections surface as typed
+// errors, never silence), sequence numbers must be unique, and the
+// stream must make progress again after the reconnect.
+func TestStreamSurvivesServerDeath(t *testing.T) {
+	ws := startWireServer(t, "127.0.0.1:0")
+	cl, err := sdk.Dial(ws.addr, sdk.Options{
+		JitterSeed:    1,
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const total = 24
+	req := detectRequest(t, 0)
+	st := cl.DetectStream(context.Background(), 4)
+	seen := make(map[uint64]int)
+	okBeforeKill, okAfterKill := 0, 0
+	var killed atomic.Bool
+	results := 0
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for res := range st.Results() {
+			results++
+			seen[res.Seq]++
+			if res.Err == nil {
+				if killed.Load() {
+					okAfterKill++
+				} else {
+					okBeforeKill++
+				}
+			}
+		}
+	}()
+
+	// Submissions run in the background: the first third completes
+	// against the live server; the rest are held until the kill, then
+	// pile into the outage — the in-flight window fills with requests
+	// riding the SDK's reconnect loop and Submit blocks until the
+	// revival frees slots.
+	killedCh := make(chan struct{})
+	submitDone := make(chan struct{})
+	go func() {
+		defer close(submitDone)
+		for i := 0; i < total; i++ {
+			if i == total/3 {
+				<-killedCh
+			}
+			if _, err := st.Submit(req); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // let the first third complete...
+	ws.stop()                          // ...then kill the server mid-stream...
+	killed.Store(true)
+	close(killedCh)
+	time.Sleep(200 * time.Millisecond) // ...let submissions pile into the outage...
+	startWireServer(t, ws.addr)        // ...and resurrect it on the same address.
+
+	select {
+	case <-submitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("submissions never drained after the server came back")
+	}
+	st.Close()
+	wg.Wait()
+
+	if results != total {
+		t.Fatalf("%d results for %d submissions — requests lost or duplicated", results, total)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("seq %d delivered %d times", seq, n)
+		}
+	}
+	if okAfterKill == 0 {
+		t.Error("no successful detections after the server came back — reconnect never happened")
+	}
+	if okBeforeKill == 0 {
+		t.Error("no successful detections before the kill — the kill timing tested nothing")
+	}
+}
+
+// TestDrainHonored pins GOAWAY semantics end to end: a request in
+// flight when the server starts draining completes successfully, and
+// the drained connection is not reused — the next request dials fresh.
+func TestDrainHonored(t *testing.T) {
+	ws := startWireServer(t, "127.0.0.1:0")
+	cl, err := sdk.Dial(ws.addr, sdk.Options{
+		JitterSeed:    1,
+		ReconnectBase: 5 * time.Millisecond,
+		ReconnectMax:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Stall the pool so a detect is in flight when the drain starts.
+	slotA, err := ws.srv.Pool().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotB, err := ws.srv.Pool().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := detectRequest(t, 0)
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := cl.Detect(context.Background(), req)
+		inflight <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the DETECT land server-side
+
+	go ws.stop() // drain: GOAWAY broadcast, in-flight waits for the pool
+	time.Sleep(50 * time.Millisecond)
+	ws.srv.Pool().Release(slotA)
+	ws.srv.Pool().Release(slotB)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request lost to the drain: %v", err)
+	}
+
+	// The old connection is draining/dead; a new request must dial a
+	// fresh one — resurrect the server to answer it.
+	ws.stop() // wait for the full shutdown before rebinding
+	startWireServer(t, ws.addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := cl.Detect(ctx, req); err != nil {
+		t.Fatalf("post-drain request failed: %v", err)
+	}
+}
+
+// TestContextCancellationReleasesConnection pins that an abandoned
+// request frees its correlation slot without poisoning the
+// connection: the cancel returns promptly and later requests on the
+// same client succeed.
+func TestContextCancellationReleasesConnection(t *testing.T) {
+	ws := startWireServer(t, "127.0.0.1:0")
+	cl, err := sdk.Dial(ws.addr, sdk.Options{JitterSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Stall the pool so the request cannot complete before the cancel.
+	slotA, err := ws.srv.Pool().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotB, err := ws.srv.Pool().Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cl.Detect(ctx, detectRequest(t, 0))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled detect error = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancel took %v — request held the caller hostage", waited)
+	}
+	ws.srv.Pool().Release(slotA)
+	ws.srv.Pool().Release(slotB)
+
+	// Same client, same connection: the abandoned correlation id must
+	// not confuse later traffic (its late verdict is dropped).
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Detect(context.Background(), detectRequest(t, i)); err != nil {
+			t.Fatalf("post-cancel detect %d: %v", i, err)
+		}
+	}
+	if err := cl.Ping(context.Background()); err != nil {
+		t.Fatalf("post-cancel ping: %v", err)
+	}
+}
+
+// TestManyConcurrentStreams multiplexes 64 streams over one client
+// connection under the race detector: every stream's submissions all
+// resolve, with no cross-stream interference.
+func TestManyConcurrentStreams(t *testing.T) {
+	ws := startWireServer(t, "127.0.0.1:0")
+	cl, err := sdk.Dial(ws.addr, sdk.Options{JitterSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const streams = 64
+	const perStream = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, streams*perStream)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			st := cl.DetectStream(context.Background(), 2)
+			var drained sync.WaitGroup
+			drained.Add(1)
+			got := 0
+			go func() {
+				defer drained.Done()
+				for res := range st.Results() {
+					got++
+					// Typed server rejections (queue full under 128
+					// concurrent requests) are resolved results; only
+					// transport failures are wrong here.
+					var ef *wire.ErrorFrame
+					if res.Err != nil && !errors.As(res.Err, &ef) {
+						errs <- fmt.Errorf("stream %d seq %d: %w", s, res.Seq, res.Err)
+					}
+				}
+			}()
+			for i := 0; i < perStream; i++ {
+				if _, err := st.Submit(detectRequest(t, s%4)); err != nil {
+					errs <- fmt.Errorf("stream %d submit %d: %w", s, i, err)
+				}
+			}
+			st.Close()
+			drained.Wait()
+			if got != perStream {
+				errs <- fmt.Errorf("stream %d: %d results for %d submissions", s, got, perStream)
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package sdk
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"shmd/internal/wire"
+)
+
+// Stream pipelines detect requests over the client's multiplexed
+// connection with a bounded in-flight window: Submit blocks when the
+// window is full (backpressure), completed requests surface on
+// Results in completion order. One stream mirrors one monitored
+// process's continuous window feed.
+type Stream struct {
+	cl  *Client
+	ctx context.Context
+	// sem bounds in-flight requests.
+	sem chan struct{}
+	// seq numbers submissions so a consumer can reorder if it cares.
+	seq     atomic.Uint64
+	results chan StreamResult
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+// StreamResult is one submitted request's outcome. Every accepted
+// Submit produces exactly one StreamResult — lost connections surface
+// as Err (ErrConnLost), never as silence.
+type StreamResult struct {
+	// Seq is the submission's 1-based sequence number.
+	Seq     uint64
+	Verdict wire.Verdict
+	Err     error
+}
+
+// DetectStream opens a pipelined detect stream. maxInFlight bounds
+// concurrent requests (<=0 means 16). Cancel ctx or call Close to end
+// the stream; Results closes once every in-flight request resolves.
+func (cl *Client) DetectStream(ctx context.Context, maxInFlight int) *Stream {
+	if maxInFlight <= 0 {
+		maxInFlight = 16
+	}
+	return &Stream{
+		cl:      cl,
+		ctx:     ctx,
+		sem:     make(chan struct{}, maxInFlight),
+		results: make(chan StreamResult, maxInFlight),
+	}
+}
+
+// Submit enqueues one request, blocking while the in-flight window is
+// full. It returns the submission's sequence number, or an error if
+// the stream's context ended or the stream was closed (the request
+// was NOT submitted in that case).
+func (st *Stream) Submit(req wire.DetectRequest) (uint64, error) {
+	if st.closed.Load() {
+		return 0, ErrClosed
+	}
+	select {
+	case st.sem <- struct{}{}:
+	case <-st.ctx.Done():
+		return 0, st.ctx.Err()
+	}
+	if st.closed.Load() {
+		<-st.sem
+		return 0, ErrClosed
+	}
+	seq := st.seq.Add(1)
+	st.wg.Add(1)
+	go func() {
+		defer func() { <-st.sem; st.wg.Done() }()
+		v, err := st.cl.Detect(st.ctx, req)
+		st.results <- StreamResult{Seq: seq, Verdict: v, Err: err}
+	}()
+	return seq, nil
+}
+
+// Results delivers completed requests. The channel closes after Close
+// (or context cancellation) once every in-flight request resolves.
+func (st *Stream) Results() <-chan StreamResult { return st.results }
+
+// Close stops new submissions and closes Results once in-flight
+// requests resolve. The consumer must keep draining Results until it
+// closes.
+func (st *Stream) Close() {
+	if !st.closed.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		st.wg.Wait()
+		close(st.results)
+	}()
+}
