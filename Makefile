@@ -22,9 +22,10 @@ SOAK_DURATION ?= 30s
 SOAK_REPORT ?= soak_report.json
 SOAK_FLAGS ?=
 FLEET_SOAK_FLAGS ?=
+TENANT_SOAK_FLAGS ?=
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet verify bench soak fleet-soak conform lint
+.PHONY: build test race vet verify bench soak fleet-soak tenant-soak conform lint
 
 build:
 	$(GO) build ./...
@@ -83,3 +84,13 @@ soak:
 # drives the same storm through the SHMDWIRE binary path via the SDK.
 fleet-soak:
 	$(GO) run -race ./cmd/shmd soak -fleet -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(FLEET_SOAK_FLAGS)
+
+# tenant-soak runs the multi-tenant isolation soak under the race
+# detector: one serve instance with per-tenant QoS on and three
+# scripted personas (steady realtime, bursty standard, abusive batch)
+# hammering it concurrently. Asserts the isolation SLOs — steady sees
+# zero sheds and p99 inside budget, well-behaved tenants lose nothing,
+# and the abusive tenant's traffic mostly sheds 429 at admission;
+# writes $(SOAK_REPORT).
+tenant-soak:
+	$(GO) run -race ./cmd/shmd soak -tenants -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(TENANT_SOAK_FLAGS)

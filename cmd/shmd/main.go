@@ -13,11 +13,15 @@
 //	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
 //	              [-journal cal.journal] [-lifecycle] [-hedge-after 0]
 //	              [-deadline 0] [-trace decisions.trace] [-trace-buffer 64]
+//	              [-tenant id:class[:rate[:burst[:conc[:stride]]]] ...]
+//	              [-tenant-default spec] [-tenant-anon spec]
+//	              [-trace-tenants acme,beta]
 //	shmd route    -backends http://127.0.0.1:8801,http://127.0.0.1:8802
 //	              [-addr 127.0.0.1:8800] [-hedge-after 0] [-retries 2]
 //	              [-breaker-threshold 3] [-breaker-cooldown 1s]
 //	shmd soak     [-duration 30s] [-clients 4] [-pool 3] [-report soak_report.json]
 //	              [-fleet] [-fleet-backends 3]
+//	              [-tenants] [-slo-p99 500ms] [-min-abusive-shed 0.5]
 //	shmd replay   -model model.fann -trace decisions.trace [-v]
 //	shmd inspect  -model model.fann
 //

@@ -8,13 +8,35 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"shmd/internal/hmd"
 	"shmd/internal/replay"
 	"shmd/internal/serve"
+	"shmd/internal/tenant"
 )
+
+// tenantSpecs collects repeatable -tenant flags.
+type tenantSpecs []tenant.Spec
+
+func (s *tenantSpecs) String() string {
+	parts := make([]string, 0, len(*s))
+	for _, spec := range *s {
+		parts = append(parts, spec.ID)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *tenantSpecs) Set(v string) error {
+	spec, err := tenant.ParseSpec(v)
+	if err != nil {
+		return err
+	}
+	*s = append(*s, spec)
+	return nil
+}
 
 // serveReady, when non-nil, receives the bound listen address once the
 // service is accepting connections (tests hook it to find the port).
@@ -57,6 +79,11 @@ func serveRun(ctx context.Context, args []string) error {
 	traceBuffer := fs.Int("trace-buffer", replay.DefaultSinkBuffer, "decision trace ring size; overflow drops records, never blocks serving")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown drain budget")
+	var tenants tenantSpecs
+	fs.Var(&tenants, "tenant", "tenant QoS spec `id:class[:rate[:burst[:conc[:stride]]]]` (repeatable; any -tenant* flag enables multi-tenant admission)")
+	tenantDefault := fs.String("tenant-default", "", "spec template for unregistered tenant ids, same form as -tenant with the id ignored (empty = unknown tenants rejected 403)")
+	tenantAnon := fs.String("tenant-anon", "", "spec template for requests carrying no tenant identity (empty = such requests rejected 403)")
+	traceTenants := fs.String("trace-tenants", "", "comma-separated tenant ids whose decisions are traced (empty = every tenant; needs -trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +120,30 @@ func serveRun(ctx context.Context, args []string) error {
 	if *undervolt > 0 {
 		cfg.Pool.ErrorRate = 0
 		cfg.Pool.UndervoltMV = *undervolt
+	}
+	if len(tenants) > 0 || *tenantDefault != "" || *tenantAnon != "" {
+		tc := &tenant.Config{Tenants: tenants}
+		template := func(flagName, v string) (*tenant.Spec, error) {
+			if v == "" {
+				return nil, nil
+			}
+			spec, err := tenant.ParseSpec(v)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", flagName, err)
+			}
+			return &spec, nil
+		}
+		var terr error
+		if tc.Default, terr = template("-tenant-default", *tenantDefault); terr != nil {
+			return terr
+		}
+		if tc.Anonymous, terr = template("-tenant-anon", *tenantAnon); terr != nil {
+			return terr
+		}
+		cfg.Tenancy = tc
+	}
+	if *traceTenants != "" {
+		cfg.TraceTenants = strings.Split(*traceTenants, ",")
 	}
 	if *tracePath != "" {
 		sink, err := replay.OpenSink(*tracePath, *traceBuffer)

@@ -49,6 +49,23 @@ func (j *Jitter) Seconds(min, max int) int {
 	return min + j.intn(max-min+1)
 }
 
+// The shared overload-hint window. Every shed path in the system —
+// serve's HTTP 429, the wire ERROR(429) frame, the router's brownout
+// 503, and tenant-QoS rejections — draws its Retry-After hint from
+// this one window via RetryAfter, so all transports advertise the
+// same de-correlated backoff policy and a policy change is one edit.
+const (
+	// RetryAfterMin / RetryAfterMax bound the hint in whole seconds.
+	RetryAfterMin = 1
+	RetryAfterMax = 3
+)
+
+// RetryAfter draws the system-wide overload hint: a whole-second
+// Retry-After value uniform on [RetryAfterMin, RetryAfterMax].
+func (j *Jitter) RetryAfter() int {
+	return j.Seconds(RetryAfterMin, RetryAfterMax)
+}
+
 // Backoff returns the equal-jitter delay for the given retry attempt
 // (0-based): half the exponential delay base<<attempt (capped at max)
 // is deterministic, the other half is drawn uniformly. The expected

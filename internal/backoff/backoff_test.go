@@ -110,3 +110,47 @@ func TestConcurrentDraws(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRetryAfter pins the shared overload hint every shed path draws
+// from: serve's HTTP 429, the wire ERROR(429) retry tail, the
+// router's brownout 503, and tenant-QoS rejections all call
+// RetryAfter, so this table is the single policy contract.
+func TestRetryAfter(t *testing.T) {
+	cases := []struct {
+		name  string
+		seed  int64
+		draws int
+	}{
+		{name: "seed 1", seed: 1, draws: 64},
+		{name: "seed 42", seed: 42, draws: 64},
+		{name: "seed clockish", seed: 1700000000, draws: 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := New(tc.seed)
+			seen := map[int]bool{}
+			for i := 0; i < tc.draws; i++ {
+				got := j.RetryAfter()
+				if got < RetryAfterMin || got > RetryAfterMax {
+					t.Fatalf("draw %d: RetryAfter() = %d outside [%d, %d]",
+						i, got, RetryAfterMin, RetryAfterMax)
+				}
+				seen[got] = true
+			}
+			// 64 draws over a 3-value window miss a value with
+			// probability (2/3)^64 ≈ 6e-12 — the hint must actually
+			// jitter, not collapse to a constant.
+			if len(seen) != RetryAfterMax-RetryAfterMin+1 {
+				t.Fatalf("draws covered %v, want the full window", seen)
+			}
+			// Same seed, same schedule: the property tests rely on it.
+			j2 := New(tc.seed)
+			for i := 0; i < tc.draws; i++ {
+				j2.RetryAfter()
+			}
+			if a, b := j.RetryAfter(), j2.RetryAfter(); a != b {
+				t.Fatalf("same seed diverged: %d vs %d", a, b)
+			}
+		})
+	}
+}

@@ -28,6 +28,9 @@ func fuzzSeedRecords() []Record {
 		{Rate: 0, DepthMV: 0, Threshold: 0.5, Unprotected: true, Score: 0.1,
 			Confidence: 0.8, Draws: faults.DrawLog{InitialGap: -1},
 			Windows: []trace.WindowCounts{w}},
+		{Rate: 0.2, DepthMV: 130, Threshold: 0.5, Score: 0.6, Malware: true,
+			Confidence: 0.2, Draws: faults.DrawLog{InitialGap: -1},
+			Windows: []trace.WindowCounts{w}, Tenant: "acme-corp"},
 	}
 }
 

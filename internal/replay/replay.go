@@ -79,7 +79,15 @@ type Record struct {
 	Draws faults.DrawLog
 	// Windows is the scored input trace.
 	Windows []trace.WindowCounts
+	// Tenant is the accounting identity the decision was served under
+	// ("" outside multi-tenant deployments). Encoded as an appended
+	// tail after the windows, omitted when empty, so traces written
+	// before the field existed decode unchanged.
+	Tenant string
 }
+
+// maxTenantLen bounds the tenant tail (mirrors the wire tag bound).
+const maxTenantLen = 255
 
 // corrupt wraps a decode failure with ErrCorrupt.
 func corrupt(format string, args ...any) error {
@@ -158,6 +166,17 @@ func EncodeRecord(b []byte, r Record) ([]byte, error) {
 			}
 			b = binary.AppendUvarint(b, uint64(n))
 		}
+	}
+	// Tenant tail: appended after every fixed-position field and
+	// omitted when empty, so old decoders (which stop at the windows)
+	// and new decoders (which treat leftover bytes as the tail) agree
+	// on every record that predates the field.
+	if r.Tenant != "" {
+		if len(r.Tenant) > maxTenantLen {
+			return nil, fmt.Errorf("replay: tenant %d bytes exceeds %d", len(r.Tenant), maxTenantLen)
+		}
+		b = binary.AppendUvarint(b, uint64(len(r.Tenant)))
+		b = append(b, r.Tenant...)
 	}
 	if len(b) > maxPayload {
 		return nil, fmt.Errorf("replay: record payload %d bytes exceeds %d", len(b), maxPayload)
@@ -366,6 +385,23 @@ func DecodeRecord(payload []byte) (Record, error) {
 				w.Stride[i] = int(n)
 			}
 		}
+	}
+	// Optional tenant tail: records written before the field existed
+	// end exactly at the windows; a present-but-empty tag is never
+	// emitted, so it decodes as corrupt rather than ambiguous.
+	if p.off != len(p.b) {
+		n, err := p.count(maxTenantLen, 1, "tenant")
+		if err != nil {
+			return r, err
+		}
+		if n == 0 {
+			return r, corrupt("empty tenant tail")
+		}
+		if p.off+n > len(p.b) {
+			return r, corrupt("truncated tenant tail at offset %d", p.off)
+		}
+		r.Tenant = string(p.b[p.off : p.off+n])
+		p.off += n
 	}
 	if p.off != len(p.b) {
 		return r, corrupt("%d trailing payload bytes", len(p.b)-p.off)

@@ -124,6 +124,59 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTenantTailCompat pins the tenant field's compatibility contract:
+// a tenant-tagged record round-trips, an untagged record encodes
+// byte-identically to the pre-tenant format (so old traces decode
+// unchanged with Tenant == ""), and the malformed tails are rejected.
+func TestTenantTailCompat(t *testing.T) {
+	h := testModel(t)
+	r := rng.NewRand(7)
+	rec := recordDecision(t, h, 0.5, 21, synthWindows(r, 3))
+
+	legacy, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Tenant = "acme-corp"
+	tagged, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tagged encoding is the legacy encoding plus a strictly
+	// appended tail: nothing before the tail moved.
+	if !bytes.HasPrefix(tagged, legacy) {
+		t.Fatal("tenant tail moved earlier fields")
+	}
+	got, err := DecodeRecord(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != "acme-corp" {
+		t.Fatalf("tenant = %q, want acme-corp", got.Tenant)
+	}
+	// A pre-tenant payload decodes with the zero tenant.
+	got, err = DecodeRecord(legacy)
+	if err != nil {
+		t.Fatalf("legacy payload: %v", err)
+	}
+	if got.Tenant != "" {
+		t.Fatalf("legacy tenant = %q, want empty", got.Tenant)
+	}
+	// An explicit empty tail is never emitted, so it is corrupt.
+	if _, err := DecodeRecord(append(append([]byte(nil), legacy...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty tenant tail: err = %v, want ErrCorrupt", err)
+	}
+	// A truncated tail is corrupt.
+	if _, err := DecodeRecord(tagged[:len(tagged)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated tenant tail: err = %v, want ErrCorrupt", err)
+	}
+	// An oversized tenant refuses to encode.
+	rec.Tenant = string(make([]byte, maxTenantLen+1))
+	if _, err := EncodeRecord(nil, rec); err == nil {
+		t.Fatal("oversized tenant encoded")
+	}
+}
+
 // normalize maps empty slices to nil so DeepEqual compares content.
 func normalize(r Record) Record {
 	if len(r.Draws.Gaps) == 0 {

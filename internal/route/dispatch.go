@@ -46,6 +46,16 @@ func (rt *Router) handleDetect(w http.ResponseWriter, r *http.Request) {
 		rt.status(w, http.StatusServiceUnavailable, "router draining")
 		return
 	}
+	// Partial brownout: with part of the fleet unroutable, best-effort
+	// classes are shed here — cheap, before the body is even read — so
+	// the surviving backends' capacity goes to interactive traffic.
+	if class := classFor(r.Header.Get("X-Tenant-Class")); rt.shedClass(class) {
+		rt.metrics.Shed()
+		rt.shedHint(w)
+		rt.status(w, http.StatusTooManyRequests,
+			fmt.Sprintf("fleet brownout: %s traffic shed", class))
+		return
+	}
 	// The body is buffered whole so it can be re-sent verbatim to a
 	// hedge or retry backend; the bound keeps a hostile client from
 	// ballooning router memory.
@@ -256,7 +266,11 @@ func (rt *Router) forwardAsync(ctx context.Context, b *backend, body []byte, hdr
 
 // forwardHeaders are the request headers the router relays to the
 // backend; everything else is dropped (hop-by-hop semantics).
-var forwardHeaders = []string{"Content-Type", "X-Detect-Deadline-Ms"}
+// X-Tenant rides through verbatim — the backend's registry is the
+// quota authority, the router never rewrites identity — and
+// X-Tenant-Class is the client's advisory copy of its class for the
+// router's own brownout shedding.
+var forwardHeaders = []string{"Content-Type", "X-Detect-Deadline-Ms", "X-Tenant", "X-Tenant-Class"}
 
 // forward sends one request to one backend and classifies the outcome
 // for its breaker: transport errors, 5xx, and over-cap replies are

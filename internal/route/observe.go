@@ -17,6 +17,9 @@ import (
 type Metrics struct {
 	mu       sync.Mutex
 	requests map[int]*atomic.Uint64
+	// classSheds counts partial-brownout sheds by priority class; the
+	// key set is bounded by tenant.ParseClass (three classes).
+	classSheds map[string]*atomic.Uint64
 
 	sheds     atomic.Uint64
 	hedges    atomic.Uint64
@@ -27,7 +30,10 @@ type Metrics struct {
 
 // NewMetrics builds an empty counter block.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[int]*atomic.Uint64)}
+	return &Metrics{
+		requests:   make(map[int]*atomic.Uint64),
+		classSheds: make(map[string]*atomic.Uint64),
+	}
 }
 
 // Request records one routed /v1/detect request by final status code.
@@ -48,6 +54,29 @@ func (m *Metrics) Request(code int) {
 // Shed records one request refused because no backend was routable or
 // the router was draining.
 func (m *Metrics) Shed() { m.sheds.Add(1) }
+
+// ClassShed records one partial-brownout shed of the named priority
+// class.
+func (m *Metrics) ClassShed(class string) {
+	m.mu.Lock()
+	c, ok := m.classSheds[class]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.classSheds[class] = c
+	}
+	m.mu.Unlock()
+	c.Add(1)
+}
+
+// ClassSheds reports partial-brownout sheds for one class.
+func (m *Metrics) ClassSheds(class string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.classSheds[class]; ok {
+		return c.Load()
+	}
+	return 0
+}
 
 // Hedge records one hedged re-dispatch onto a second backend.
 func (m *Metrics) Hedge() { m.hedges.Add(1) }
@@ -222,6 +251,23 @@ func (rt *Router) writeProm(w io.Writer) {
 	m.mu.Unlock()
 	for _, code := range codes {
 		fmt.Fprintf(w, "shmd_route_requests_total{code=\"%d\"} %d\n", code, counts[code])
+	}
+
+	fmt.Fprintln(w, "# HELP shmd_route_class_sheds_total Partial-brownout sheds by priority class.")
+	fmt.Fprintln(w, "# TYPE shmd_route_class_sheds_total counter")
+	m.mu.Lock()
+	classes := make([]string, 0, len(m.classSheds))
+	for class := range m.classSheds {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	classCounts := make(map[string]uint64, len(classes))
+	for _, class := range classes {
+		classCounts[class] = m.classSheds[class].Load()
+	}
+	m.mu.Unlock()
+	for _, class := range classes {
+		fmt.Fprintf(w, "shmd_route_class_sheds_total{class=\"%s\"} %d\n", class, classCounts[class])
 	}
 
 	scalars := []struct {

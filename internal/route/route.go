@@ -48,6 +48,7 @@ import (
 
 	"shmd/internal/backoff"
 	"shmd/internal/core"
+	"shmd/internal/tenant"
 )
 
 // Config configures the router.
@@ -105,6 +106,15 @@ type Config struct {
 	// tier probing the router ejects it before its connections start
 	// resetting (default: one ProbeInterval; negative disables).
 	DrainDelay time.Duration
+	// BrownoutRules keys partial-brownout shedding by priority class:
+	// the load fed to the rules is the fraction of backends currently
+	// unroutable (ejected or breaker-open), so as the fleet shrinks the
+	// router sheds best-effort classes first and keeps the remaining
+	// capacity for realtime traffic. Nil selects DefaultBrownoutRules;
+	// rules use the same latched-hysteresis machinery as the backends'
+	// tenant shaper. The router has no token buckets, so ActionThrottle
+	// rules are treated as allow here.
+	BrownoutRules []tenant.Rule
 	// JitterSeed seeds retry backoff and Retry-After jitter (0 = from
 	// the clock; tests pin it).
 	JitterSeed int64
@@ -192,6 +202,12 @@ type Router struct {
 	jitter   *backoff.Jitter
 	metrics  *Metrics
 
+	// shaper keys partial-brownout shedding by priority class; its
+	// latched rule state is serialized by shapeMu (tenant.Shaper is not
+	// concurrency-safe on its own).
+	shapeMu sync.Mutex
+	shaper  *tenant.Shaper
+
 	draining atomic.Bool
 	// reqWG tracks in-flight proxied requests for the drain; hedged
 	// losers are tracked too (their attempt must finish before the
@@ -223,6 +239,11 @@ func New(cfg Config) (*Router, error) {
 		jitter:  backoff.New(seed),
 		metrics: NewMetrics(),
 	}
+	rules := cfg.BrownoutRules
+	if rules == nil {
+		rules = DefaultBrownoutRules
+	}
+	rt.shaper = tenant.NewShaper(rules, 0)
 	if len(cfg.WireBackends) != 0 && len(cfg.WireBackends) != len(cfg.Backends) {
 		return nil, fmt.Errorf("route: %d wire backends for %d backends; lists must be index-aligned",
 			len(cfg.WireBackends), len(cfg.Backends))
@@ -379,5 +400,59 @@ func (b *backend) routable() bool {
 
 // shedHint sets a jittered Retry-After (1–3s) on a shed response.
 func (rt *Router) shedHint(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", rt.jitter.Seconds(1, 3)))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", rt.jitter.RetryAfter()))
+}
+
+// DefaultBrownoutRules is the router's stock partial-brownout ladder,
+// keyed by the unroutable fraction of the fleet: with half the
+// backends gone, batch traffic is shed to keep the survivors' headroom
+// for interactive classes; at 90% gone only realtime still routes.
+// (Total brownout sheds everything via errBrownout regardless.)
+var DefaultBrownoutRules = []tenant.Rule{
+	{Classes: tenant.MaskOf(tenant.Batch), MinLoad: 0.5, Action: tenant.ActionShed},
+	{Classes: tenant.MaskOf(tenant.Batch, tenant.Standard), MinLoad: 0.9, Action: tenant.ActionShed},
+}
+
+// brownoutLoad is the fraction of the fleet that is unroutable right
+// now — the load signal the brownout shaper keys on.
+func (rt *Router) brownoutLoad() float64 {
+	down := 0
+	for _, b := range rt.backends {
+		if !b.routable() {
+			down++
+		}
+	}
+	return float64(down) / float64(len(rt.backends))
+}
+
+// classFor parses a class advisory from a header or HELLO metadata
+// value. The advisory only orders shedding under partial brownout —
+// quota enforcement stays on the backends, which never trust it — so
+// an absent or unparseable value just gets the default class.
+func classFor(v string) tenant.Class {
+	if v == "" {
+		return tenant.Standard
+	}
+	c, err := tenant.ParseClass(v)
+	if err != nil {
+		return tenant.Standard
+	}
+	return c
+}
+
+// shedClass reports whether an engaged brownout rule sheds class c at
+// the current unroutable fraction, recording the shed when it does.
+// A total brownout (everything unroutable) is NOT a class shed: it
+// falls through to dispatch so every class gets the same 503, keeping
+// the full-outage contract independent of the caller's class advisory.
+func (rt *Router) shedClass(c tenant.Class) bool {
+	load := rt.brownoutLoad()
+	rt.shapeMu.Lock()
+	action := rt.shaper.Shape(c, load)
+	rt.shapeMu.Unlock()
+	if load >= 1 || action != tenant.ActionShed {
+		return false
+	}
+	rt.metrics.ClassShed(c.String())
+	return true
 }

@@ -26,8 +26,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"shmd/internal/tenant"
 	"shmd/internal/wire"
 )
 
@@ -337,6 +339,14 @@ type routerWireConn struct {
 	c      *wire.Conn
 	wg     sync.WaitGroup
 	cancel context.CancelFunc
+	// class is the connection's priority-class advisory, latched from
+	// the client HELLO's metadata; it orders the router's brownout
+	// shedding only. Tenant identity itself is NOT latched here: the
+	// router relays DETECT payloads verbatim over pooled upstream
+	// connections that carry no per-client HELLO, so clients behind a
+	// router must tag each frame (the SDK does) for quota to land on
+	// the right tenant at the backend.
+	class atomic.Int32
 }
 
 func (s *wireConnSet) register(wc *routerWireConn) {
@@ -451,6 +461,7 @@ func (rt *Router) handleWireClient(nc net.Conn) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	wc := &routerWireConn{c: c, cancel: cancel}
+	wc.class.Store(int32(tenant.Standard))
 	rt.wireConns.register(wc)
 	defer func() {
 		rt.wireConns.unregister(wc)
@@ -484,11 +495,36 @@ func (rt *Router) handleWireClient(nc net.Conn) {
 				c.WriteError(f.Corr, wire.CodeUnavailable, "router draining")
 				continue
 			}
+			if class := tenant.Class(wc.class.Load()); rt.shedClass(class) {
+				rt.metrics.Shed()
+				rt.metrics.Request(int(wire.CodeOverloaded))
+				c.WriteError(f.Corr, wire.CodeOverloaded,
+					fmt.Sprintf("fleet brownout: %s traffic shed; retry in %ds", class, rt.jitter.RetryAfter()))
+				continue
+			}
 			wc.wg.Add(1)
 			go func(f wire.Frame) {
 				defer wc.wg.Done()
 				rt.relayWireDetect(ctx, wc, f)
 			}(f)
+		case wire.FrameHello:
+			// v1.1 client HELLO: only the class advisory matters to the
+			// router (see routerWireConn.class for why tenant identity
+			// does not latch here).
+			h, derr := wire.DecodeHello(f.Payload)
+			if derr != nil {
+				rt.metrics.Request(int(wire.CodeBadRequest))
+				c.WriteError(f.Corr, wire.CodeBadRequest, "bad HELLO: "+derr.Error())
+				continue
+			}
+			wc.class.Store(int32(classFor(h.Meta[wire.MetaClass])))
+		case wire.FrameStream:
+			// Sliding-window streams are stateful per connection; the
+			// router's pooled exclusive-checkout relay has no home for
+			// that state, so streams go directly to a backend.
+			rt.metrics.Request(int(wire.CodeBadRequest))
+			c.WriteError(f.Corr, wire.CodeBadRequest,
+				"STREAM is not relayed; open window streams directly against a backend wire listener")
 		case wire.FramePing:
 			c.WriteFrame(wire.Frame{Type: wire.FramePong, Corr: f.Corr})
 		case wire.FrameHealthReq:
@@ -525,7 +561,7 @@ func (rt *Router) relayWireDetect(ctx context.Context, wc *routerWireConn, f wir
 			rt.metrics.Shed()
 			rt.metrics.Request(int(wire.CodeUnavailable))
 			wc.c.WriteError(f.Corr, wire.CodeUnavailable,
-				fmt.Sprintf("%s; retry in %ds", err.Error(), rt.jitter.Seconds(1, 3)))
+				fmt.Sprintf("%s; retry in %ds", err.Error(), rt.jitter.RetryAfter()))
 		default:
 			rt.metrics.Request(int(wire.CodeBadGateway))
 			wc.c.WriteError(f.Corr, wire.CodeBadGateway, err.Error())

@@ -45,8 +45,12 @@ type batcher struct {
 // lane is one program awaiting batched detection.
 type lane struct {
 	windows []trace.WindowCounts
-	ctx     context.Context
-	enq     time.Time
+	// tenant is the accounting identity the lane's request was
+	// admitted under (trace provenance; lanes from different tenants
+	// share batches freely).
+	tenant string
+	ctx    context.Context
+	enq    time.Time
 	// done receives the lane's outcome; buffered so a flusher delivering
 	// to an abandoned lane (deadline already expired) never blocks.
 	done chan laneOutcome
@@ -71,11 +75,11 @@ func newBatcher(srv *Server) *batcher {
 // different batches (and thus different slots); the reported session is
 // the first lane's. A request error (deadline, pool closed) aborts the
 // request; verdict-level degradation does not.
-func (b *batcher) dispatch(ctx context.Context, programs []DecodedProgram) (batchOutcome, error) {
+func (b *batcher) dispatch(ctx context.Context, tenantID string, programs []DecodedProgram) (batchOutcome, error) {
 	lanes := make([]*lane, len(programs))
 	now := time.Now()
 	for i, p := range programs {
-		lanes[i] = &lane{windows: p.Windows, ctx: ctx, enq: now, done: make(chan laneOutcome, 1)}
+		lanes[i] = &lane{windows: p.Windows, tenant: tenantID, ctx: ctx, enq: now, done: make(chan laneOutcome, 1)}
 		b.submit(lanes[i])
 	}
 	out := batchOutcome{results: make([]DetectResult, len(programs)), session: -1}
@@ -213,12 +217,14 @@ type batchRun struct {
 // the first successful outcome fans out to the lanes.
 func (b *batcher) run(primary *Slot, lanes []*lane) {
 	traces := make([][]trace.WindowCounts, len(lanes))
+	tenants := make([]string, len(lanes))
 	for i, ln := range lanes {
 		traces[i] = ln.windows
+		tenants[i] = ln.tenant
 	}
 	// Buffered for every possible runner so a loser's send never blocks.
 	outcomes := make(chan batchRun, 2)
-	b.runDetached(primary, traces, false, outcomes)
+	b.runDetached(primary, traces, tenants, false, outcomes)
 
 	var hedgeC <-chan time.Time
 	if b.srv.cfg.HedgeAfter > 0 {
@@ -248,7 +254,7 @@ func (b *batcher) run(primary *Slot, lanes []*lane) {
 			if hslot, ok := b.srv.pool.TryAcquire(); ok {
 				b.srv.metrics.Hedge()
 				pending++
-				b.runDetached(hslot, traces, true, outcomes)
+				b.runDetached(hslot, traces, tenants, true, outcomes)
 			}
 		}
 	}
@@ -261,7 +267,7 @@ func (b *batcher) run(primary *Slot, lanes []*lane) {
 // through the slot's supervisor in a single batched detection, records
 // each lane's provenance when tracing is on, and always releases its
 // own slot — so a hedged loser can finish after the winner replied.
-func (b *batcher) runDetached(slot *Slot, traces [][]trace.WindowCounts, hedge bool, outcomes chan<- batchRun) {
+func (b *batcher) runDetached(slot *Slot, traces [][]trace.WindowCounts, tenants []string, hedge bool, outcomes chan<- batchRun) {
 	s := b.srv
 	s.detWG.Add(1)
 	go func() {
@@ -274,7 +280,7 @@ func (b *batcher) runDetached(slot *Slot, traces [][]trace.WindowCounts, hedge b
 				if logs != nil && !v.Unprotected {
 					draws = logs[j]
 				}
-				s.traceRecord(slot, traces[j], v, Confidence(v.Score, s.threshold, v.Malware), draws)
+				s.traceRecord(slot, traces[j], v, Confidence(v.Score, s.threshold, v.Malware), draws, tenants[j])
 			}
 		}
 		s.pool.Release(slot)

@@ -231,13 +231,13 @@ func TestBatchedShedSkipsDetection(t *testing.T) {
 	dead, cancel := context.WithCancel(context.Background())
 	cancel()
 	for i := 0; i < 2; i++ {
-		if _, err := srv.batcher.dispatch(dead, progs); !errors.Is(err, context.Canceled) {
+		if _, err := srv.batcher.dispatch(dead, "", progs); !errors.Is(err, context.Canceled) {
 			t.Fatalf("dead lane %d: err = %v, want context.Canceled", i, err)
 		}
 	}
 	// The live lane fills the batch (size trigger, the wait timer is
 	// pinned at an hour) and must be the only one detected.
-	out, err := srv.batcher.dispatch(context.Background(), progs)
+	out, err := srv.batcher.dispatch(context.Background(), "", progs)
 	if err != nil {
 		t.Fatal(err)
 	}

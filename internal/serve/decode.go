@@ -125,6 +125,9 @@ type DetectResponse struct {
 	// was still working when a re-dispatch onto an idle slot finished
 	// first.
 	Hedged bool `json:"hedged,omitempty"`
+	// Tenant echoes the resolved accounting identity the request was
+	// served under (empty when tenancy is off).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DecodedProgram is a validated program ready for detection.

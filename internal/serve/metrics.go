@@ -60,6 +60,53 @@ type Metrics struct {
 	wireFrames        atomic.Uint64
 	wireUnknownFrames atomic.Uint64
 	wireGoAways       atomic.Uint64
+
+	// Tenant QoS: per-tenant admission counters (cardinality-capped —
+	// see tenantSeries) and per-class admission-gate wait histograms
+	// (classes are a fixed enum, so their cardinality needs no guard).
+	tenantMu       sync.Mutex
+	tenantSeries   map[string]*tenantCounters
+	tenantOverflow atomic.Uint64
+	classWaitCount [numClasses]atomic.Uint64
+	classWaitSumNS [numClasses]atomic.Uint64
+	classWait      [numClasses][numClassWaitBuckets]atomic.Uint64
+	classWaitOver  [numClasses]atomic.Uint64
+}
+
+// maxTenantSeries caps how many distinct tenant IDs get their own
+// metric series. The tenant label is attacker-influenced (any client
+// can mint IDs when a Default spec auto-registers them), so past the
+// cap new tenants aggregate under the overflow label instead of
+// growing the exposition without bound.
+const maxTenantSeries = 64
+
+// tenantOverflowLabel aggregates tenants past the cardinality cap.
+const tenantOverflowLabel = "other"
+
+// numClasses mirrors tenant.NumClasses without importing the package
+// here; classLabel pins the correspondence.
+const numClasses = 3
+
+// classLabel names a class index in the exposition.
+var classLabel = [numClasses]string{"batch", "standard", "realtime"}
+
+// numClassWaitBuckets sizes the per-class gate-wait histogram.
+const numClassWaitBuckets = 10
+
+// classWaitBuckets are the gate-wait upper bounds in seconds: waits
+// span an uncontended grant (sub-ms) to a queue drained behind
+// multi-second degraded batches.
+var classWaitBuckets = [numClassWaitBuckets]float64{
+	0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// tenantCounters is one tenant's admission ledger. Shed reasons are a
+// fixed enum (tenant.Outcome strings plus "queue"), so the inner map
+// is bounded.
+type tenantCounters struct {
+	class    string
+	accepted atomic.Uint64
+	shed     map[string]*atomic.Uint64
 }
 
 // numBatchSizeBuckets sizes the batch-size histogram.
@@ -203,6 +250,79 @@ func (m *Metrics) WireUnknownFrames() uint64 { return m.wireUnknownFrames.Load()
 // WireGoAway records one GOAWAY frame sent to a draining client.
 func (m *Metrics) WireGoAway() { m.wireGoAways.Add(1) }
 
+// tenantEntry resolves (creating on first sight) the counter row for a
+// tenant, folding tenants past the cardinality cap into the overflow
+// row. Callers hold tenantMu.
+func (m *Metrics) tenantEntry(tenant, class string) *tenantCounters {
+	if m.tenantSeries == nil {
+		m.tenantSeries = make(map[string]*tenantCounters)
+	}
+	if tc, ok := m.tenantSeries[tenant]; ok {
+		return tc
+	}
+	if len(m.tenantSeries) >= maxTenantSeries {
+		m.tenantOverflow.Add(1)
+		tenant = tenantOverflowLabel
+		// The overflow row mixes classes; label it by its own name so
+		// the series stays stable whatever lands in it.
+		class = tenantOverflowLabel
+		if tc, ok := m.tenantSeries[tenant]; ok {
+			return tc
+		}
+	}
+	tc := &tenantCounters{class: class, shed: make(map[string]*atomic.Uint64)}
+	m.tenantSeries[tenant] = tc
+	return tc
+}
+
+// TenantAccepted records one admitted request for a tenant.
+func (m *Metrics) TenantAccepted(tenant, class string) {
+	m.tenantMu.Lock()
+	tc := m.tenantEntry(tenant, class)
+	m.tenantMu.Unlock()
+	tc.accepted.Add(1)
+}
+
+// TenantShed records one rejected request for a tenant with its shed
+// reason ("rate", "concurrency", "pressure", "unknown", or "queue").
+func (m *Metrics) TenantShed(tenant, class, reason string) {
+	m.tenantMu.Lock()
+	tc := m.tenantEntry(tenant, class)
+	c, ok := tc.shed[reason]
+	if !ok {
+		c = new(atomic.Uint64)
+		tc.shed[reason] = c
+	}
+	m.tenantMu.Unlock()
+	c.Add(1)
+}
+
+// TenantSeriesCount reports the distinct tenant rows (tests pin the
+// cardinality cap with it).
+func (m *Metrics) TenantSeriesCount() int {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	return len(m.tenantSeries)
+}
+
+// ObserveClassWait records one admission-gate wait for a priority
+// class (index per classLabel).
+func (m *Metrics) ObserveClassWait(class int, d time.Duration) {
+	if class < 0 || class >= numClasses {
+		return
+	}
+	m.classWaitCount[class].Add(1)
+	m.classWaitSumNS[class].Add(uint64(d.Nanoseconds()))
+	s := d.Seconds()
+	for i, le := range classWaitBuckets {
+		if s <= le {
+			m.classWait[class][i].Add(1)
+			return
+		}
+	}
+	m.classWaitOver[class].Add(1)
+}
+
 // WriteProm renders every counter plus per-session pool gauges in the
 // Prometheus text format.
 func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
@@ -309,8 +429,78 @@ func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
 	fmt.Fprintln(w, "# TYPE shmd_wire_goaways_total counter")
 	fmt.Fprintf(w, "shmd_wire_goaways_total %d\n", m.wireGoAways.Load())
 
+	m.writeTenantProm(w)
+
 	if pool != nil {
 		writePoolProm(w, pool)
+	}
+}
+
+// writeTenantProm renders the per-tenant admission counters and the
+// per-class gate-wait histograms. Tenant rows are sorted so the
+// exposition is deterministic.
+func (m *Metrics) writeTenantProm(w io.Writer) {
+	m.tenantMu.Lock()
+	names := make([]string, 0, len(m.tenantSeries))
+	for name := range m.tenantSeries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type shedRow struct {
+		tenant, class, reason string
+		n                     uint64
+	}
+	type accRow struct {
+		tenant, class string
+		n             uint64
+	}
+	var accepted []accRow
+	var shed []shedRow
+	for _, name := range names {
+		tc := m.tenantSeries[name]
+		accepted = append(accepted, accRow{name, tc.class, tc.accepted.Load()})
+		reasons := make([]string, 0, len(tc.shed))
+		for reason := range tc.shed {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			shed = append(shed, shedRow{name, tc.class, reason, tc.shed[reason].Load()})
+		}
+	}
+	m.tenantMu.Unlock()
+	if len(accepted) > 0 {
+		fmt.Fprintln(w, "# HELP shmd_tenant_accepted_total Requests admitted, by tenant and priority class.")
+		fmt.Fprintln(w, "# TYPE shmd_tenant_accepted_total counter")
+		for _, r := range accepted {
+			fmt.Fprintf(w, "shmd_tenant_accepted_total{tenant=%q,class=%q} %d\n", r.tenant, r.class, r.n)
+		}
+	}
+	if len(shed) > 0 {
+		fmt.Fprintln(w, "# HELP shmd_tenant_shed_total Requests rejected, by tenant, class, and shed reason.")
+		fmt.Fprintln(w, "# TYPE shmd_tenant_shed_total counter")
+		for _, r := range shed {
+			fmt.Fprintf(w, "shmd_tenant_shed_total{tenant=%q,class=%q,reason=%q} %d\n", r.tenant, r.class, r.reason, r.n)
+		}
+	}
+	if m.tenantOverflow.Load() > 0 {
+		fmt.Fprintln(w, "# HELP shmd_tenant_label_overflow_total Admissions folded into the overflow tenant label at the cardinality cap.")
+		fmt.Fprintln(w, "# TYPE shmd_tenant_label_overflow_total counter")
+		fmt.Fprintf(w, "shmd_tenant_label_overflow_total %d\n", m.tenantOverflow.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP shmd_tenant_queue_wait_seconds Admission-gate wait before a pool slot, by priority class.")
+	fmt.Fprintln(w, "# TYPE shmd_tenant_queue_wait_seconds histogram")
+	for c := 0; c < numClasses; c++ {
+		cum := uint64(0)
+		for i, le := range classWaitBuckets {
+			cum += m.classWait[c][i].Load()
+			fmt.Fprintf(w, "shmd_tenant_queue_wait_seconds_bucket{class=%q,le=\"%g\"} %d\n", classLabel[c], le, cum)
+		}
+		cum += m.classWaitOver[c].Load()
+		fmt.Fprintf(w, "shmd_tenant_queue_wait_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", classLabel[c], cum)
+		fmt.Fprintf(w, "shmd_tenant_queue_wait_seconds_sum{class=%q} %g\n", classLabel[c], float64(m.classWaitSumNS[c].Load())/1e9)
+		fmt.Fprintf(w, "shmd_tenant_queue_wait_seconds_count{class=%q} %d\n", classLabel[c], m.classWaitCount[c].Load())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"shmd/internal/faults"
 	"shmd/internal/hmd"
 	"shmd/internal/replay"
+	"shmd/internal/tenant"
 	"shmd/internal/trace"
 )
 
@@ -73,6 +74,17 @@ type Config struct {
 	// retry in lockstep (0 = seed from the clock at startup; tests pin
 	// a seed for reproducible hints).
 	JitterSeed int64
+	// Tenancy, when non-nil, enables the multi-tenant QoS layer: each
+	// request resolves a tenant (X-Tenant header, wire tag, or
+	// connection HELLO metadata) whose token bucket, concurrency cap,
+	// and shaping rules gate admission, and whose priority class
+	// orders dequeue at the slot pool under saturation. Nil serves
+	// every request untagged through the flat admission queue.
+	Tenancy *tenant.Config
+	// TraceTenants restricts the trace sink to decisions served for
+	// the listed tenant IDs (empty = trace every decision). Only
+	// meaningful with Trace set.
+	TraceTenants []string
 }
 
 // withDefaults fills unset fields (pool defaults resolve first so the
@@ -127,6 +139,14 @@ type Server struct {
 	// wire tracks live SHMDWIRE connections so a graceful drain can
 	// broadcast GOAWAY and wait for their in-flight detects.
 	wire wireState
+	// tenants answers per-tenant admission (nil = tenancy off).
+	tenants *tenant.Registry
+	// gate orders dequeue by priority class in front of the pool on
+	// the scalar dispatch path (nil = tenancy off; the micro-batcher
+	// keeps FIFO lanes — batching already amortizes the slot).
+	gate *tenant.Gate
+	// traceTenants filters the trace sink by tenant ID (nil = all).
+	traceTenants map[string]bool
 }
 
 // New builds a Server around a trained baseline detector.
@@ -164,6 +184,22 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 	if cfg.MaxBatch > 1 {
 		s.batcher = newBatcher(s)
 	}
+	if cfg.Tenancy != nil {
+		if s.tenants, err = tenant.NewRegistry(*cfg.Tenancy); err != nil {
+			pool.Close()
+			return nil, err
+		}
+		// Gate capacity mirrors the pool so free slots grant instantly;
+		// the flat queue already bounds waiters, so the gate itself is
+		// unbounded.
+		s.gate = tenant.NewGate(pool.Size(), 0)
+	}
+	if len(cfg.TraceTenants) > 0 {
+		s.traceTenants = make(map[string]bool, len(cfg.TraceTenants))
+		for _, id := range cfg.TraceTenants {
+			s.traceTenants[id] = true
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -198,7 +234,39 @@ func (s *Server) status(w http.ResponseWriter, code int, msg string) {
 // response so rejected clients spread their retries instead of
 // stampeding back together.
 func (s *Server) shedHint(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.Seconds(1, 3)))
+	w.Header().Set("Retry-After", strconv.Itoa(s.jitter.RetryAfter()))
+}
+
+// tenantHeader carries the tenant identity on HTTP requests and is
+// echoed (with the resolved accounting identity) on replies.
+const tenantHeader = "X-Tenant"
+
+// admissionLoad is the load signal the shaping rules consume: flat
+// admission-queue occupancy in [0, 1].
+func (s *Server) admissionLoad() float64 {
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
+// admitTenant runs the tenant-QoS decision for one request carrying
+// identity id. Nil when tenancy is off.
+func (s *Server) admitTenant(id string) *tenant.Admission {
+	if s.tenants == nil {
+		return nil
+	}
+	return s.tenants.Admit(id, s.admissionLoad())
+}
+
+// rejectTenant writes the HTTP reply for a refused admission: 403 for
+// an unknown tenant, 429 with a jittered Retry-After for quota and
+// pressure sheds.
+func (s *Server) rejectTenant(w http.ResponseWriter, adm *tenant.Admission) {
+	s.metrics.TenantShed(adm.Tenant, adm.Class.String(), adm.Outcome.String())
+	if adm.Outcome == tenant.Unknown {
+		s.status(w, http.StatusForbidden, fmt.Sprintf("unknown tenant %q", adm.Tenant))
+		return
+	}
+	s.shedHint(w)
+	s.status(w, http.StatusTooManyRequests, fmt.Sprintf("tenant %s over %s limit", adm.Tenant, adm.Outcome))
 }
 
 // handleDetect serves POST /v1/detect.
@@ -210,6 +278,22 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tenant QoS first: quota, concurrency, and load shaping decide
+	// whether this tenant may submit at all, before the flat queue
+	// decides whether the server has room.
+	var tenantID string
+	var class tenant.Class
+	if adm := s.admitTenant(r.Header.Get(tenantHeader)); adm != nil {
+		defer adm.Release()
+		if !adm.OK() {
+			s.rejectTenant(w, adm)
+			return
+		}
+		tenantID, class = adm.Tenant, adm.Class
+		s.metrics.TenantAccepted(adm.Tenant, adm.Class.String())
+		w.Header().Set(tenantHeader, adm.Tenant)
+	}
+
 	// Admission control before any decode work: shed at the
 	// backpressure limit so overload costs the caller one channel probe.
 	select {
@@ -217,6 +301,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.queue }()
 	default:
 		s.metrics.QueueReject()
+		if s.tenants != nil {
+			s.metrics.TenantShed(tenantID, class.String(), "queue")
+		}
 		s.shedHint(w)
 		s.status(w, http.StatusTooManyRequests, "detection queue full")
 		return
@@ -245,9 +332,9 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 
 	var out batchOutcome
 	if s.batcher != nil {
-		out, err = s.batcher.dispatch(ctx, programs)
+		out, err = s.batcher.dispatch(ctx, tenantID, programs)
 	} else {
-		out, err = s.dispatch(ctx, programs)
+		out, err = s.dispatch(ctx, class, tenantID, programs)
 	}
 	if err != nil {
 		s.failDetect(w, r, err)
@@ -259,7 +346,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	for _, res := range out.results {
 		s.metrics.Decision(res.Malware, res.Unprotected)
 	}
-	resp := DetectResponse{Results: out.results, Session: out.session, Hedged: out.hedge}
+	resp := DetectResponse{Results: out.results, Session: out.session, Hedged: out.hedge, Tenant: tenantID}
 	s.metrics.Request(http.StatusOK)
 	s.metrics.Observe(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
@@ -298,6 +385,10 @@ func (s *Server) failDetect(w http.ResponseWriter, r *http.Request, err error) {
 		s.metrics.DeadlineExpired()
 		s.shedHint(w)
 		s.status(w, http.StatusServiceUnavailable, "detection deadline exceeded")
+	case errors.Is(err, tenant.ErrQueueFull):
+		s.metrics.QueueReject()
+		s.shedHint(w)
+		s.status(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrPoolClosed):
 		s.status(w, http.StatusServiceUnavailable, err.Error())
 	default:
@@ -326,7 +417,19 @@ type batchOutcome struct {
 // losing runner can finish after the handler has replied without
 // violating the exclusivity invariant. Decision metrics are recorded
 // by the caller for the winner only.
-func (s *Server) dispatch(ctx context.Context, programs []DecodedProgram) (batchOutcome, error) {
+//
+// With tenancy on, the class-aware gate fronts the pool: free
+// capacity grants immediately, and under saturation realtime lanes
+// dequeue ahead of standard ahead of batch.
+func (s *Server) dispatch(ctx context.Context, class tenant.Class, tenantID string, programs []DecodedProgram) (batchOutcome, error) {
+	if s.gate != nil {
+		wait := time.Now()
+		if err := s.gate.Acquire(ctx, class); err != nil {
+			return batchOutcome{}, err
+		}
+		defer s.gate.Release()
+		s.metrics.ObserveClassWait(int(class), time.Since(wait))
+	}
 	slot, err := s.pool.Acquire(ctx)
 	if err != nil {
 		return batchOutcome{}, err
@@ -334,7 +437,7 @@ func (s *Server) dispatch(ctx context.Context, programs []DecodedProgram) (batch
 	// Buffered for every possible runner: a loser's send never blocks,
 	// even when the handler has already returned.
 	outcomes := make(chan batchOutcome, 2)
-	s.runDetached(ctx, slot, programs, false, outcomes)
+	s.runDetached(ctx, slot, programs, tenantID, false, outcomes)
 
 	var hedgeC <-chan time.Time
 	if s.cfg.HedgeAfter > 0 {
@@ -361,7 +464,7 @@ func (s *Server) dispatch(ctx context.Context, programs []DecodedProgram) (batch
 			if hslot, ok := s.pool.TryAcquire(); ok {
 				s.metrics.Hedge()
 				pending++
-				s.runDetached(ctx, hslot, programs, true, outcomes)
+				s.runDetached(ctx, hslot, programs, tenantID, true, outcomes)
 			}
 		case <-ctx.Done():
 			// Deadline or client cancellation. Runners poll ctx between
@@ -375,11 +478,11 @@ func (s *Server) dispatch(ctx context.Context, programs []DecodedProgram) (batch
 
 // runDetached starts one tracked runner goroutine that executes the
 // batch on slot and always releases the slot itself.
-func (s *Server) runDetached(ctx context.Context, slot *Slot, programs []DecodedProgram, hedge bool, outcomes chan<- batchOutcome) {
+func (s *Server) runDetached(ctx context.Context, slot *Slot, programs []DecodedProgram, tenantID string, hedge bool, outcomes chan<- batchOutcome) {
 	s.detWG.Add(1)
 	go func() {
 		defer s.detWG.Done()
-		out := s.runBatch(ctx, slot, programs)
+		out := s.runBatch(ctx, slot, programs, tenantID)
 		out.hedge = hedge
 		s.pool.Release(slot)
 		outcomes <- out
@@ -389,7 +492,7 @@ func (s *Server) runDetached(ctx context.Context, slot *Slot, programs []Decoded
 // runBatch scores every program in the batch on one slot, checking the
 // request context between programs (DetectProgram itself is the unit
 // of non-cancellable work).
-func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedProgram) batchOutcome {
+func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedProgram, tenantID string) batchOutcome {
 	out := batchOutcome{session: slot.ID, results: make([]DetectResult, len(programs))}
 	for i, p := range programs {
 		if err := ctx.Err(); err != nil {
@@ -412,7 +515,7 @@ func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedPro
 			Windows:     len(p.Windows),
 		}
 		if s.cfg.Trace != nil {
-			s.traceDecision(slot, p, v, conf)
+			s.traceDecision(slot, p, v, conf, tenantID)
 		}
 	}
 	return out
@@ -423,20 +526,26 @@ func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedPro
 // (earlier retries were overwritten by the attempt that produced the
 // verdict); a degraded verdict ran on the exact unit and records an
 // empty log, which replays as exact arithmetic.
-func (s *Server) traceDecision(slot *Slot, p DecodedProgram, v core.Verdict, conf float64) {
+func (s *Server) traceDecision(slot *Slot, p DecodedProgram, v core.Verdict, conf float64, tenantID string) {
 	draws := faults.DrawLog{InitialGap: -1}
 	if !v.Unprotected {
 		draws = slot.Det.LastDraws()
 	}
-	s.traceRecord(slot, p.Windows, v, conf, draws)
+	s.traceRecord(slot, p.Windows, v, conf, draws, tenantID)
 }
 
 // traceRecord offers one decision's provenance to the trace sink with
 // an explicit draw log — the shared tail of the scalar path (which
 // reads the slot detector's last recorded pass) and the batched path
-// (which carries each lane's own log from the batched pass).
-func (s *Server) traceRecord(slot *Slot, windows []trace.WindowCounts, v core.Verdict, conf float64, draws faults.DrawLog) {
+// (which carries each lane's own log from the batched pass). With a
+// TraceTenants filter configured, only the listed tenants' decisions
+// reach the sink.
+func (s *Server) traceRecord(slot *Slot, windows []trace.WindowCounts, v core.Verdict, conf float64, draws faults.DrawLog, tenantID string) {
+	if s.traceTenants != nil && !s.traceTenants[tenantID] {
+		return
+	}
 	s.cfg.Trace.Record(replay.Record{
+		Tenant:      tenantID,
 		Seed:        slot.Seed,
 		Slot:        slot.ID,
 		Gen:         slot.Gen,

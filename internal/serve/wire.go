@@ -22,8 +22,11 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"shmd/internal/tenant"
+	"shmd/internal/trace"
 	"shmd/internal/wire"
 )
 
@@ -41,6 +44,41 @@ type wireConn struct {
 	// cancel ends the connection's context, unblocking any dispatch
 	// still waiting when the connection is force-closed.
 	cancel context.CancelFunc
+	// extended latches when the client sends its own HELLO (the v1.1
+	// opt-in); only extended peers receive ERROR retry-after tails.
+	// Atomic because detect goroutines read it while the read loop may
+	// still process a late HELLO.
+	extended atomic.Bool
+	// tenantID is the connection-level identity bound by the client
+	// HELLO metadata; per-frame tenant tags take precedence. Written
+	// and read only on the connection's read loop.
+	tenantID string
+	// streams holds the connection's live sliding-window detection
+	// streams, keyed by client-chosen stream id. Touched only on the
+	// read loop, so no lock.
+	streams map[uint32]*windowStream
+}
+
+// maxWireStreams bounds the live sliding-window streams one
+// connection may hold open.
+const maxWireStreams = 64
+
+// windowStream is one long-lived sliding-window detection stream: a
+// trailing buffer of the model period's windows, re-scored every
+// stride appended windows.
+type windowStream struct {
+	label  string
+	tenant string
+	class  tenant.Class
+	stride int
+	period int
+	// buf holds the trailing period windows.
+	buf []trace.WindowCounts
+	// total counts windows ever appended; a re-scoring triggered at
+	// window N is labelled "<label>#N" in its verdict.
+	total int
+	// sinceScore counts windows appended since the last re-scoring.
+	sinceScore int
 }
 
 // register adds a live connection (nil map allocates on first use).
@@ -199,6 +237,10 @@ func (s *Server) handleWireConn(nc net.Conn) {
 		switch f.Type {
 		case wire.FrameDetect:
 			s.wireDetect(ctx, wc, f)
+		case wire.FrameStream:
+			s.wireStream(ctx, wc, f)
+		case wire.FrameHello:
+			s.wireHello(wc, f)
 		case wire.FramePing:
 			c.WriteFrame(wire.Frame{Type: wire.FramePong, Corr: f.Corr})
 		case wire.FrameHealthReq:
@@ -220,6 +262,51 @@ func (s *Server) handleWireConn(nc net.Conn) {
 	}
 }
 
+// wireHello handles a client HELLO — the v1.1 opt-in, new in this
+// direction (the server's own HELLO still opens every connection).
+// Its metadata binds a connection-level tenant identity; per-frame
+// tenant tags take precedence over it. The class advisory
+// (wire.MetaClass) is for relays: this server resolves the
+// authoritative class from its tenant registry.
+func (s *Server) wireHello(wc *wireConn, f wire.Frame) {
+	h, err := wire.DecodeHello(f.Payload)
+	if err != nil {
+		s.metrics.Request(int(wire.CodeBadRequest))
+		wc.c.WriteError(f.Corr, wire.CodeBadRequest, err.Error())
+		return
+	}
+	wc.extended.Store(true)
+	if id, ok := h.Meta[wire.MetaTenant]; ok {
+		wc.tenantID = id
+	}
+}
+
+// writeWireError sends a typed ERROR with an optional backoff hint:
+// extended (v1.1) peers get the machine-readable RetryAfterSec tail;
+// legacy peers get only the message, whose text carries the hint.
+func (s *Server) writeWireError(wc *wireConn, corr uint64, code wire.ErrorCode, msg string, retryAfter int) {
+	e := wire.ErrorFrame{Code: code, Msg: msg}
+	if retryAfter > 0 && retryAfter <= int(^uint16(0)) && wc.extended.Load() {
+		e.RetryAfterSec = uint16(retryAfter)
+	}
+	wc.c.WriteFrame(wire.Frame{Type: wire.FrameError, Corr: corr, Payload: wire.AppendErrorFrame(nil, e)})
+}
+
+// rejectWireTenant writes the wire twin of rejectTenant: 403 for an
+// unknown tenant, 429 with a jittered backoff hint for quota and
+// pressure sheds.
+func (s *Server) rejectWireTenant(wc *wireConn, corr uint64, adm *tenant.Admission) {
+	s.metrics.TenantShed(adm.Tenant, adm.Class.String(), adm.Outcome.String())
+	if adm.Outcome == tenant.Unknown {
+		s.metrics.Request(int(wire.CodeForbidden))
+		wc.c.WriteError(corr, wire.CodeForbidden, fmt.Sprintf("unknown tenant %q", adm.Tenant))
+		return
+	}
+	s.metrics.Request(int(wire.CodeOverloaded))
+	hint := s.jitter.RetryAfter()
+	s.writeWireError(wc, corr, wire.CodeOverloaded, fmt.Sprintf("tenant %s over %s limit; retry in %ds", adm.Tenant, adm.Outcome, hint), hint)
+}
+
 // wireHealth answers a HEALTH_REQ with the same JSON report /healthz
 // serves, carried opaquely in a HEALTH frame.
 func (s *Server) wireHealth(c *wire.Conn, corr uint64) {
@@ -233,10 +320,12 @@ func (s *Server) wireHealth(c *wire.Conn, corr uint64) {
 	c.WriteFrame(wire.Frame{Type: wire.FrameHealth, Corr: corr, Payload: payload})
 }
 
-// wireDetect admits, decodes, and launches one DETECT frame. Admission
-// and decode happen on the read loop (both are cheap and their typed
-// rejections must preserve frame order); the dispatch itself runs in a
-// tracked goroutine so the connection keeps multiplexing.
+// wireDetect admits, decodes, and launches one DETECT frame. The flat
+// queue probe and decode happen on the read loop (both are cheap and
+// their typed rejections must preserve frame order); tenant QoS runs
+// after decode — unlike the HTTP path, the per-frame tenant tag lives
+// in the payload — and the dispatch itself runs in a tracked
+// goroutine so the connection keeps multiplexing.
 func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 	start := time.Now()
 	c := wc.c
@@ -252,7 +341,8 @@ func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 	default:
 		s.metrics.QueueReject()
 		s.metrics.Request(int(wire.CodeOverloaded))
-		c.WriteError(f.Corr, wire.CodeOverloaded, fmt.Sprintf("detection queue full; retry in %ds", s.jitter.Seconds(1, 3)))
+		hint := s.jitter.RetryAfter()
+		s.writeWireError(wc, f.Corr, wire.CodeOverloaded, fmt.Sprintf("detection queue full; retry in %ds", hint), hint)
 		return
 	}
 	// Holding a queue token guarantees inflight capacity (same sizes).
@@ -266,12 +356,33 @@ func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 		c.WriteError(f.Corr, wire.CodeBadRequest, err.Error())
 		return
 	}
+	// Tenant QoS: the frame tag outranks the connection HELLO binding.
+	var tenantID string
+	var class tenant.Class
+	var adm *tenant.Admission
+	if s.tenants != nil {
+		id := req.Tenant
+		if id == "" {
+			id = wc.tenantID
+		}
+		adm = s.tenants.Admit(id, s.admissionLoad())
+		tenantID, class = adm.Tenant, adm.Class
+		if !adm.OK() {
+			release()
+			s.rejectWireTenant(wc, f.Corr, adm)
+			return
+		}
+		s.metrics.TenantAccepted(tenantID, class.String())
+	}
 	programs := make([]DecodedProgram, len(req.Programs))
 	for i, p := range req.Programs {
 		programs[i] = DecodedProgram{ID: p.ID, Windows: p.Windows}
 	}
 	if err := ValidatePrograms(programs, s.cfg.Limits); err != nil {
 		release()
+		if adm != nil {
+			adm.Release()
+		}
 		s.metrics.Request(StatusOf(err))
 		c.WriteError(f.Corr, wire.ErrorCode(StatusOf(err)), err.Error())
 		return
@@ -285,6 +396,9 @@ func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 	go func() {
 		defer wc.wg.Done()
 		defer release()
+		if adm != nil {
+			defer adm.Release()
+		}
 		dctx := ctx
 		if deadline > 0 {
 			var cancel context.CancelFunc
@@ -294,35 +408,21 @@ func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 		var out batchOutcome
 		var err error
 		if s.batcher != nil {
-			out, err = s.batcher.dispatch(dctx, programs)
+			out, err = s.batcher.dispatch(dctx, tenantID, programs)
 		} else {
-			out, err = s.dispatch(dctx, programs)
+			out, err = s.dispatch(dctx, class, tenantID, programs)
 		}
 		if err != nil {
-			s.failWireDetect(ctx, c, f.Corr, err)
+			s.failWireDetect(ctx, wc, f.Corr, err)
 			return
 		}
 		if out.hedge {
 			s.metrics.HedgeWin()
 		}
-		results := make([]wire.VerdictResult, len(out.results))
-		for i, res := range out.results {
+		for _, res := range out.results {
 			s.metrics.Decision(res.Malware, res.Unprotected)
-			results[i] = wire.VerdictResult{
-				ID:          res.ID,
-				Malware:     res.Malware,
-				Unprotected: res.Unprotected,
-				Score:       res.Score,
-				Confidence:  res.Confidence,
-				Attempts:    uint32(res.Attempts),
-				Windows:     uint32(res.Windows),
-			}
 		}
-		payload, encErr := wire.AppendVerdict(nil, wire.Verdict{
-			Session: int32(out.session),
-			Hedged:  out.hedge,
-			Results: results,
-		})
+		payload, encErr := s.encodeVerdict(out, tenantID)
 		if encErr != nil {
 			s.metrics.Request(int(wire.CodeInternal))
 			c.WriteError(f.Corr, wire.CodeInternal, encErr.Error())
@@ -334,10 +434,229 @@ func (s *Server) wireDetect(ctx context.Context, wc *wireConn, f wire.Frame) {
 	}()
 }
 
+// encodeVerdict builds the VERDICT payload for a finished batch,
+// tagging it with the serving tenant so identity round-trips
+// bit-identically across transports.
+func (s *Server) encodeVerdict(out batchOutcome, tenantID string) ([]byte, error) {
+	results := make([]wire.VerdictResult, len(out.results))
+	for i, res := range out.results {
+		results[i] = wire.VerdictResult{
+			ID:          res.ID,
+			Malware:     res.Malware,
+			Unprotected: res.Unprotected,
+			Score:       res.Score,
+			Confidence:  res.Confidence,
+			Attempts:    uint32(res.Attempts),
+			Windows:     uint32(res.Windows),
+		}
+	}
+	return wire.AppendVerdict(nil, wire.Verdict{
+		Session: int32(out.session),
+		Hedged:  out.hedge,
+		Results: results,
+		Tenant:  tenantID,
+	})
+}
+
+// wireStream handles one STREAM frame: an append to (or open/close
+// of) a long-lived sliding-window detection stream. The stream keeps
+// the trailing detection-period windows buffered server-side and
+// re-scores them every stride appended windows, so a Pin-style
+// collector ships each window once and still gets overlapping
+// verdicts. Buffer bookkeeping runs on the read loop (appends must
+// stay ordered); any triggered re-scorings dispatch in a tracked
+// goroutine exactly like a DETECT, answering a VERDICT under the
+// append's correlation id (zero results = ack, windows buffered but
+// no re-scoring due).
+//
+// Tenant QoS is applied per append, not just at open: every
+// window-carrying append charges the stream tenant's bucket, so a
+// stream cannot smuggle unmetered load past admission.
+func (s *Server) wireStream(ctx context.Context, wc *wireConn, f wire.Frame) {
+	start := time.Now()
+	c := wc.c
+	if s.draining.Load() {
+		s.metrics.Request(int(wire.CodeUnavailable))
+		c.WriteError(f.Corr, wire.CodeUnavailable, "draining")
+		return
+	}
+	req, err := wire.DecodeStreamRequest(f.Payload)
+	if err != nil {
+		s.metrics.Request(int(wire.CodeBadRequest))
+		c.WriteError(f.Corr, wire.CodeBadRequest, err.Error())
+		return
+	}
+	if wc.streams == nil {
+		wc.streams = make(map[uint32]*windowStream)
+	}
+	st, open := wc.streams[req.StreamID]
+	if !open {
+		if req.Close {
+			// Closing a stream that is not open is idempotent: ack.
+			s.ackStream(c, f.Corr, "")
+			return
+		}
+		if len(wc.streams) >= maxWireStreams {
+			s.metrics.Request(int(wire.CodeOverloaded))
+			hint := s.jitter.RetryAfter()
+			s.writeWireError(wc, f.Corr, wire.CodeOverloaded, fmt.Sprintf("connection holds %d streams, limit %d", len(wc.streams), maxWireStreams), hint)
+			return
+		}
+		st = &windowStream{
+			label:  req.ID,
+			period: s.cfg.Limits.MinWindows,
+			stride: int(req.Stride),
+		}
+		if s.tenants != nil {
+			id := req.Tenant
+			if id == "" {
+				id = wc.tenantID
+			}
+			look := s.tenants.Lookup(id)
+			if !look.OK() {
+				s.rejectWireTenant(wc, f.Corr, look)
+				return
+			}
+			st.tenant, st.class = look.Tenant, look.Class
+			if st.stride == 0 {
+				st.stride = look.Stride
+			}
+		}
+		if st.stride <= 0 {
+			st.stride = st.period
+		}
+		wc.streams[req.StreamID] = st
+	} else if req.Tenant != "" && req.Tenant != st.tenant {
+		// An append cannot re-bill an open stream to another tenant.
+		s.metrics.Request(int(wire.CodeBadRequest))
+		c.WriteError(f.Corr, wire.CodeBadRequest, fmt.Sprintf("stream %d is bound to tenant %q, append tagged %q", req.StreamID, st.tenant, req.Tenant))
+		return
+	}
+	if req.Close {
+		defer delete(wc.streams, req.StreamID)
+	}
+	if len(req.Windows) == 0 {
+		s.ackStream(c, f.Corr, st.tenant)
+		return
+	}
+
+	// Per-append admission: tenant QoS first, then the flat queue,
+	// mirroring the HTTP ordering. A shed append buffers nothing — the
+	// client retries the same windows after the hint.
+	var adm *tenant.Admission
+	if s.tenants != nil {
+		adm = s.tenants.Admit(st.tenant, s.admissionLoad())
+		if !adm.OK() {
+			s.rejectWireTenant(wc, f.Corr, adm)
+			return
+		}
+		s.metrics.TenantAccepted(adm.Tenant, adm.Class.String())
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.metrics.QueueReject()
+		if adm != nil {
+			s.metrics.TenantShed(adm.Tenant, adm.Class.String(), "queue")
+			adm.Release()
+		}
+		s.metrics.Request(int(wire.CodeOverloaded))
+		hint := s.jitter.RetryAfter()
+		s.writeWireError(wc, f.Corr, wire.CodeOverloaded, fmt.Sprintf("detection queue full; retry in %ds", hint), hint)
+		return
+	}
+	s.inflight <- struct{}{}
+	release := func() { <-s.inflight; <-s.queue }
+
+	// Slide the buffer and collect the spans due for re-scoring.
+	var programs []DecodedProgram
+	for _, w := range req.Windows {
+		st.buf = append(st.buf, w)
+		if len(st.buf) > st.period {
+			st.buf = st.buf[len(st.buf)-st.period:]
+		}
+		st.total++
+		st.sinceScore++
+		if len(st.buf) == st.period && st.sinceScore >= st.stride {
+			span := make([]trace.WindowCounts, st.period)
+			copy(span, st.buf)
+			programs = append(programs, DecodedProgram{
+				ID:      fmt.Sprintf("%s#%d", st.label, st.total),
+				Windows: span,
+			})
+			st.sinceScore = 0
+		}
+	}
+	if len(programs) == 0 {
+		release()
+		if adm != nil {
+			adm.Release()
+		}
+		s.ackStream(c, f.Corr, st.tenant)
+		return
+	}
+
+	tenantID, class := st.tenant, st.class
+	wc.wg.Add(1)
+	go func() {
+		defer wc.wg.Done()
+		defer release()
+		if adm != nil {
+			defer adm.Release()
+		}
+		dctx := ctx
+		if s.cfg.DefaultDeadline > 0 {
+			var cancel context.CancelFunc
+			dctx, cancel = context.WithTimeout(dctx, s.cfg.DefaultDeadline)
+			defer cancel()
+		}
+		var out batchOutcome
+		var err error
+		if s.batcher != nil {
+			out, err = s.batcher.dispatch(dctx, tenantID, programs)
+		} else {
+			out, err = s.dispatch(dctx, class, tenantID, programs)
+		}
+		if err != nil {
+			s.failWireDetect(ctx, wc, f.Corr, err)
+			return
+		}
+		if out.hedge {
+			s.metrics.HedgeWin()
+		}
+		for _, res := range out.results {
+			s.metrics.Decision(res.Malware, res.Unprotected)
+		}
+		payload, encErr := s.encodeVerdict(out, tenantID)
+		if encErr != nil {
+			s.metrics.Request(int(wire.CodeInternal))
+			c.WriteError(f.Corr, wire.CodeInternal, encErr.Error())
+			return
+		}
+		s.metrics.Request(200)
+		s.metrics.Observe(time.Since(start))
+		c.WriteFrame(wire.Frame{Type: wire.FrameVerdict, Corr: f.Corr, Payload: payload})
+	}()
+}
+
+// ackStream answers a STREAM append that triggered no re-scoring with
+// an empty VERDICT under the append's correlation id.
+func (s *Server) ackStream(c *wire.Conn, corr uint64, tenantID string) {
+	payload, err := wire.AppendVerdict(nil, wire.Verdict{Session: -1, Tenant: tenantID})
+	if err != nil {
+		s.metrics.Request(int(wire.CodeInternal))
+		c.WriteError(corr, wire.CodeInternal, err.Error())
+		return
+	}
+	s.metrics.Request(200)
+	c.WriteFrame(wire.Frame{Type: wire.FrameVerdict, Corr: corr, Payload: payload})
+}
+
 // failWireDetect maps a dispatch failure to its typed ERROR frame,
 // mirroring the HTTP transport's failDetect status mapping so the two
 // transports shed and fail with the same vocabulary.
-func (s *Server) failWireDetect(connCtx context.Context, c *wire.Conn, corr uint64, err error) {
+func (s *Server) failWireDetect(connCtx context.Context, wc *wireConn, corr uint64, err error) {
+	c := wc.c
 	switch {
 	case connCtx.Err() != nil:
 		// The connection is gone; nobody is listening.
@@ -346,6 +665,11 @@ func (s *Server) failWireDetect(connCtx context.Context, c *wire.Conn, corr uint
 		s.metrics.DeadlineExpired()
 		s.metrics.Request(int(wire.CodeUnavailable))
 		c.WriteError(corr, wire.CodeUnavailable, "detection deadline exceeded")
+	case errors.Is(err, tenant.ErrQueueFull):
+		s.metrics.QueueReject()
+		s.metrics.Request(int(wire.CodeOverloaded))
+		hint := s.jitter.RetryAfter()
+		s.writeWireError(wc, corr, wire.CodeOverloaded, err.Error(), hint)
 	case errors.Is(err, ErrPoolClosed):
 		s.metrics.Request(int(wire.CodeUnavailable))
 		c.WriteError(corr, wire.CodeUnavailable, err.Error())

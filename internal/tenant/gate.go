@@ -1,0 +1,132 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Gate.Acquire when the bounded wait
+// queue is at capacity — the caller sheds with 429 exactly like the
+// flat admission queue did.
+var ErrQueueFull = errors.New("tenant: admission queue full")
+
+// Gate is a class-aware admission semaphore: free capacity is granted
+// immediately, and under saturation a released unit wakes the
+// highest-priority waiter first (FIFO within a class). It sits
+// between tenant admission and the slot pool so that when the pool
+// saturates, realtime lanes dequeue ahead of batch — the fairness
+// property the admission tests pin without a clock.
+type Gate struct {
+	mu       sync.Mutex
+	capacity int
+	maxWait  int
+	inUse    int
+	waiting  int
+	// waiters holds per-class FIFO queues; each waiter owns a
+	// 1-buffered channel that receives the granted unit.
+	waiters [NumClasses][]chan struct{}
+}
+
+// NewGate builds a gate over capacity units with at most maxWait
+// queued waiters (maxWait <= 0 means unbounded).
+func NewGate(capacity, maxWait int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Gate{capacity: capacity, maxWait: maxWait}
+}
+
+// TryAcquire grants a unit only if capacity is free right now.
+func (g *Gate) TryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inUse < g.capacity {
+		g.inUse++
+		return true
+	}
+	return false
+}
+
+// Acquire grants a unit, waiting in c's FIFO lane under saturation.
+// Returns ErrQueueFull when the wait queue is at its bound, or the
+// context error if ctx ends first.
+func (g *Gate) Acquire(ctx context.Context, c Class) error {
+	g.mu.Lock()
+	if g.inUse < g.capacity {
+		g.inUse++
+		g.mu.Unlock()
+		return nil
+	}
+	if g.maxWait > 0 && g.waiting >= g.maxWait {
+		g.mu.Unlock()
+		return ErrQueueFull
+	}
+	ch := make(chan struct{}, 1)
+	g.waiters[c] = append(g.waiters[c], ch)
+	g.waiting++
+	g.mu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		for i, w := range g.waiters[c] {
+			if w == ch {
+				g.waiters[c] = append(g.waiters[c][:i], g.waiters[c][i+1:]...)
+				g.waiting--
+				g.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		g.mu.Unlock()
+		// The grant raced the cancellation and is already in ch: we
+		// own a unit we no longer want — hand it on.
+		<-ch
+		g.Release()
+		return ctx.Err()
+	}
+}
+
+// Release returns one unit, waking the highest-priority waiter if any
+// (the unit transfers; inUse is unchanged in that case).
+func (g *Gate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for c := int(NumClasses) - 1; c >= 0; c-- {
+		if q := g.waiters[c]; len(q) > 0 {
+			ch := q[0]
+			g.waiters[c] = q[1:]
+			g.waiting--
+			ch <- struct{}{}
+			return
+		}
+	}
+	if g.inUse > 0 {
+		g.inUse--
+	}
+}
+
+// Load is the admission pressure signal the shaping rules consume:
+// (in-use + waiting) / capacity. > 1 means a queue has formed.
+func (g *Gate) Load() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return float64(g.inUse+g.waiting) / float64(g.capacity)
+}
+
+// Waiting reports the queued waiters in class c (tests use it to
+// sequence saturation deterministically).
+func (g *Gate) Waiting(c Class) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.waiters[c])
+}
+
+// InUse reports the granted units.
+func (g *Gate) InUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}

@@ -19,9 +19,25 @@ func fuzzSeedFrames(t interface{ Helper() }) [][]byte {
 		Programs:   []DetectProgram{{ID: "p", Windows: []trace.WindowCounts{goldenWindow(1)}}},
 	})
 	verdict, _ := AppendVerdict(nil, Verdict{Session: 1, Results: []VerdictResult{{ID: "p", Score: 0.5, Confidence: 1, Attempts: 1, Windows: 1}}})
+	// v1.1 extension seeds: HELLO with the metadata section,
+	// tenant-tagged DETECT/STREAM, ERROR with a retry hint.
+	detectTenant, _ := AppendDetectRequest(nil, DetectRequest{
+		DeadlineMs: 100,
+		Programs:   []DetectProgram{{ID: "p", Windows: []trace.WindowCounts{goldenWindow(1)}}},
+		Tenant:     "acme",
+	})
+	stream, _ := AppendStreamRequest(nil, StreamRequest{
+		StreamID: 1, Stride: 2, ID: "s",
+		Windows: []trace.WindowCounts{goldenWindow(2)},
+		Tenant:  "acme",
+	})
 	frames := [][]byte{
 		EncodeFrame(Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: 1, MaxFrame: 1 << 20})}),
+		EncodeFrame(Frame{Type: FrameHello, Payload: AppendHello(nil, Hello{Version: 1, MaxFrame: 1 << 20, Meta: map[string]string{MetaClass: "batch", MetaTenant: "acme"}})}),
 		EncodeFrame(Frame{Type: FrameDetect, Corr: 1, Payload: detect}),
+		EncodeFrame(Frame{Type: FrameDetect, Corr: 6, Payload: detectTenant}),
+		EncodeFrame(Frame{Type: FrameStream, Corr: 7, Payload: stream}),
+		EncodeFrame(Frame{Type: FrameError, Corr: 8, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeOverloaded, Msg: "queue full", RetryAfterSec: 2})}),
 		EncodeFrame(Frame{Type: FrameVerdict, Corr: 1, Payload: verdict}),
 		EncodeFrame(Frame{Type: FrameError, Corr: 2, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeUnavailable, Msg: "draining"})}),
 		EncodeFrame(Frame{Type: FramePing, Corr: 3}),
@@ -156,6 +172,17 @@ func checkPayloadDecoder(t *testing.T, fr Frame) {
 			return
 		}
 		assert(AppendGoAway(nil, g), nil)
+	case FrameStream:
+		s, err := DecodeStreamRequest(fr.Payload)
+		if err != nil {
+			assert(nil, err)
+			return
+		}
+		enc, encErr := AppendStreamRequest(nil, s)
+		if encErr != nil {
+			t.Fatalf("decoded stream append failed to re-encode: %v", encErr)
+		}
+		assert(enc, nil)
 	}
 }
 

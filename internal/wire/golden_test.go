@@ -57,12 +57,43 @@ func goldenFrames(t *testing.T) map[string]Frame {
 	if err != nil {
 		t.Fatal(err)
 	}
+	detectTenant, err := AppendDetectRequest(nil, DetectRequest{
+		DeadlineMs: 250,
+		Programs:   []DetectProgram{{ID: "prog-0", Windows: []trace.WindowCounts{goldenWindow(1)}}},
+		Tenant:     "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdictTenant, err := AppendVerdict(nil, Verdict{
+		Session: 2,
+		Results: []VerdictResult{{ID: "prog-0", Score: 0.8125, Confidence: 0.625, Attempts: 1, Windows: 1}},
+		Tenant:  "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := AppendStreamRequest(nil, StreamRequest{
+		StreamID: 7,
+		Stride:   4,
+		ID:       "collector-0",
+		Windows:  []trace.WindowCounts{goldenWindow(1), goldenWindow(2)},
+		Tenant:   "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Frame{
 		"hello":      {Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtoVersion, MaxFrame: DefaultMaxFramePayload})},
+		"hello_meta": {Type: FrameHello, Payload: AppendHello(nil, Hello{Version: ProtoVersion, MaxFrame: DefaultMaxFramePayload, Meta: map[string]string{MetaTenant: "acme", MetaClass: "realtime"}})},
 		"detect":     {Type: FrameDetect, Corr: 1, Payload: detect},
-		"verdict":    {Type: FrameVerdict, Corr: 1, Payload: verdict},
-		"error":      {Type: FrameError, Corr: 7, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeOverloaded, Msg: "detection queue full"})},
-		"ping":       {Type: FramePing, Corr: 9},
+		"detect_tenant": {Type: FrameDetect, Corr: 1, Payload: detectTenant},
+		"verdict":        {Type: FrameVerdict, Corr: 1, Payload: verdict},
+		"verdict_tenant": {Type: FrameVerdict, Corr: 1, Payload: verdictTenant},
+		"stream":         {Type: FrameStream, Corr: 6, Payload: stream},
+		"error":          {Type: FrameError, Corr: 7, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeOverloaded, Msg: "detection queue full"})},
+		"error_retry":    {Type: FrameError, Corr: 7, Payload: AppendErrorFrame(nil, ErrorFrame{Code: CodeOverloaded, Msg: "detection queue full", RetryAfterSec: 2})},
+		"ping":           {Type: FramePing, Corr: 9},
 		"pong":       {Type: FramePong, Corr: 9},
 		"goaway":     {Type: FrameGoAway, Payload: AppendGoAway(nil, GoAway{Code: 0, Msg: "draining"})},
 		"health_req": {Type: FrameHealthReq, Corr: 3},
@@ -180,6 +211,16 @@ func reencodePayload(t *testing.T, f Frame) []byte {
 			t.Fatal(err)
 		}
 		return AppendGoAway(nil, g)
+	case FrameStream:
+		s, err := DecodeStreamRequest(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := AppendStreamRequest(nil, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
 	default:
 		// PING/PONG/HEALTH_REQ are empty; HEALTH is opaque JSON.
 		return f.Payload

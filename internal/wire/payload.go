@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"shmd/internal/isa"
@@ -40,6 +41,20 @@ const (
 	windowWireLen = 4 * (1 + isa.NumOpcodes + trace.StrideBuckets)
 	// maxWireCount bounds any single count on the wire (u32).
 	maxWireCount = math.MaxUint32
+	// MaxMetaPairs bounds the HELLO metadata section.
+	MaxMetaPairs = 16
+)
+
+// Well-known HELLO metadata keys. Endpoints ignore keys they do not
+// recognize.
+const (
+	// MetaTenant names the tenant the connection's traffic belongs to.
+	MetaTenant = "tenant"
+	// MetaClass is the tenant's advisory priority class
+	// ("realtime"/"standard"/"batch") — routers use it to key brownout
+	// shedding without a registry; backends always resolve the
+	// authoritative class from their own registry.
+	MetaClass = "class"
 )
 
 // DetectProgram is one program in a DETECT frame.
@@ -57,6 +72,11 @@ type DetectRequest struct {
 	// X-Detect-Deadline-Ms header.
 	DeadlineMs uint32
 	Programs   []DetectProgram
+	// Tenant is the optional tenant tag (v1.1 extension tail, see
+	// PROTOCOL.md §4): empty means "use the connection's HELLO tenant".
+	// Carried in the payload so a router's shared upstream connections
+	// relay it verbatim, untouched by pooling.
+	Tenant string
 }
 
 // Deadline converts the millisecond field to a duration.
@@ -90,7 +110,33 @@ func AppendDetectRequest(dst []byte, req DetectRequest) ([]byte, error) {
 			}
 		}
 	}
-	return dst, nil
+	return appendTenantTail(dst, req.Tenant)
+}
+
+// appendTenantTail appends the optional tenant tag tail: omitted
+// entirely when empty (canonical form), a str8 otherwise.
+func appendTenantTail(dst []byte, tenant string) ([]byte, error) {
+	if tenant == "" {
+		return dst, nil
+	}
+	if len(tenant) > MaxIDLen {
+		return nil, fmt.Errorf("wire: tenant tag is %d bytes, limit %d", len(tenant), MaxIDLen)
+	}
+	dst = append(dst, byte(len(tenant)))
+	return append(dst, tenant...), nil
+}
+
+// tenantTail decodes the optional tenant tag tail if any payload
+// remains. A present-but-empty tag is non-canonical and rejected.
+func (d *decoder) tenantTail() string {
+	if d.err != nil || d.off == len(d.buf) {
+		return ""
+	}
+	tenant := d.str8("tenant tag")
+	if d.err == nil && tenant == "" {
+		d.err = corrupt("empty tenant tag (omit the tail instead)")
+	}
+	return tenant
 }
 
 // appendWindow appends one window's fixed-size encoding.
@@ -151,6 +197,7 @@ func DecodeDetectRequest(p []byte) (DetectRequest, error) {
 		}
 		req.Programs = append(req.Programs, prog)
 	}
+	req.Tenant = d.tenantTail()
 	d.done()
 	if d.err != nil {
 		return DetectRequest{}, d.err
@@ -176,6 +223,9 @@ type Verdict struct {
 	// Hedged marks a reply won by a hedge runner.
 	Hedged  bool
 	Results []VerdictResult
+	// Tenant echoes the tenant the request was accounted to (v1.1
+	// extension tail) so identity round-trips bit-identically.
+	Tenant string
 }
 
 const (
@@ -215,7 +265,7 @@ func AppendVerdict(dst []byte, v Verdict) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, r.Attempts)
 		dst = binary.BigEndian.AppendUint32(dst, r.Windows)
 	}
-	return dst, nil
+	return appendTenantTail(dst, v.Tenant)
 }
 
 // DecodeVerdict decodes a VERDICT payload.
@@ -248,6 +298,7 @@ func DecodeVerdict(p []byte) (Verdict, error) {
 		r.Windows = d.u32("windows")
 		v.Results = append(v.Results, r)
 	}
+	v.Tenant = d.tenantTail()
 	d.done()
 	if d.err != nil {
 		return Verdict{}, d.err
@@ -260,6 +311,12 @@ func DecodeVerdict(p []byte) (Verdict, error) {
 type ErrorFrame struct {
 	Code ErrorCode
 	Msg  string
+	// RetryAfterSec is the sender's machine-readable backoff hint in
+	// whole seconds (v1.1 extension tail, the wire twin of the HTTP
+	// Retry-After header). 0 means "no hint" and is omitted from the
+	// encoding; servers only emit it to peers that announced themselves
+	// with a client HELLO.
+	RetryAfterSec uint16
 }
 
 // Error implements error so a relayed frame can flow as a Go error.
@@ -277,7 +334,11 @@ func AppendErrorFrame(dst []byte, e ErrorFrame) []byte {
 	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(e.Code))
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
-	return append(dst, msg...)
+	dst = append(dst, msg...)
+	if e.RetryAfterSec > 0 {
+		dst = binary.BigEndian.AppendUint16(dst, e.RetryAfterSec)
+	}
+	return dst
 }
 
 // DecodeErrorFrame decodes an ERROR payload.
@@ -285,6 +346,12 @@ func DecodeErrorFrame(p []byte) (ErrorFrame, error) {
 	d := decoder{buf: p}
 	e := ErrorFrame{Code: ErrorCode(d.u16("error code"))}
 	e.Msg = d.str16("error message")
+	if d.err == nil && d.off != len(d.buf) {
+		e.RetryAfterSec = d.u16("retry-after hint")
+		if d.err == nil && e.RetryAfterSec == 0 {
+			return ErrorFrame{}, corrupt("zero retry-after hint (omit the tail instead)")
+		}
+	}
 	d.done()
 	if d.err != nil {
 		return ErrorFrame{}, d.err
@@ -292,24 +359,97 @@ func DecodeErrorFrame(p []byte) (ErrorFrame, error) {
 	return e, nil
 }
 
-// Hello is the HELLO frame payload: the server's protocol version and
-// the largest frame payload it will accept.
+// Hello is the HELLO frame payload: the speaker's protocol version,
+// the largest frame payload it will accept, and (since v1.1) an
+// optional metadata section. The server greets with a HELLO after the
+// preamble as before; a client MAY now send its own HELLO to announce
+// identity (MetaTenant/MetaClass) and opt into v1.1 extension tails.
 type Hello struct {
 	Version  uint8
 	MaxFrame uint32
+	// Meta carries optional key/value metadata. Unknown keys are
+	// ignored by the receiver; an empty map encodes identically to a
+	// pre-metadata HELLO, so the base encoding never changed.
+	Meta map[string]string
 }
 
-// AppendHello appends the canonical encoding of h.
+// AppendHello appends the canonical encoding of h: the metadata
+// section is omitted when empty and entries are sorted by key, so
+// there is exactly one encoding per value. Callers validate bounds up
+// front with ValidHelloMeta; AppendHello itself never fails.
 func AppendHello(dst []byte, h Hello) []byte {
 	dst = append(dst, h.Version)
-	return binary.BigEndian.AppendUint32(dst, h.MaxFrame)
+	dst = binary.BigEndian.AppendUint32(dst, h.MaxFrame)
+	if len(h.Meta) == 0 {
+		return dst
+	}
+	keys := make([]string, 0, len(h.Meta))
+	for k := range h.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = append(dst, byte(len(keys)))
+	for _, k := range keys {
+		dst = append(dst, byte(len(k)))
+		dst = append(dst, k...)
+		v := h.Meta[k]
+		dst = append(dst, byte(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
 }
 
-// DecodeHello decodes a HELLO payload.
+// ValidHelloMeta reports whether meta can be carried on the wire:
+// at most MaxMetaPairs entries, keys non-empty, keys and values at
+// most MaxIDLen bytes.
+func ValidHelloMeta(meta map[string]string) error {
+	if len(meta) > MaxMetaPairs {
+		return fmt.Errorf("wire: %d metadata pairs exceeds %d", len(meta), MaxMetaPairs)
+	}
+	for k, v := range meta {
+		if k == "" {
+			return fmt.Errorf("wire: empty metadata key")
+		}
+		if len(k) > MaxIDLen || len(v) > MaxIDLen {
+			return fmt.Errorf("wire: metadata pair %q is over %d bytes", k, MaxIDLen)
+		}
+	}
+	return nil
+}
+
+// DecodeHello decodes a HELLO payload, with or without the v1.1
+// metadata section. Per PROTOCOL.md's unknown-field rule the section
+// is a strictly appended tail: a pre-metadata value occupies exactly
+// the first 5 bytes, so the extension never moves existing fields.
 func DecodeHello(p []byte) (Hello, error) {
 	d := decoder{buf: p}
 	h := Hello{Version: d.u8("version")}
 	h.MaxFrame = d.u32("max frame")
+	if d.err == nil && d.off != len(d.buf) {
+		n := int(d.u8("metadata count"))
+		if d.err == nil && (n == 0 || n > MaxMetaPairs) {
+			return Hello{}, corrupt("metadata count %d outside [1, %d]", n, MaxMetaPairs)
+		}
+		if d.err == nil {
+			h.Meta = make(map[string]string, n)
+		}
+		prev := ""
+		for i := 0; i < n && d.err == nil; i++ {
+			k := d.str8("metadata key")
+			v := d.str8("metadata value")
+			if d.err != nil {
+				break
+			}
+			if k == "" {
+				return Hello{}, corrupt("metadata entry %d has an empty key", i)
+			}
+			if i > 0 && k <= prev {
+				return Hello{}, corrupt("metadata keys not strictly sorted (%q after %q)", k, prev)
+			}
+			prev = k
+			h.Meta[k] = v
+		}
+	}
 	d.done()
 	if d.err != nil {
 		return Hello{}, d.err
@@ -346,6 +486,93 @@ func DecodeGoAway(p []byte) (GoAway, error) {
 		return GoAway{}, d.err
 	}
 	return g, nil
+}
+
+// StreamRequest is the STREAM frame payload: one append to a
+// long-lived sliding-window detection stream. The stream id is a
+// client-chosen handle scoped to the connection; each append is a
+// normal correlated request-response exchange (the server answers
+// with a VERDICT carrying the re-scorings this append triggered,
+// possibly zero), so streams multiplex like any other frame.
+type StreamRequest struct {
+	// StreamID identifies the stream on this connection. The first
+	// append with a given id opens the stream.
+	StreamID uint32
+	// Close tears the stream down after this append's windows are
+	// scored; the server drops the buffered session state.
+	Close bool
+	// Stride is the re-detection stride in windows — how many new
+	// windows arrive between overlapping re-scorings. Honored on the
+	// opening append; 0 selects the tenant's configured default.
+	Stride uint16
+	// ID is the program label echoed in verdicts (opening append).
+	ID string
+	// Windows are appended to the stream's sliding buffer in order.
+	Windows []trace.WindowCounts
+	// Tenant optionally tags the append (extension tail, like DETECT).
+	Tenant string
+}
+
+// streamClose is the STREAM payload flag bit for Close.
+const streamClose = 1 << 0
+
+// AppendStreamRequest appends the canonical encoding of req.
+func AppendStreamRequest(dst []byte, req StreamRequest) ([]byte, error) {
+	if len(req.ID) > MaxIDLen {
+		return nil, fmt.Errorf("wire: stream id label is %d bytes, limit %d", len(req.ID), MaxIDLen)
+	}
+	if len(req.Windows) > MaxWindows {
+		return nil, fmt.Errorf("wire: stream append has %d windows, limit %d", len(req.Windows), MaxWindows)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, req.StreamID)
+	var flags byte
+	if req.Close {
+		flags |= streamClose
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint16(dst, req.Stride)
+	dst = append(dst, byte(len(req.ID)))
+	dst = append(dst, req.ID...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Windows)))
+	for w, win := range req.Windows {
+		var err error
+		if dst, err = appendWindow(dst, win, 0, w); err != nil {
+			return nil, err
+		}
+	}
+	return appendTenantTail(dst, req.Tenant)
+}
+
+// DecodeStreamRequest decodes a STREAM payload.
+func DecodeStreamRequest(p []byte) (StreamRequest, error) {
+	d := decoder{buf: p}
+	req := StreamRequest{StreamID: d.u32("stream id")}
+	flags := d.u8("stream flags")
+	if d.err == nil && flags&^byte(streamClose) != 0 {
+		return StreamRequest{}, corrupt("reserved stream flags 0x%02x set", flags)
+	}
+	req.Close = flags&streamClose != 0
+	req.Stride = d.u16("stride")
+	req.ID = d.str8("stream label")
+	w := int(d.u16("window count"))
+	if w > MaxWindows {
+		return StreamRequest{}, corrupt("%d windows exceeds %d", w, MaxWindows)
+	}
+	if d.err == nil && w > 0 {
+		if rem := len(d.buf) - d.off; rem < w*windowWireLen {
+			return StreamRequest{}, corrupt("stream append claims %d windows, %d bytes remain", w, rem)
+		}
+		req.Windows = make([]trace.WindowCounts, w)
+		for j := range req.Windows {
+			req.Windows[j] = d.window()
+		}
+	}
+	req.Tenant = d.tenantTail()
+	d.done()
+	if d.err != nil {
+		return StreamRequest{}, d.err
+	}
+	return req, nil
 }
 
 // decoder is a bounds-checked big-endian cursor. The first failure

@@ -70,12 +70,16 @@ const (
 	FrameHealthReq FrameType = 0x08
 	// FrameHealth answers FrameHealthReq with an opaque JSON payload.
 	FrameHealth FrameType = 0x09
+	// FrameStream appends windows to a long-lived sliding-window
+	// detection stream (client → server); the server answers each
+	// append with a VERDICT carrying the re-scorings it triggered.
+	FrameStream FrameType = 0x0A
 )
 
 // Known reports whether t is a frame type this version understands.
 // Unknown types with valid framing are skipped, never fatal.
 func (t FrameType) Known() bool {
-	return t >= FrameHello && t <= FrameHealth
+	return t >= FrameHello && t <= FrameStream
 }
 
 // String names the frame type for logs and errors.
@@ -99,6 +103,8 @@ func (t FrameType) String() string {
 		return "HEALTH_REQ"
 	case FrameHealth:
 		return "HEALTH"
+	case FrameStream:
+		return "STREAM"
 	default:
 		return fmt.Sprintf("wire.FrameType(0x%02x)", uint8(t))
 	}
@@ -112,6 +118,8 @@ type ErrorCode uint16
 const (
 	// CodeBadRequest: the request failed validation.
 	CodeBadRequest ErrorCode = 400
+	// CodeForbidden: the tenant is unknown to the server's registry.
+	CodeForbidden ErrorCode = 403
 	// CodeTooLarge: the frame exceeded the receiver's payload limit.
 	CodeTooLarge ErrorCode = 413
 	// CodeOverloaded: admission queue full; retry after backoff.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"shmd/internal/backoff"
+	"shmd/internal/tenant"
 	"shmd/internal/wire"
 )
 
@@ -39,6 +40,37 @@ var ErrConnLost = errors.New("sdk: connection lost with request in flight")
 
 // ErrClosed marks use of a closed Client.
 var ErrClosed = errors.New("sdk: client closed")
+
+// ErrRateLimited is the typed rejection for a tenant-QoS shed (wire
+// code 429): the tenant's quota, concurrency cap, or a load-shedding
+// rule refused the request. It wraps the underlying *wire.ErrorFrame,
+// so errors.As against either type works.
+type ErrRateLimited struct {
+	// RetryAfter is the server's machine-readable backoff hint, zero
+	// when the peer predates the v1.1 retry tail (callers fall back to
+	// their own backoff).
+	RetryAfter time.Duration
+	frame      *wire.ErrorFrame
+}
+
+// Error names the shed and its hint.
+func (e *ErrRateLimited) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("sdk: rate limited (retry after %s): %s", e.RetryAfter, e.frame.Msg)
+	}
+	return "sdk: rate limited: " + e.frame.Msg
+}
+
+// Unwrap exposes the underlying wire error frame.
+func (e *ErrRateLimited) Unwrap() error { return e.frame }
+
+// typedError maps a server ERROR frame to the SDK's typed errors.
+func typedError(e *wire.ErrorFrame) error {
+	if e.Code == wire.CodeOverloaded {
+		return &ErrRateLimited{RetryAfter: time.Duration(e.RetryAfterSec) * time.Second, frame: e}
+	}
+	return e
+}
 
 // Options tunes a Client. The zero value is usable.
 type Options struct {
@@ -55,6 +87,17 @@ type Options struct {
 	// JitterSeed seeds the reconnect jitter (0 = from the clock; tests
 	// pin a seed).
 	JitterSeed int64
+	// Tenant is the client's tenant identity. When set, every
+	// connection announces it in a v1.1 client HELLO and every DETECT
+	// and STREAM payload is tagged with it — per-frame tags survive
+	// relays (routers forward payloads verbatim but not connection
+	// state), so quota lands on the right tenant end to end.
+	Tenant string
+	// Class is the client's priority-class advisory ("realtime",
+	// "standard", or "batch"), announced in the HELLO metadata. Relays
+	// use it to order brownout shedding; the backend's registry stays
+	// authoritative for the real class. Invalid values fail Dial.
+	Class string
 }
 
 // withDefaults fills unset fields.
@@ -81,8 +124,11 @@ type Client struct {
 	jitter *backoff.Jitter
 	// corr issues client-wide monotonic correlation ids, never reused
 	// across requests or reconnects.
-	corr   atomic.Uint64
-	closed atomic.Bool
+	corr atomic.Uint64
+	// streamID issues window-stream ids, unique client-wide so they are
+	// unique on whichever connection a stream's frames land on.
+	streamID atomic.Uint32
+	closed   atomic.Bool
 
 	mu   sync.Mutex
 	conn *clientConn
@@ -110,6 +156,11 @@ type clientConn struct {
 // immediately; reconnects after a drop use backoff.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts = opts.withDefaults()
+	if opts.Class != "" {
+		if _, err := tenant.ParseClass(opts.Class); err != nil {
+			return nil, fmt.Errorf("sdk: %w", err)
+		}
+	}
 	seed := opts.JitterSeed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -123,11 +174,32 @@ func Dial(addr string, opts Options) (*Client, error) {
 	return cl, nil
 }
 
-// connect opens one connection and starts its reader.
+// connect opens one connection and starts its reader. A configured
+// tenant identity or class advisory is announced in a v1.1 client
+// HELLO before any request boards, which also opts the connection into
+// extension tails (machine-readable Retry-After on shed ERRORs).
 func (cl *Client) connect() (*clientConn, error) {
 	c, err := wire.Dial(cl.addr, cl.opts.DialTimeout, cl.opts.MaxFramePayload)
 	if err != nil {
 		return nil, err
+	}
+	if cl.opts.Tenant != "" || cl.opts.Class != "" {
+		meta := make(map[string]string, 2)
+		if cl.opts.Tenant != "" {
+			meta[wire.MetaTenant] = cl.opts.Tenant
+		}
+		if cl.opts.Class != "" {
+			meta[wire.MetaClass] = cl.opts.Class
+		}
+		hello := wire.AppendHello(nil, wire.Hello{
+			Version:  wire.ProtoVersion,
+			MaxFrame: uint32(cl.opts.MaxFramePayload),
+			Meta:     meta,
+		})
+		if err := c.WriteFrame(wire.Frame{Type: wire.FrameHello, Payload: hello}); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("sdk: sending HELLO: %w", err)
+		}
 	}
 	cc := &clientConn{
 		c:        c,
@@ -314,10 +386,15 @@ func (cl *Client) roundTrip(ctx context.Context, t wire.FrameType, payload []byt
 	}
 }
 
-// Detect runs one detect request and returns the verdict. A server-
-// side rejection (validation, overload, drain) comes back as a
-// *wire.ErrorFrame carrying its typed code.
+// Detect runs one detect request and returns the verdict. A request
+// without its own tenant tag inherits the client's Options.Tenant. A
+// server-side rejection (validation, overload, drain) comes back as a
+// *wire.ErrorFrame carrying its typed code; a tenant-QoS shed comes
+// back as *ErrRateLimited.
 func (cl *Client) Detect(ctx context.Context, req wire.DetectRequest) (wire.Verdict, error) {
+	if req.Tenant == "" {
+		req.Tenant = cl.opts.Tenant
+	}
 	payload, err := wire.AppendDetectRequest(nil, req)
 	if err != nil {
 		return wire.Verdict{}, err
@@ -334,7 +411,7 @@ func (cl *Client) Detect(ctx context.Context, req wire.DetectRequest) (wire.Verd
 		if decErr != nil {
 			return wire.Verdict{}, decErr
 		}
-		return wire.Verdict{}, &e
+		return wire.Verdict{}, typedError(&e)
 	default:
 		return wire.Verdict{}, fmt.Errorf("sdk: unexpected %v response", f.Type)
 	}

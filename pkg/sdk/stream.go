@@ -2,9 +2,11 @@ package sdk
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"shmd/internal/trace"
 	"shmd/internal/wire"
 )
 
@@ -92,4 +94,101 @@ func (st *Stream) Close() {
 		st.wg.Wait()
 		close(st.results)
 	}()
+}
+
+// WindowStream is a long-lived sliding-window detection stream (wire
+// STREAM frames): the client feeds raw windows as they are captured
+// and the server re-scores the trailing detection period every stride
+// windows, without the client resending history.
+//
+// Every push carries the stream's label, stride, and tenant tag, so a
+// stream transparently re-opens after a reconnect — with an empty
+// server-side window buffer, since that state lived on the lost
+// connection. Streams talk directly to a backend; routers refuse
+// STREAM frames.
+type WindowStream struct {
+	cl     *Client
+	id     uint32
+	label  string
+	stride uint16
+	tenant string
+	closed atomic.Bool
+}
+
+// OpenWindowStream creates a window stream for one monitored program.
+// label is echoed in verdict result IDs as "label#N" (N = the window
+// index the re-scoring triggered at). stride <= 0 selects the server's
+// per-tenant default. The stream inherits the client's Options.Tenant.
+// No frame is sent until the first Push.
+func (cl *Client) OpenWindowStream(label string, stride int) *WindowStream {
+	ws := &WindowStream{
+		cl:    cl,
+		id:    cl.streamID.Add(1),
+		label: label,
+	}
+	if stride > 0 && stride <= int(^uint16(0)) {
+		ws.stride = uint16(stride)
+	}
+	ws.tenant = cl.opts.Tenant
+	return ws
+}
+
+// push round-trips one STREAM frame and maps the reply.
+func (ws *WindowStream) push(ctx context.Context, req wire.StreamRequest) ([]wire.VerdictResult, error) {
+	payload, err := wire.AppendStreamRequest(nil, req)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ws.cl.roundTrip(ctx, wire.FrameStream, payload)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case wire.FrameVerdict:
+		v, err := wire.DecodeVerdict(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return v.Results, nil
+	case wire.FrameError:
+		e, decErr := wire.DecodeErrorFrame(f.Payload)
+		if decErr != nil {
+			return nil, decErr
+		}
+		return nil, typedError(&e)
+	default:
+		return nil, fmt.Errorf("sdk: unexpected %v response to stream append", f.Type)
+	}
+}
+
+// Push appends windows to the stream and returns any re-scorings they
+// triggered (empty when the windows only buffered). A tenant-QoS shed
+// comes back as *ErrRateLimited with nothing buffered server-side —
+// the caller retries the same windows after the hint.
+func (ws *WindowStream) Push(ctx context.Context, windows []trace.WindowCounts) ([]wire.VerdictResult, error) {
+	if ws.closed.Load() {
+		return nil, ErrClosed
+	}
+	return ws.push(ctx, wire.StreamRequest{
+		StreamID: ws.id,
+		ID:       ws.label,
+		Stride:   ws.stride,
+		Tenant:   ws.tenant,
+		Windows:  windows,
+	})
+}
+
+// Close tears the stream's server-side state down. Idempotent; the
+// stream refuses pushes afterwards.
+func (ws *WindowStream) Close(ctx context.Context) error {
+	if !ws.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	_, err := ws.push(ctx, wire.StreamRequest{
+		StreamID: ws.id,
+		ID:       ws.label,
+		Tenant:   ws.tenant,
+		Close:    true,
+	})
+	return err
 }
