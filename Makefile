@@ -23,9 +23,10 @@ SOAK_REPORT ?= soak_report.json
 SOAK_FLAGS ?=
 FLEET_SOAK_FLAGS ?=
 TENANT_SOAK_FLAGS ?=
+ROLLOUT_SOAK_FLAGS ?=
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: build test race vet verify bench soak fleet-soak tenant-soak conform lint
+.PHONY: build test race vet verify bench soak fleet-soak tenant-soak rollout-soak conform lint
 
 build:
 	$(GO) build ./...
@@ -94,3 +95,15 @@ fleet-soak:
 # writes $(SOAK_REPORT).
 tenant-soak:
 	$(GO) run -race ./cmd/shmd soak -tenants -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(TENANT_SOAK_FLAGS)
+
+# rollout-soak runs the canary rollout soak under the race detector:
+# a registry-backed serve instance under sustained live traffic, a
+# conforming v2 pushed mid-storm (must canary on one slot and
+# auto-promote fleet-wide), then a deliberately drifted v3 whose
+# manifest is self-consistent — only the live canary comparison can
+# catch it (must auto-rollback, leaving v2 on every slot). Asserts
+# zero lost requests and zero double checkouts while every slot
+# rolls; writes $(SOAK_REPORT). SOAK_DURATION is the budget both
+# rollouts must resolve within, not a fixed runtime.
+rollout-soak:
+	$(GO) run -race ./cmd/shmd soak -rollout -duration $(SOAK_DURATION) -report $(SOAK_REPORT) $(ROLLOUT_SOAK_FLAGS)

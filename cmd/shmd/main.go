@@ -13,6 +13,7 @@
 //	              [-queue 8] [-rate 0.1 | -undervolt 130] [-chaos] [-pprof]
 //	              [-journal cal.journal] [-lifecycle] [-hedge-after 0]
 //	              [-deadline 0] [-trace decisions.trace] [-trace-buffer 64]
+//	              [-registry models.d] [-canary-slots 1] [-canary-window 64]
 //	              [-tenant id:class[:rate[:burst[:conc[:stride]]]] ...]
 //	              [-tenant-default spec] [-tenant-anon spec]
 //	              [-trace-tenants acme,beta]
@@ -22,7 +23,9 @@
 //	shmd soak     [-duration 30s] [-clients 4] [-pool 3] [-report soak_report.json]
 //	              [-fleet] [-fleet-backends 3]
 //	              [-tenants] [-slo-p99 500ms] [-min-abusive-shed 0.5]
+//	              [-rollout]
 //	shmd replay   -model model.fann -trace decisions.trace [-v]
+//	              [-registry models.d]
 //	shmd inspect  -model model.fann
 //
 // With -chaos the detector runs on a fault-injecting environment

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"shmd/internal/hmd"
+	"shmd/internal/registry"
 	"shmd/internal/replay"
 	"shmd/internal/serve"
 )
@@ -18,10 +19,16 @@ import (
 // resulting verdict, score, and confidence must match the served ones
 // bit for bit. A non-zero exit means the trace does not audit — the
 // serving binary, the model, or the trace itself diverged.
+//
+// Traces captured mid-rollout carry per-record model versions; pass
+// -registry so each record verifies against the registry version that
+// actually scored it. Version-0 records (compiled-in model) always
+// verify against -model.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	model := fs.String("model", "model.fann", "model bundle the trace was served from")
 	tracePath := fs.String("trace", "decisions.trace", "decision trace file to verify")
+	registryDir := fs.String("registry", "", "model registry directory for versioned records (empty = version-0 records only)")
 	verbose := fs.Bool("v", false, "print every verified decision")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -36,13 +43,21 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	resolve := replayResolver(base, nil)
+	if *registryDir != "" {
+		reg, err := registry.Open(*registryDir, nil)
+		if err != nil {
+			return err
+		}
+		resolve = replayResolver(base, reg)
+	}
 
 	tf, err := os.Open(*tracePath)
 	if err != nil {
 		return err
 	}
 	defer tf.Close()
-	n, err := replayVerifyAll(base, tf, *verbose)
+	n, err := replayVerifyAll(resolve, tf, *verbose)
 	if err != nil {
 		return err
 	}
@@ -50,10 +65,33 @@ func cmdReplay(args []string) error {
 	return nil
 }
 
-// replayVerifyAll streams records from r and verifies each one,
-// returning the count verified. The first corrupt frame or diverging
-// decision aborts with its record index.
-func replayVerifyAll(base *hmd.HMD, r io.Reader, verbose bool) (int, error) {
+// replayResolver maps a record's model version to the detector that
+// served it: version 0 is the compiled-in -model bundle, anything else
+// resolves through the registry. Resolved versions are memoized so a
+// million-record trace decodes each model once.
+func replayResolver(base *hmd.HMD, reg *registry.Registry) func(uint32) (*hmd.HMD, error) {
+	cache := map[uint32]*hmd.HMD{0: base}
+	return func(version uint32) (*hmd.HMD, error) {
+		if det, ok := cache[version]; ok {
+			return det, nil
+		}
+		if reg == nil {
+			return nil, fmt.Errorf("model version %d needs -registry", version)
+		}
+		mdl, err := reg.Model(version)
+		if err != nil {
+			return nil, fmt.Errorf("model version %d: %w", version, err)
+		}
+		cache[version] = mdl.Detector()
+		return cache[version], nil
+	}
+}
+
+// replayVerifyAll streams records from r and verifies each one against
+// the detector its model version resolves to, returning the count
+// verified. The first corrupt frame, unresolvable version, or
+// diverging decision aborts with its record index.
+func replayVerifyAll(resolve func(uint32) (*hmd.HMD, error), r io.Reader, verbose bool) (int, error) {
 	rd, err := replay.NewReader(r)
 	if err != nil {
 		return 0, err
@@ -67,16 +105,20 @@ func replayVerifyAll(base *hmd.HMD, r io.Reader, verbose bool) (int, error) {
 		if err != nil {
 			return n, fmt.Errorf("record %d: %w", n, err)
 		}
+		base, err := resolve(rec.ModelVersion)
+		if err != nil {
+			return n, fmt.Errorf("record %d: %w", n, err)
+		}
 		if err := replay.Verify(base, rec, serve.Confidence); err != nil {
-			return n, fmt.Errorf("record %d (slot %d gen %d): %w", n, rec.Slot, rec.Gen, err)
+			return n, fmt.Errorf("record %d (slot %d gen %d model v%d): %w", n, rec.Slot, rec.Gen, rec.ModelVersion, err)
 		}
 		if verbose {
 			verdict := "benign"
 			if rec.Malware {
 				verdict = "MALWARE"
 			}
-			fmt.Printf("  record %d: slot %d gen %d rate %g depth %.1fmV -> %s score %.4f conf %.4f (%d faults)\n",
-				n, rec.Slot, rec.Gen, rec.Rate, rec.DepthMV, verdict, rec.Score, rec.Confidence, rec.Draws.Faults())
+			fmt.Printf("  record %d: slot %d gen %d model v%d rate %g depth %.1fmV -> %s score %.4f conf %.4f (%d faults)\n",
+				n, rec.Slot, rec.Gen, rec.ModelVersion, rec.Rate, rec.DepthMV, verdict, rec.Score, rec.Confidence, rec.Draws.Faults())
 		}
 		n++
 	}

@@ -12,6 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"shmd/internal/hmd"
+	"shmd/internal/registry"
 	"shmd/internal/replay"
 	"shmd/internal/serve"
 	"shmd/internal/trace"
@@ -114,6 +116,205 @@ func TestCmdServeTraceThenReplay(t *testing.T) {
 	}
 	if n != served {
 		t.Fatalf("trace holds %d records, served %d decisions", n, served)
+	}
+}
+
+// TestCmdServeRegistryTraceVersionedReplay is the mixed-version audit
+// loop through the CLI: boot the daemon with -registry (bootstrapping
+// -model as v1), serve traffic, hot-activate a pushed v2 mid-trace,
+// serve more traffic, then verify the whole trace with `shmd replay
+// -registry` — each record against the registry version that scored
+// it. The same trace must refuse to verify without -registry, since
+// every record names a registry version.
+func TestCmdServeRegistryTraceVersionedReplay(t *testing.T) {
+	model := writeTestModel(t)
+	regDir := filepath.Join(t.TempDir(), "models.d")
+	tracePath := filepath.Join(t.TempDir(), "decisions.trace")
+
+	ready := make(chan string, 1)
+	serveReady = func(addr string) { ready <- addr }
+	defer func() { serveReady = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serveRun(ctx, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-pool", "2", "-seed", "5",
+			"-registry", regDir, "-trace", tracePath, "-trace-buffer", "256",
+		})
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+
+	detect := func() {
+		t.Helper()
+		prog, err := trace.NewProgram(trace.Trojan, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows, err := prog.Trace(4, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(serve.DetectRequest{Programs: []serve.ProgramJSON{
+			{ID: "audit", Windows: serve.EncodeWindows(windows)},
+		}})
+		resp, err := http.Post(base+"/v1/detect", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect = %d (%s)", resp.StatusCode, raw)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		detect()
+	}
+
+	// Hot-activate a v2 built from the same bundle; its records carry
+	// model version 2.
+	mf, err := os.Open(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := hmd.LoadBundle(mf)
+	mf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := registry.NewManifest(2, registry.FannType, det, 43, registry.DefaultGoldenSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := registry.EncodeManifest(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/admin/models?mode=activate", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("activate v2 = %d (%s)", resp.StatusCode, pushBody)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/admin/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var report serve.AdminModelsReport
+		if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if report.Active == 2 && report.Rollout.Phase == "idle" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("v2 never activated: %+v", report)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		detect()
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve never shut down")
+	}
+
+	// The trace spans both versions; with -registry every record
+	// verifies against the version that scored it.
+	if err := cmdReplay([]string{"-model", model, "-trace", tracePath, "-registry", regDir}); err != nil {
+		t.Fatalf("versioned replay failed: %v", err)
+	}
+	// Without -registry the versioned records cannot resolve.
+	err = cmdReplay([]string{"-model", model, "-trace", tracePath})
+	if err == nil {
+		t.Fatal("replay verified versioned records without -registry")
+	}
+	if !strings.Contains(err.Error(), "-registry") {
+		t.Errorf("error does not point at -registry: %v", err)
+	}
+
+	// The trace really holds both versions.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rd, err := replay.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := map[uint32]int{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[rec.ModelVersion]++
+	}
+	if versions[1] == 0 || versions[2] == 0 {
+		t.Fatalf("trace versions = %v, want records from both v1 and v2", versions)
+	}
+
+	// Warm restart: the daemon must adopt the registry's active v2, not
+	// the -model bundle.
+	ready2 := make(chan string, 1)
+	serveReady = func(addr string) { ready2 <- addr }
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- serveRun(ctx2, []string{
+			"-model", model, "-addr", "127.0.0.1:0", "-pool", "1", "-registry", regDir,
+		})
+	}()
+	select {
+	case addr := <-ready2:
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var health serve.HealthReport
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if health.ModelVersion != 2 {
+			t.Errorf("warm restart serves model v%d, want v2", health.ModelVersion)
+		}
+	case err := <-done2:
+		t.Fatalf("warm restart exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("warm restart never became ready")
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("warm restart shutdown: %v", err)
 	}
 }
 

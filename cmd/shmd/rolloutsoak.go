@@ -1,0 +1,428 @@
+package main
+
+// The canary-rollout soak: one registry-backed serve instance under
+// sustained live traffic, with two model pushes scripted mid-storm:
+//
+//   - v2 is bit-identical to the incumbent. It must canary on one
+//     slot, agree with the baseline over the conformance window, and
+//     auto-promote fleet-wide — with zero lost requests and zero
+//     double checkouts while every slot rolls under load.
+//   - v3 is deliberately drifted (same network, a decision threshold
+//     chosen to flip the soak programs' verdicts). Its manifest is
+//     perfectly valid — it pins its own goldens — so only the live
+//     canary comparison can catch it. The rollout must auto-rollback
+//     and leave v2 serving on every slot.
+//
+// Like the chaos, fleet, and tenant soaks, the run writes a
+// machine-readable JSON report for CI artifacts. The -duration flag
+// is the budget both phases must complete within, not a fixed
+// runtime: the soak ends shortly after the rollback resolves.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shmd/internal/hmd"
+	"shmd/internal/registry"
+	"shmd/internal/serve"
+	"shmd/internal/trace"
+)
+
+// rolloutParams are the knobs the rollout soak inherits from the soak
+// flag set.
+type rolloutParams struct {
+	duration time.Duration
+	clients  int
+	pool     int
+	rate     float64
+	seed     uint64
+	deadline time.Duration
+	report   string
+	model    string
+	max5xx   float64
+}
+
+// rolloutSoakReport is the machine-readable rollout soak result.
+type rolloutSoakReport struct {
+	Duration        string         `json:"duration"`
+	Requests        uint64         `json:"requests"`
+	Status          map[string]int `json:"status"`
+	ClientErrors    uint64         `json:"clientErrors"`
+	Rate5xx         float64        `json:"rate5xx"`
+	DoubleCheckouts uint64         `json:"doubleCheckouts"`
+	Rolls           uint64         `json:"rolls"`
+	Promoted        uint64         `json:"promoted"`
+	RolledBack      uint64         `json:"rolledBack"`
+	Aborted         uint64         `json:"aborted"`
+	ActiveVersion   uint32         `json:"activeVersion"`
+	SlotVersions    []uint32       `json:"slotVersions"`
+	Failures        []string       `json:"failures"`
+	Pass            bool           `json:"pass"`
+}
+
+// rolloutSoakRun drives the full canary rollout arc — bootstrap v1,
+// push a conforming v2 mid-traffic, push a drifted v3 after the
+// promotion — and asserts the fleet ends on v2 with nothing dropped.
+func rolloutSoakRun(ctx context.Context, p rolloutParams) error {
+	base, err := soakModel(p.model)
+	if err != nil {
+		return err
+	}
+	regDir, err := os.MkdirTemp("", "shmd-rollout-soak-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(regDir)
+	reg, err := registry.Open(regDir, log.Printf)
+	if err != nil {
+		return err
+	}
+	now := uint64(time.Now().Unix())
+	m1, err := registry.NewManifest(1, registry.FannType, base, now, registry.DefaultGoldenSpecs())
+	if err != nil {
+		return err
+	}
+	if err := reg.Register(m1); err != nil {
+		return err
+	}
+	if err := reg.Activate(1); err != nil {
+		return err
+	}
+	mdl1, err := reg.Model(1)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Pool: serve.PoolConfig{
+			Size:         p.pool,
+			ErrorRate:    p.rate,
+			Seed:         p.seed,
+			ModelVersion: 1,
+			Lifecycle: serve.LifecycleConfig{
+				Enabled:           true,
+				RespawnBackoff:    20 * time.Millisecond,
+				RespawnMaxBackoff: time.Second,
+			},
+			Logf: log.Printf,
+		},
+		QueueDepth:      4 * p.clients,
+		DefaultDeadline: p.deadline,
+		Registry:        reg,
+		Rollout:         serve.RolloutConfig{CanarySlots: 1, Window: 48, MinCanary: 16},
+	}
+	srv, err := serve.New(mdl1.Detector(), cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	serveCtx, stopServe := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(serveCtx, ln) }()
+	url := "http://" + ln.Addr().String()
+	log.Printf("rollout soak: serving on %s (pool %d, clients %d, budget %s)", ln.Addr(), p.pool, p.clients, p.duration)
+
+	body, err := soakBody(p.seed)
+	if err != nil {
+		stopServe()
+		<-serveDone
+		return err
+	}
+
+	soakCtx, stopSoak := context.WithTimeout(ctx, p.duration)
+	defer stopSoak()
+	budget := time.Now().Add(p.duration)
+
+	var (
+		total, clientErrs atomic.Uint64
+		statusMu          sync.Mutex
+		status            = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < p.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: p.deadline + 5*time.Second}
+			for soakCtx.Err() == nil {
+				req, err := http.NewRequestWithContext(soakCtx, http.MethodPost, url+"/v1/detect", bytes.NewReader(body))
+				if err != nil {
+					clientErrs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					if soakCtx.Err() == nil {
+						clientErrs.Add(1)
+					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				total.Add(1)
+				statusMu.Lock()
+				status[fmt.Sprintf("%dxx", resp.StatusCode/100)]++
+				statusMu.Unlock()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// The scripted rollout arc, driven against the live admin surface.
+	rep := rolloutSoakReport{Duration: p.duration.String()}
+	fail := func(format string, args ...any) {
+		rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+	}
+	arc := func() error {
+		// Warm up: the baseline window needs live traffic before a canary
+		// comparison means anything.
+		if err := rolloutWait(soakCtx, budget, "warmup traffic", func() (bool, error) {
+			return total.Load() >= 20, nil
+		}); err != nil {
+			return err
+		}
+
+		// Push v2: same network, fresh manifest. Canary → agree → promote.
+		m2, err := registry.NewManifest(2, registry.FannType, base, now+1, registry.DefaultGoldenSpecs())
+		if err != nil {
+			return err
+		}
+		if err := rolloutPush(url, m2); err != nil {
+			return err
+		}
+		log.Printf("rollout soak: pushed v2 (conforming), waiting for promotion")
+		if err := rolloutWait(soakCtx, budget, "v2 promotion", func() (bool, error) {
+			st, err := rolloutAdminStatus(url)
+			if err != nil {
+				return false, err
+			}
+			if st.Rollout.RolledBack > 0 || st.Rollout.Aborted > 0 {
+				return false, fmt.Errorf("v2 rollout ended %+v, want promotion", st.Rollout)
+			}
+			return st.Active == 2 && st.Rollout.Phase == "idle" && st.Rollout.Promoted == 1, nil
+		}); err != nil {
+			return err
+		}
+		log.Printf("rollout soak: v2 promoted fleet-wide")
+
+		// Push v3: drifted threshold, self-consistent manifest. Canary →
+		// disagree → rollback, incumbent v2 untouched.
+		drifted, err := rolloutDriftedDetector(base, p.seed)
+		if err != nil {
+			return err
+		}
+		m3, err := registry.NewManifest(3, registry.FannType, drifted, now+2, registry.DefaultGoldenSpecs())
+		if err != nil {
+			return err
+		}
+		if err := rolloutPush(url, m3); err != nil {
+			return err
+		}
+		log.Printf("rollout soak: pushed v3 (drifted), waiting for rollback")
+		if err := rolloutWait(soakCtx, budget, "v3 rollback", func() (bool, error) {
+			st, err := rolloutAdminStatus(url)
+			if err != nil {
+				return false, err
+			}
+			if st.Rollout.Promoted > 1 {
+				return false, fmt.Errorf("drifted v3 was promoted: %+v", st.Rollout)
+			}
+			return st.Active == 2 && st.Rollout.Phase == "idle" && st.Rollout.RolledBack == 1, nil
+		}); err != nil {
+			return err
+		}
+		log.Printf("rollout soak: v3 rolled back, incumbent v2 intact")
+		return nil
+	}
+	if err := arc(); err != nil {
+		fail("%v", err)
+	} else {
+		// A short linger proves the post-rollback fleet still serves.
+		select {
+		case <-time.After(250 * time.Millisecond):
+		case <-soakCtx.Done():
+		}
+	}
+	stopSoak()
+	wg.Wait()
+	stopServe()
+	if err := <-serveDone; err != nil {
+		return fmt.Errorf("rollout soak: server shutdown: %w", err)
+	}
+
+	pool := srv.Pool()
+	st := srv.Rollout().Status()
+	rep.Requests = total.Load()
+	rep.Status = status
+	rep.ClientErrors = clientErrs.Load()
+	rep.DoubleCheckouts = pool.DoubleCheckouts()
+	rep.Rolls = pool.Rolls()
+	rep.Promoted = st.Promoted
+	rep.RolledBack = st.RolledBack
+	rep.Aborted = st.Aborted
+	rep.SlotVersions = pool.ModelVersions()
+	if v, ok := reg.Active(); ok {
+		rep.ActiveVersion = v
+	}
+	if rep.Requests > 0 {
+		rep.Rate5xx = float64(status["5xx"]) / float64(rep.Requests)
+	}
+
+	if rep.Requests == 0 {
+		fail("no requests completed")
+	}
+	if status["2xx"] == 0 {
+		fail("no successful detections")
+	}
+	if rep.ClientErrors != 0 {
+		fail("%d requests lost mid-rollout", rep.ClientErrors)
+	}
+	if rep.DoubleCheckouts != 0 {
+		fail("session-exclusivity violated: %d double checkouts", rep.DoubleCheckouts)
+	}
+	if rep.Rate5xx > p.max5xx {
+		fail("5xx rate %.4f exceeds budget %.4f", rep.Rate5xx, p.max5xx)
+	}
+	if rep.Promoted != 1 {
+		fail("v2 promotions = %d, want 1", rep.Promoted)
+	}
+	if rep.RolledBack != 1 {
+		fail("v3 rollbacks = %d, want 1", rep.RolledBack)
+	}
+	if rep.ActiveVersion != 2 {
+		fail("registry active = v%d after the arc, want v2", rep.ActiveVersion)
+	}
+	for id, v := range rep.SlotVersions {
+		if v != 2 {
+			fail("slot %d ended on v%d, want v2", id, v)
+		}
+	}
+	// v2 promote rolls every slot once; the v3 canary rolls one slot out
+	// and back.
+	if want := uint64(p.pool + 2); rep.Rolls < want {
+		fail("only %d slot rolls recorded, want >= %d", rep.Rolls, want)
+	}
+	rep.Pass = len(rep.Failures) == 0
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(p.report, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("rollout soak: %d requests (%.4f 5xx), %d rolls, promoted %d, rolled back %d, report %s",
+		rep.Requests, rep.Rate5xx, rep.Rolls, rep.Promoted, rep.RolledBack, p.report)
+	if !rep.Pass {
+		return fmt.Errorf("rollout soak failed: %v", rep.Failures)
+	}
+	fmt.Println("rollout soak: PASS")
+	return nil
+}
+
+// rolloutPush POSTs an encoded manifest to the admin surface and
+// expects the canary to be accepted.
+func rolloutPush(url string, m *registry.Manifest) error {
+	raw, err := registry.EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/v1/admin/models", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("push v%d = %d (%s)", m.Version, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// rolloutAdminStatus fetches GET /v1/admin/models.
+func rolloutAdminStatus(url string) (serve.AdminModelsReport, error) {
+	var report serve.AdminModelsReport
+	resp, err := http.Get(url + "/v1/admin/models")
+	if err != nil {
+		return report, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return report, fmt.Errorf("admin status = %d", resp.StatusCode)
+	}
+	return report, json.NewDecoder(resp.Body).Decode(&report)
+}
+
+// rolloutWait polls cond until it holds, the budget expires, or the
+// soak window closes. A cond error is terminal (scripted invariants
+// like "v3 must not promote" report through it).
+func rolloutWait(ctx context.Context, budget time.Time, what string, cond func() (bool, error)) error {
+	for {
+		ok, err := cond()
+		if err != nil {
+			return fmt.Errorf("%s: %w", what, err)
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(budget) {
+			return fmt.Errorf("%s: not reached within the soak budget", what)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%s: soak window closed first: %w", what, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// rolloutDriftedDetector builds a detector on the incumbent's network
+// whose decision threshold flips the soak programs' nominal verdicts —
+// a drift the manifest's self-pinned goldens cannot catch, only the
+// live canary comparison can.
+func rolloutDriftedDetector(base *hmd.HMD, seed uint64) (*hmd.HMD, error) {
+	lo, hi := 1.0, 0.0
+	for _, cls := range []trace.Class{trace.Trojan, trace.Benign} {
+		prog, err := trace.NewProgram(cls, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		windows, err := prog.Trace(4, 256)
+		if err != nil {
+			return nil, err
+		}
+		dec := base.DetectProgram(windows)
+		if dec.Score < lo {
+			lo = dec.Score
+		}
+		if dec.Score > hi {
+			hi = dec.Score
+		}
+	}
+	cfg := base.Config()
+	if lo >= cfg.Threshold {
+		// Both programs score malware: raise the threshold above both.
+		cfg.Threshold = (hi + 1) / 2
+	} else {
+		// At least one scores benign: drop the threshold below both, so
+		// every soak verdict lands malware and the drift is unmissable.
+		cfg.Threshold = lo / 2
+	}
+	return hmd.FromNetwork(base.Network(), cfg)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCmdRolloutSoak runs a short canary-rollout soak — bootstrap v1,
+// push a conforming v2 mid-traffic, push a drifted v3 after the
+// promotion — and checks the report the CI gate would consume: v2
+// promoted, v3 rolled back, nothing lost while every slot rolled.
+func TestCmdRolloutSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rollout soak takes seconds; skipped under -short")
+	}
+	report := filepath.Join(t.TempDir(), "rollout_report.json")
+	err := soakRun(context.Background(), []string{
+		"-rollout",
+		"-duration", "30s",
+		"-pool", "3",
+		"-clients", "3",
+		"-report", report,
+	})
+	if err != nil {
+		t.Fatalf("rollout soak: %v", err)
+	}
+
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep rolloutSoakReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v\n%s", err, raw)
+	}
+	if !rep.Pass || len(rep.Failures) != 0 {
+		t.Fatalf("report failed: %v", rep.Failures)
+	}
+	if rep.Promoted != 1 || rep.RolledBack != 1 {
+		t.Fatalf("promoted %d / rolledBack %d, want 1 / 1", rep.Promoted, rep.RolledBack)
+	}
+	if rep.ActiveVersion != 2 {
+		t.Fatalf("active version = %d, want 2", rep.ActiveVersion)
+	}
+	for id, v := range rep.SlotVersions {
+		if v != 2 {
+			t.Errorf("slot %d ended on v%d, want v2", id, v)
+		}
+	}
+	if rep.ClientErrors != 0 {
+		t.Errorf("client errors = %d, want 0 (lost requests mid-roll)", rep.ClientErrors)
+	}
+	if rep.DoubleCheckouts != 0 {
+		t.Errorf("double checkouts = %d, want 0", rep.DoubleCheckouts)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"shmd/internal/hmd"
+	"shmd/internal/registry"
 	"shmd/internal/replay"
 	"shmd/internal/serve"
 	"shmd/internal/tenant"
@@ -75,6 +76,9 @@ func serveRun(ctx context.Context, args []string) error {
 	maxBatch := fs.Int("max-batch", 0, "coalesce concurrent programs into micro-batches of up to this many lanes (0 or 1 = scalar dispatch)")
 	maxBatchWait := fs.Duration("max-batch-wait", 0, "flush a partial micro-batch after this wait (0 = 2ms default when -max-batch enables batching)")
 	deadline := fs.Duration("deadline", 0, "default per-request detection deadline (0 = unbounded)")
+	registryDir := fs.String("registry", "", "model registry directory (empty = registry off; bootstraps from -model when empty)")
+	canarySlots := fs.Int("canary-slots", 1, "pool slots a pushed model canaries on before fleet-wide promotion")
+	canaryWindow := fs.Int("canary-window", 64, "sliding decision window the canary conformance check judges over")
 	tracePath := fs.String("trace", "", "decision trace file for `shmd replay` audits (empty = tracing off)")
 	traceBuffer := fs.Int("trace-buffer", replay.DefaultSinkBuffer, "decision trace ring size; overflow drops records, never blocks serving")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "HTTP header read timeout")
@@ -98,6 +102,56 @@ func serveRun(ctx context.Context, args []string) error {
 		return err
 	}
 
+	var reg *registry.Registry
+	var modelVersion uint32
+	if *registryDir != "" {
+		reg, err = registry.Open(*registryDir, log.Printf)
+		if err != nil {
+			return err
+		}
+		if v, ok := reg.Active(); ok {
+			// Warm restart: adopt the registry's active version instead of
+			// the -model bundle, so a fleet that promoted a pushed model
+			// keeps serving it across restarts.
+			mdl, err := reg.Model(v)
+			if err != nil {
+				return fmt.Errorf("registry: active version %d: %w", v, err)
+			}
+			det = mdl.Detector()
+			modelVersion = v
+			fmt.Printf("shmd serve: registry %s: serving active model v%d (%s)\n",
+				*registryDir, v, mdl.Fingerprint())
+		} else {
+			// Cold bootstrap: register the -model bundle as the first
+			// version and activate it, so later pushes roll against a
+			// registry-tracked incumbent.
+			next := uint32(1)
+			for _, info := range reg.Versions() {
+				if info.Version >= next {
+					next = info.Version + 1
+				}
+			}
+			m, err := registry.NewManifest(next, registry.FannType, det, uint64(time.Now().Unix()), registry.DefaultGoldenSpecs())
+			if err != nil {
+				return fmt.Errorf("registry: bootstrap manifest: %w", err)
+			}
+			if err := reg.Register(m); err != nil {
+				return fmt.Errorf("registry: bootstrap register: %w", err)
+			}
+			if err := reg.Activate(next); err != nil {
+				return fmt.Errorf("registry: bootstrap activate: %w", err)
+			}
+			mdl, err := reg.Model(next)
+			if err != nil {
+				return fmt.Errorf("registry: bootstrap load: %w", err)
+			}
+			det = mdl.Detector()
+			modelVersion = next
+			fmt.Printf("shmd serve: registry %s: bootstrapped %s as v%d (%s)\n",
+				*registryDir, *model, next, mdl.Fingerprint())
+		}
+	}
+
 	cfg := serve.Config{
 		Pool: serve.PoolConfig{
 			Size:        *pool,
@@ -105,8 +159,9 @@ func serveRun(ctx context.Context, args []string) error {
 			Seed:        *seed,
 			Chaos:       *withChaos,
 			Lifecycle:   serve.LifecycleConfig{Enabled: *lifecycle},
-			JournalPath: *journalPath,
-			Logf:        log.Printf,
+			JournalPath:  *journalPath,
+			ModelVersion: modelVersion,
+			Logf:         log.Printf,
 		},
 		QueueDepth:        *queue,
 		EnablePprof:       *withPprof,
@@ -116,6 +171,8 @@ func serveRun(ctx context.Context, args []string) error {
 		MaxBatchWait:      *maxBatchWait,
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ShutdownTimeout:   *shutdownTimeout,
+		Registry:          reg,
+		Rollout:           serve.RolloutConfig{CanarySlots: *canarySlots, Window: *canaryWindow},
 	}
 	if *undervolt > 0 {
 		cfg.Pool.ErrorRate = 0

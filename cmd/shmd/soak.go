@@ -84,10 +84,24 @@ func soakRun(ctx context.Context, args []string) error {
 	killAt := fs.Float64("kill-at", 0.4, "fraction of the duration at which one backend is hard-killed (fleet mode)")
 	wireSoak := fs.Bool("wire", false, "drive detections over the SHMDWIRE binary protocol via the Go SDK instead of HTTP")
 	tenants := fs.Bool("tenants", false, "soak the multi-tenant QoS layer: steady/bursty/abusive tenant personas against one server, isolation SLOs asserted")
+	rolloutSoak := fs.Bool("rollout", false, "soak the canary rollout arc: push a conforming model mid-traffic (must promote), then a drifted one (must roll back)")
 	sloP99 := fs.Duration("slo-p99", 500*time.Millisecond, "steady persona's p99 latency SLO (tenant mode)")
 	minShed := fs.Float64("min-abusive-shed", 0.5, "minimum fraction of the abusive persona's requests that must shed 429 (tenant mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *rolloutSoak {
+		return rolloutSoakRun(ctx, rolloutParams{
+			duration: *duration,
+			clients:  *clients,
+			pool:     *pool,
+			rate:     *rate,
+			seed:     *seed,
+			deadline: *deadline,
+			report:   *report,
+			model:    *model,
+			max5xx:   *max5xx,
+		})
 	}
 	if *tenants {
 		return tenantSoakRun(ctx, tenantParams{

@@ -116,6 +116,54 @@ func (c *RateCheck) Observe(success bool) Status {
 // N returns the number of observations fed so far.
 func (c *RateCheck) N() int { return c.n }
 
+// UpCheck is a one-sided sequential drift check: a single Wald SPRT of
+// H0: p = p0 against H1: p = p1 with p1 > p0. RejectNull means the
+// rate drifted up to (at least) p1; AcceptNull means the data supports
+// p0. It exists for rates pinned at a boundary — a success rate near 0
+// (or, mirrored by the caller, near 1) leaves no room below p0 for the
+// two-sided RateCheck's down test, but an upward drift is still the
+// failure mode worth catching (the serve canary uses it to compare a
+// candidate model's verdict stream against an incumbent that almost
+// never, or almost always, fires).
+type UpCheck struct {
+	w            *wald
+	n, successes int
+}
+
+// NewUpCheck builds the one-sided check. Requires 0 < p0 < p1 < 1;
+// alpha bounds the false-alarm probability, beta the miss probability.
+func NewUpCheck(p0, p1, alpha, beta float64) (*UpCheck, error) {
+	if !(p0 > 0 && p0 < p1 && p1 < 1) {
+		return nil, fmt.Errorf("conform: up check needs 0 < p0 < p1 < 1, got p0=%v p1=%v", p0, p1)
+	}
+	if alpha <= 0 || alpha >= 1 || beta <= 0 || beta >= 1 {
+		return nil, fmt.Errorf("conform: alpha=%v beta=%v outside (0,1)", alpha, beta)
+	}
+	return &UpCheck{w: newWald(p0, p1, alpha, beta)}, nil
+}
+
+// Observe feeds one Bernoulli trial: RejectNull once the walk supports
+// the drifted rate p1, AcceptNull once it supports p0, Continue before
+// either boundary is crossed.
+func (c *UpCheck) Observe(success bool) Status {
+	c.n++
+	if success {
+		c.successes++
+	}
+	return c.w.observe(success)
+}
+
+// N returns the number of observations fed so far.
+func (c *UpCheck) N() int { return c.n }
+
+// Rate returns the observed success rate.
+func (c *UpCheck) Rate() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return float64(c.successes) / float64(c.n)
+}
+
 // Rate returns the observed success rate.
 func (c *RateCheck) Rate() float64 {
 	if c.n == 0 {

@@ -2,7 +2,9 @@ package hmd
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -54,6 +56,20 @@ func (h *HMD) SaveBundle(w io.Writer) (int64, error) {
 	k, err := h.net.Save(w)
 	n += k
 	return n, err
+}
+
+// Fingerprint returns a short stable content hash of the detector:
+// SHA-256 over the canonical bundle bytes, truncated to 16 bytes and
+// hex-encoded. Two detectors fingerprint equal iff SaveBundle would
+// emit identical bytes (same feature set, period, threshold, weights),
+// which is exactly the bit-identity contract the serve pool and model
+// registry care about.
+func (h *HMD) Fingerprint() (string, error) {
+	sum := sha256.New()
+	if _, err := h.SaveBundle(sum); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(sum.Sum(nil)[:16]), nil
 }
 
 // LoadBundle restores a detector saved with SaveBundle.

@@ -1,0 +1,49 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzModelManifestDecode holds both SHMDMDL1 record decoders to their
+// contract on arbitrary bytes: never a panic, every failure wraps
+// ErrCorrupt, and anything that decodes re-encodes byte-identically
+// (the encoding is canonical: the CRC-framed block admits exactly one
+// byte representation per value, so decode→encode is identity on
+// every accepted input).
+func FuzzModelManifestDecode(f *testing.F) {
+	for _, raw := range goldenRecords(f) {
+		f.Add(raw)
+		// Truncated at an awkward boundary and bit-flipped mid-record.
+		f.Add(raw[:len(raw)/2])
+		flipped := append([]byte{}, raw...)
+		flipped[len(flipped)/2] ^= 0x10
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SHMDMDL1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeManifest(data); err == nil {
+			reenc, encErr := EncodeManifest(m)
+			if encErr != nil {
+				t.Fatalf("decoded manifest failed to re-encode: %v", encErr)
+			}
+			if string(reenc) != string(data) {
+				t.Fatalf("manifest re-encode not identity:\n got %x\nwant %x", reenc, data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped manifest decode error: %v", err)
+		}
+		if a, err := DecodeActive(data); err == nil {
+			reenc, encErr := EncodeActive(a)
+			if encErr != nil {
+				t.Fatalf("decoded active failed to re-encode: %v", encErr)
+			}
+			if string(reenc) != string(data) {
+				t.Fatalf("active re-encode not identity:\n got %x\nwant %x", reenc, data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped active decode error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,409 @@
+// Package registry is the versioned model store behind shmd serve:
+// crash-safe SHMDMDL1 manifests (model params plus pinned golden
+// verdicts, CRC-framed and atomically persisted via internal/wire),
+// load/validate/activate semantics, and the codec seam that lets
+// heterogeneous detector types (FANN MLP today, RHMD committees and
+// logistic heads tomorrow) live behind one serving API.
+package registry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"shmd/internal/trace"
+	"shmd/internal/wire"
+)
+
+// ManifestMagic frames every registry record on disk and on the admin
+// wire. The payload's first byte selects the record type.
+const ManifestMagic = "SHMDMDL1"
+
+// Record types carried inside a SHMDMDL1 block.
+const (
+	// recManifest is a versioned model manifest (record type 1).
+	recManifest = 0x01
+	// recActive is the active-version pointer (record type 2),
+	// stored in the registry directory's ACTIVE file.
+	recActive = 0x02
+)
+
+// Layout limits. Decoders reject anything outside these bounds as
+// corrupt rather than allocating attacker-controlled sizes.
+const (
+	maxParams      = 8 << 20 // serialized model parameters
+	maxGolden      = 64      // pinned golden verdicts per manifest
+	maxTypeLen     = 32
+	maxFingerprint = 64
+	maxGoldenIndex = 1 << 20
+	maxPayload     = maxParams + 64*1024
+)
+
+// Typed failures. ErrCorrupt covers framing and structural decode
+// errors (it matches wire.ErrCorrupt failures too); the others are
+// semantic.
+var (
+	// ErrCorrupt means the record bytes are malformed: bad framing,
+	// bad CRC, truncation, or out-of-range fields.
+	ErrCorrupt = errors.New("registry: corrupt record")
+	// ErrUnknownVersion means the requested version is not registered.
+	ErrUnknownVersion = errors.New("registry: unknown model version")
+	// ErrUnknownType means no codec is registered for the manifest's
+	// model type.
+	ErrUnknownType = errors.New("registry: unknown model type")
+	// ErrGoldenMismatch means the decoded model disagreed with a
+	// pinned golden verdict — the params and the pins describe
+	// different models.
+	ErrGoldenMismatch = errors.New("registry: golden verdict mismatch")
+	// ErrVersionExists means the version number is taken by a model
+	// with a different fingerprint.
+	ErrVersionExists = errors.New("registry: version already registered")
+)
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// GoldenVerdict pins one known-answer check: the program is
+// regenerated deterministically from (class, index, seed, windows,
+// windowSize) and the model's exact nominal-voltage pass must
+// reproduce the verdict and the score bit-for-bit.
+type GoldenVerdict struct {
+	Class      trace.Class
+	Index      int
+	Seed       uint64
+	Windows    int
+	WindowSize int
+	Malware    bool
+	Score      float64
+}
+
+// Manifest is one versioned model record.
+type Manifest struct {
+	// Version is the registry version number (>= 1).
+	Version uint32
+	// Type names the params codec ("fann-mlp" is built in).
+	Type string
+	// Created is a unix-seconds timestamp, informational only.
+	Created uint64
+	// Params is the codec-specific serialized model.
+	Params []byte
+	// Golden pins the model's behavior; Register re-verifies every
+	// entry against the decoded model before accepting the manifest.
+	Golden []GoldenVerdict
+}
+
+// Active is the active-version pointer persisted in the ACTIVE file.
+type Active struct {
+	Version     uint32
+	Fingerprint string
+	// Saved is a unix-seconds timestamp, informational only.
+	Saved uint64
+}
+
+// validate checks structural invariants shared by encode and decode.
+func (m *Manifest) validate() error {
+	if m.Version == 0 {
+		return corrupt("version 0")
+	}
+	if len(m.Type) == 0 || len(m.Type) > maxTypeLen {
+		return corrupt("model type length %d", len(m.Type))
+	}
+	if len(m.Params) == 0 || len(m.Params) > maxParams {
+		return corrupt("params length %d", len(m.Params))
+	}
+	if len(m.Golden) == 0 || len(m.Golden) > maxGolden {
+		return corrupt("%d golden verdicts (want 1..%d)", len(m.Golden), maxGolden)
+	}
+	for i, g := range m.Golden {
+		if g.Class < 0 || int(g.Class) >= trace.NumClasses {
+			return corrupt("golden %d: class %d", i, int(g.Class))
+		}
+		if g.Index < 0 || g.Index > maxGoldenIndex {
+			return corrupt("golden %d: index %d", i, g.Index)
+		}
+		if g.Windows < 1 || g.Windows > 256 {
+			return corrupt("golden %d: %d windows", i, g.Windows)
+		}
+		if g.WindowSize < 1 || g.WindowSize > 4096 {
+			return corrupt("golden %d: window size %d", i, g.WindowSize)
+		}
+		if math.IsNaN(g.Score) {
+			return corrupt("golden %d: NaN score", i)
+		}
+	}
+	return nil
+}
+
+func appendStr8(b []byte, s string) []byte {
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+// EncodeManifest serializes a manifest as a complete SHMDMDL1 block
+// (magic, length, payload, CRC). The encoding is canonical: decoding
+// and re-encoding any valid block reproduces it byte for byte.
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	p := make([]byte, 0, 64+len(m.Params)+24*len(m.Golden))
+	p = append(p, recManifest)
+	p = binary.AppendUvarint(p, uint64(m.Version))
+	p = appendStr8(p, m.Type)
+	p = binary.AppendUvarint(p, m.Created)
+	p = binary.BigEndian.AppendUint32(p, uint32(len(m.Params)))
+	p = append(p, m.Params...)
+	p = binary.AppendUvarint(p, uint64(len(m.Golden)))
+	for _, g := range m.Golden {
+		p = append(p, byte(g.Class))
+		p = binary.AppendUvarint(p, uint64(g.Index))
+		p = binary.AppendUvarint(p, g.Seed)
+		p = binary.AppendUvarint(p, uint64(g.Windows))
+		p = binary.AppendUvarint(p, uint64(g.WindowSize))
+		p = binary.BigEndian.AppendUint64(p, math.Float64bits(g.Score))
+		var flags byte
+		if g.Malware {
+			flags |= 1
+		}
+		p = append(p, flags)
+	}
+	return wire.EncodeBlock(ManifestMagic, p), nil
+}
+
+// DecodeManifest parses a complete SHMDMDL1 manifest block. All
+// failures are ErrCorrupt; a well-framed block of the wrong record
+// type is corrupt too (callers asking for a manifest got something
+// else).
+func DecodeManifest(raw []byte) (*Manifest, error) {
+	payload, err := wire.DecodeBlock(ManifestMagic, raw, maxPayload)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	r := recReader{b: payload}
+	rt, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if rt != recManifest {
+		return nil, corrupt("record type 0x%02x, want manifest 0x%02x", rt, recManifest)
+	}
+	var m Manifest
+	v, err := r.uvarint32("version")
+	if err != nil {
+		return nil, err
+	}
+	m.Version = v
+	m.Type, err = r.str8("model type", maxTypeLen)
+	if err != nil {
+		return nil, err
+	}
+	m.Created, err = r.uvarint("created")
+	if err != nil {
+		return nil, err
+	}
+	plen, err := r.be32("params length")
+	if err != nil {
+		return nil, err
+	}
+	if plen == 0 || plen > maxParams {
+		return nil, corrupt("params length %d", plen)
+	}
+	params, err := r.take(int(plen), "params")
+	if err != nil {
+		return nil, err
+	}
+	m.Params = append([]byte(nil), params...)
+	n, err := r.uvarint("golden count")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxGolden {
+		return nil, corrupt("%d golden verdicts", n)
+	}
+	m.Golden = make([]GoldenVerdict, n)
+	for i := range m.Golden {
+		g := &m.Golden[i]
+		cls, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		g.Class = trace.Class(cls)
+		idx, err := r.uvarint("golden index")
+		if err != nil {
+			return nil, err
+		}
+		if idx > maxGoldenIndex {
+			return nil, corrupt("golden index %d", idx)
+		}
+		g.Index = int(idx)
+		if g.Seed, err = r.uvarint("golden seed"); err != nil {
+			return nil, err
+		}
+		w, err := r.uvarint("golden windows")
+		if err != nil {
+			return nil, err
+		}
+		g.Windows = int(w)
+		ws, err := r.uvarint("golden window size")
+		if err != nil {
+			return nil, err
+		}
+		g.WindowSize = int(ws)
+		bits, err := r.be64("golden score")
+		if err != nil {
+			return nil, err
+		}
+		g.Score = math.Float64frombits(bits)
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if flags&^1 != 0 {
+			return nil, corrupt("golden flags 0x%02x", flags)
+		}
+		g.Malware = flags&1 != 0
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// EncodeActive serializes an active-version pointer as a SHMDMDL1
+// block (record type 2).
+func EncodeActive(a *Active) ([]byte, error) {
+	if a.Version == 0 {
+		return nil, corrupt("active version 0")
+	}
+	if len(a.Fingerprint) == 0 || len(a.Fingerprint) > maxFingerprint {
+		return nil, corrupt("active fingerprint length %d", len(a.Fingerprint))
+	}
+	p := make([]byte, 0, 16+len(a.Fingerprint))
+	p = append(p, recActive)
+	p = binary.AppendUvarint(p, uint64(a.Version))
+	p = appendStr8(p, a.Fingerprint)
+	p = binary.AppendUvarint(p, a.Saved)
+	return wire.EncodeBlock(ManifestMagic, p), nil
+}
+
+// DecodeActive parses an active-version pointer block.
+func DecodeActive(raw []byte) (*Active, error) {
+	payload, err := wire.DecodeBlock(ManifestMagic, raw, maxPayload)
+	if err != nil {
+		return nil, corrupt("%v", err)
+	}
+	r := recReader{b: payload}
+	rt, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if rt != recActive {
+		return nil, corrupt("record type 0x%02x, want active 0x%02x", rt, recActive)
+	}
+	var a Active
+	if a.Version, err = r.uvarint32("active version"); err != nil {
+		return nil, err
+	}
+	if a.Fingerprint, err = r.str8("active fingerprint", maxFingerprint); err != nil {
+		return nil, err
+	}
+	if a.Saved, err = r.uvarint("active saved"); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// recReader is a bounds-checked cursor over a record payload; every
+// failure is ErrCorrupt.
+type recReader struct {
+	b []byte
+}
+
+func (r *recReader) byte() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, corrupt("truncated record")
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *recReader) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, corrupt("bad %s varint", field)
+	}
+	// Only the minimal encoding is canonical: a padded varint would
+	// decode fine but break decode→encode byte identity.
+	if n > 1 && v>>(7*uint(n-1)) == 0 {
+		return 0, corrupt("non-minimal %s varint", field)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *recReader) uvarint32(field string) (uint32, error) {
+	v, err := r.uvarint(field)
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 || v > math.MaxUint32 {
+		return 0, corrupt("%s %d out of range", field, v)
+	}
+	return uint32(v), nil
+}
+
+func (r *recReader) take(n int, field string) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, corrupt("truncated %s", field)
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *recReader) str8(field string, max int) (string, error) {
+	n, err := r.byte()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || int(n) > max {
+		return "", corrupt("%s length %d", field, n)
+	}
+	v, err := r.take(int(n), field)
+	if err != nil {
+		return "", err
+	}
+	return string(v), nil
+}
+
+func (r *recReader) be32(field string) (uint32, error) {
+	v, err := r.take(4, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(v), nil
+}
+
+func (r *recReader) be64(field string) (uint64, error) {
+	v, err := r.take(8, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(v), nil
+}
+
+func (r *recReader) done() error {
+	if len(r.b) != 0 {
+		return corrupt("%d trailing bytes", len(r.b))
+	}
+	return nil
+}

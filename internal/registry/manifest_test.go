@@ -1,0 +1,242 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shmd/internal/fann"
+	"shmd/internal/features"
+	"shmd/internal/hmd"
+	"shmd/internal/trace"
+)
+
+// update regenerates the golden record corpus. The corpus is the
+// manifest compatibility contract: regenerating it is an intentional,
+// reviewed format change, never a test-fixing reflex.
+var update = flag.Bool("update", false, "rewrite the golden record corpus")
+
+// testHMD builds a deterministic untrained detector (seeded random
+// weights): verdicts are arbitrary but stable, which is all the
+// registry tests need.
+func testHMD(t testing.TB, seed uint64) *hmd.HMD {
+	t.Helper()
+	net, err := fann.New(fann.Config{
+		Layers: []int{features.DimInstrFreq, 8, 1},
+		Hidden: fann.SigmoidSymmetric,
+		Output: fann.Sigmoid,
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hmd.FromNetwork(net, hmd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func testManifest(t testing.TB, version uint32, seed uint64) *Manifest {
+	t.Helper()
+	m, err := NewManifest(version, FannType, testHMD(t, seed), 1700000000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// goldenRecords enumerates every SHMDMDL1 record type with a
+// canonical sample value. Each becomes a byte-exact hex fixture.
+func goldenRecords(t testing.TB) map[string][]byte {
+	t.Helper()
+	man, err := EncodeManifest(testManifest(t, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := EncodeActive(&Active{Version: 3, Fingerprint: "deadbeefdeadbeefdeadbeefdeadbeef", Saved: 1700000001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string][]byte{
+		"manifest": man,
+		"active":   act,
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "record_"+name+".hex")
+}
+
+func readGolden(t *testing.T, name string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("golden fixture %s missing (run with -update to regenerate): %v", name, err)
+	}
+	data, err := hex.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		t.Fatalf("golden fixture %s is not hex: %v", name, err)
+	}
+	return data
+}
+
+// TestGoldenRecordCorpus pins both SHMDMDL1 record types byte-exactly:
+// the committed fixture must decode, and re-encoding the decoded value
+// must reproduce the fixture bit for bit.
+func TestGoldenRecordCorpus(t *testing.T) {
+	records := goldenRecords(t)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, raw := range records {
+			enc := hex.EncodeToString(raw) + "\n"
+			if err := os.WriteFile(goldenPath(name), []byte(enc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, built := range records {
+		t.Run(name, func(t *testing.T) {
+			raw := readGolden(t, name)
+			if !bytes.Equal(built, raw) {
+				t.Fatalf("encoding drifted from committed fixture:\n got %x\nwant %x", built, raw)
+			}
+			var reenc []byte
+			var err error
+			switch name {
+			case "manifest":
+				var m *Manifest
+				if m, err = DecodeManifest(raw); err == nil {
+					reenc, err = EncodeManifest(m)
+				}
+			case "active":
+				var a *Active
+				if a, err = DecodeActive(raw); err == nil {
+					reenc, err = EncodeActive(a)
+				}
+			}
+			if err != nil {
+				t.Fatalf("decode/re-encode committed fixture: %v", err)
+			}
+			if !bytes.Equal(reenc, raw) {
+				t.Fatalf("re-encode is not identity:\n got %x\nwant %x", reenc, raw)
+			}
+		})
+	}
+}
+
+// TestGoldenRecordMutationsFailTyped flips bytes of every fixture and
+// asserts the decoder reports ErrCorrupt — never a panic, never a
+// silent success (CRC32 catches every single-byte mutation).
+func TestGoldenRecordMutationsFailTyped(t *testing.T) {
+	for name, raw := range goldenRecords(t) {
+		for i := range raw {
+			for _, flip := range []byte{0x01, 0x80} {
+				mut := append([]byte{}, raw...)
+				mut[i] ^= flip
+				var err error
+				if name == "manifest" {
+					_, err = DecodeManifest(mut)
+				} else {
+					_, err = DecodeActive(mut)
+				}
+				if err == nil {
+					t.Fatalf("%s: byte %d ^ %#x decoded silently", name, i, flip)
+				}
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("%s: byte %d ^ %#x: untyped error %v", name, i, flip, err)
+				}
+			}
+		}
+		// Truncation at every prefix length must fail typed too.
+		for n := 0; n < len(raw); n += 7 {
+			var err error
+			if name == "manifest" {
+				_, err = DecodeManifest(raw[:n])
+			} else {
+				_, err = DecodeActive(raw[:n])
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: truncation to %d bytes: %v", name, n, err)
+			}
+		}
+	}
+}
+
+// TestRecordTypeConfusionIsCorrupt pins cross-type decoding: a valid
+// active block is not a manifest and vice versa.
+func TestRecordTypeConfusionIsCorrupt(t *testing.T) {
+	records := goldenRecords(t)
+	if _, err := DecodeManifest(records["active"]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("active-as-manifest: %v", err)
+	}
+	if _, err := DecodeActive(records["manifest"]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("manifest-as-active: %v", err)
+	}
+}
+
+// TestManifestRoundTripSemantics round-trips a manifest through
+// encode/decode and compares every field, including bit-exact golden
+// scores.
+func TestManifestRoundTripSemantics(t *testing.T) {
+	m := testManifest(t, 9, 11)
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || got.Type != m.Type || got.Created != m.Created {
+		t.Fatalf("header mismatch: %+v vs %+v", got, m)
+	}
+	if !bytes.Equal(got.Params, m.Params) {
+		t.Fatal("params mismatch")
+	}
+	if len(got.Golden) != len(m.Golden) {
+		t.Fatalf("%d golden, want %d", len(got.Golden), len(m.Golden))
+	}
+	for i := range m.Golden {
+		w, g := m.Golden[i], got.Golden[i]
+		if w.Class != g.Class || w.Index != g.Index || w.Seed != g.Seed ||
+			w.Windows != g.Windows || w.WindowSize != g.WindowSize ||
+			w.Malware != g.Malware || math.Float64bits(w.Score) != math.Float64bits(g.Score) {
+			t.Fatalf("golden %d mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+// TestEncodeManifestRejectsInvalid pins structural validation on the
+// encode side.
+func TestEncodeManifestRejectsInvalid(t *testing.T) {
+	base := testManifest(t, 1, 7)
+	cases := map[string]func(m *Manifest){
+		"version zero":   func(m *Manifest) { m.Version = 0 },
+		"empty type":     func(m *Manifest) { m.Type = "" },
+		"long type":      func(m *Manifest) { m.Type = strings.Repeat("x", maxTypeLen+1) },
+		"empty params":   func(m *Manifest) { m.Params = nil },
+		"no golden":      func(m *Manifest) { m.Golden = nil },
+		"bad class":      func(m *Manifest) { m.Golden[0].Class = trace.Class(99) },
+		"zero windows":   func(m *Manifest) { m.Golden[0].Windows = 0 },
+		"huge window":    func(m *Manifest) { m.Golden[0].WindowSize = 1 << 20 },
+		"nan score":      func(m *Manifest) { m.Golden[0].Score = math.NaN() },
+		"negative index": func(m *Manifest) { m.Golden[0].Index = -1 },
+	}
+	for name, mutate := range cases {
+		m := *base
+		m.Golden = append([]GoldenVerdict(nil), base.Golden...)
+		mutate(&m)
+		if _, err := EncodeManifest(&m); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"shmd/internal/wire"
+)
+
+// Registry is the on-disk model store. Layout inside the directory:
+//
+//	v<N>.mdl  one SHMDMDL1 manifest block per version
+//	ACTIVE    one SHMDMDL1 active-pointer block (optional)
+//
+// All writes go through internal/wire's atomic write (temp + fsync +
+// rename), so a crash mid-write leaves either the old record or the
+// new one, never a torn file. Decoded models are cached and their
+// golden verdicts re-verified once per load; Activate re-reads the
+// manifest from disk first, because the bytes a warm restart would
+// adopt are the ones that must be proven valid before the pointer
+// flips.
+type Registry struct {
+	dir  string
+	logf func(string, ...any)
+
+	mu        sync.RWMutex
+	manifests map[uint32]*Manifest
+	models    map[uint32]Model
+	active    uint32 // 0 = none
+}
+
+// Info summarizes one registered version for the admin surface.
+type Info struct {
+	Version     uint32 `json:"version"`
+	Type        string `json:"type"`
+	Fingerprint string `json:"fingerprint"`
+	Created     uint64 `json:"created"`
+	Golden      int    `json:"golden"`
+	Active      bool   `json:"active"`
+}
+
+// Open loads (or initializes) a registry directory. Corrupt manifest
+// files are skipped with a log line — boot must survive a torn disk —
+// and an ACTIVE pointer naming a missing, corrupt, or
+// fingerprint-mismatched version is ignored the same way. Strictness
+// lives in Register and Activate, which refuse bad records with typed
+// errors instead of ever persisting them.
+func Open(dir string, logf func(string, ...any)) (*Registry, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	r := &Registry{
+		dir:       dir,
+		logf:      logf,
+		manifests: make(map[uint32]*Manifest),
+		models:    make(map[uint32]Model),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		var v uint32
+		if n, err := fmt.Sscanf(e.Name(), "v%d.mdl", &v); n != 1 || err != nil || e.Name() != manifestName(v) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			r.logf("registry: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		m, err := DecodeManifest(raw)
+		if err != nil {
+			r.logf("registry: skipping corrupt %s: %v", e.Name(), err)
+			continue
+		}
+		if m.Version != v {
+			r.logf("registry: skipping %s: manifest claims version %d", e.Name(), m.Version)
+			continue
+		}
+		r.manifests[v] = m
+	}
+	r.loadActive()
+	return r, nil
+}
+
+// loadActive restores the ACTIVE pointer if it is valid.
+func (r *Registry) loadActive() {
+	path := filepath.Join(r.dir, "ACTIVE")
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		r.logf("registry: ignoring ACTIVE: %v", err)
+		return
+	}
+	a, err := DecodeActive(raw)
+	if err != nil {
+		r.logf("registry: ignoring corrupt ACTIVE: %v", err)
+		return
+	}
+	m, ok := r.manifests[a.Version]
+	if !ok {
+		r.logf("registry: ignoring ACTIVE: version %d not registered", a.Version)
+		return
+	}
+	model, err := r.decode(m)
+	if err != nil {
+		r.logf("registry: ignoring ACTIVE: version %d: %v", a.Version, err)
+		return
+	}
+	if model.Fingerprint() != a.Fingerprint {
+		r.logf("registry: ignoring ACTIVE: version %d fingerprint %s != %s",
+			a.Version, model.Fingerprint(), a.Fingerprint)
+		return
+	}
+	r.models[a.Version] = model
+	r.active = a.Version
+}
+
+// decode resolves and validates a manifest's model, without caching.
+func (r *Registry) decode(m *Manifest) (Model, error) {
+	codec, err := CodecFor(m.Type)
+	if err != nil {
+		return nil, err
+	}
+	model, err := codec.Decode(m.Params)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyGolden(model.Detector(), m.Golden); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+func manifestName(version uint32) string {
+	return fmt.Sprintf("v%d.mdl", version)
+}
+
+// Dir returns the registry directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Register validates a manifest (structure, codec decode, every
+// pinned golden verdict) and persists it atomically. Registering the
+// same version with the same fingerprint is idempotent; a different
+// model under a taken version is ErrVersionExists.
+func (r *Registry) Register(m *Manifest) error {
+	if err := m.validate(); err != nil {
+		return err
+	}
+	model, err := r.decode(m)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.manifests[m.Version]; ok {
+		oldModel, err := r.decode(old)
+		if err != nil || oldModel.Fingerprint() != model.Fingerprint() {
+			return fmt.Errorf("%w: version %d", ErrVersionExists, m.Version)
+		}
+		r.models[m.Version] = oldModel
+		return nil // identical re-register
+	}
+	raw, err := EncodeManifest(m)
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFileAtomic(filepath.Join(r.dir, manifestName(m.Version)), raw); err != nil {
+		return fmt.Errorf("registry: persist v%d: %w", m.Version, err)
+	}
+	cp := *m
+	r.manifests[m.Version] = &cp
+	r.models[m.Version] = model
+	return nil
+}
+
+// Manifest returns the stored manifest for a version.
+func (r *Registry) Manifest(version uint32) (*Manifest, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.manifests[version]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
+	}
+	return m, nil
+}
+
+// Model returns the decoded, golden-verified model for a version,
+// caching the decode.
+func (r *Registry) Model(version uint32) (Model, error) {
+	r.mu.RLock()
+	model, ok := r.models[version]
+	m := r.manifests[version]
+	r.mu.RUnlock()
+	if ok {
+		return model, nil
+	}
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, version)
+	}
+	model, err := r.decode(m)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.models[version] = model
+	r.mu.Unlock()
+	return model, nil
+}
+
+// Activate flips the ACTIVE pointer to a registered version. The
+// manifest is re-read from disk and fully re-validated first — an
+// unknown version is ErrUnknownVersion, torn or tampered on-disk bytes
+// are ErrCorrupt (or ErrGoldenMismatch), and in every failure case the
+// incumbent pointer is untouched, in memory and on disk.
+func (r *Registry) Activate(version uint32) error {
+	r.mu.RLock()
+	_, ok := r.manifests[version]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownVersion, version)
+	}
+	raw, err := os.ReadFile(filepath.Join(r.dir, manifestName(version)))
+	if err != nil {
+		return fmt.Errorf("%w: v%d: %v", ErrCorrupt, version, err)
+	}
+	m, err := DecodeManifest(raw)
+	if err != nil {
+		return fmt.Errorf("activate v%d: %w", version, err)
+	}
+	if m.Version != version {
+		return corrupt("v%d manifest claims version %d", version, m.Version)
+	}
+	model, err := r.decode(m)
+	if err != nil {
+		return fmt.Errorf("activate v%d: %w", version, err)
+	}
+	rec, err := EncodeActive(&Active{
+		Version:     version,
+		Fingerprint: model.Fingerprint(),
+		Saved:       m.Created,
+	})
+	if err != nil {
+		return err
+	}
+	if err := wire.WriteFileAtomic(filepath.Join(r.dir, "ACTIVE"), rec); err != nil {
+		return fmt.Errorf("registry: persist ACTIVE: %w", err)
+	}
+	r.mu.Lock()
+	r.manifests[version] = m
+	r.models[version] = model
+	r.active = version
+	r.mu.Unlock()
+	return nil
+}
+
+// Active returns the active version, if any.
+func (r *Registry) Active() (uint32, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.active, r.active != 0
+}
+
+// Versions lists registered versions in ascending order.
+func (r *Registry) Versions() []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.manifests))
+	for v, m := range r.manifests {
+		info := Info{
+			Version: v,
+			Type:    m.Type,
+			Created: m.Created,
+			Golden:  len(m.Golden),
+			Active:  v == r.active,
+		}
+		if model, ok := r.models[v]; ok {
+			info.Fingerprint = model.Fingerprint()
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}

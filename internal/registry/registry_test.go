@@ -1,0 +1,283 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shmd/internal/wire"
+)
+
+func openTest(t *testing.T, dir string) *Registry {
+	t.Helper()
+	r, err := Open(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRegisterActivateReload pins the basic lifecycle: register two
+// versions, activate one, and a fresh Open of the same directory
+// restores both manifests and the active pointer.
+func TestRegisterActivateReload(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	m1, m2 := testManifest(t, 1, 7), testManifest(t, 2, 8)
+	if err := r.Register(m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(m2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Active(); ok {
+		t.Fatal("active version before any Activate")
+	}
+	if err := r.Activate(2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Active(); !ok || v != 2 {
+		t.Fatalf("active = %d, %v", v, ok)
+	}
+
+	r2 := openTest(t, dir)
+	if v, ok := r2.Active(); !ok || v != 2 {
+		t.Fatalf("reloaded active = %d, %v", v, ok)
+	}
+	infos := r2.Versions()
+	if len(infos) != 2 || infos[0].Version != 1 || infos[1].Version != 2 || !infos[1].Active || infos[0].Active {
+		t.Fatalf("versions = %+v", infos)
+	}
+	// The reloaded model must be the same detector bit for bit.
+	want, got := mustModel(t, r, 2), mustModel(t, r2, 2)
+	if want.Fingerprint() != got.Fingerprint() {
+		t.Fatalf("fingerprint drifted across reload: %s vs %s", want.Fingerprint(), got.Fingerprint())
+	}
+}
+
+func mustModel(t *testing.T, r *Registry, v uint32) Model {
+	t.Helper()
+	m, err := r.Model(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestRegisterIdempotentAndConflicting pins version-number semantics:
+// re-registering the identical model is a no-op, a different model
+// under a taken version is ErrVersionExists.
+func TestRegisterIdempotentAndConflicting(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	if err := r.Register(testManifest(t, 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(testManifest(t, 1, 7)); err != nil {
+		t.Fatalf("identical re-register: %v", err)
+	}
+	if err := r.Register(testManifest(t, 1, 99)); !errors.Is(err, ErrVersionExists) {
+		t.Fatalf("conflicting register: %v, want ErrVersionExists", err)
+	}
+}
+
+// TestRegisterRejectsGoldenMismatch pins the known-answer gate: a
+// manifest whose pinned verdicts disagree with its own params never
+// lands on disk.
+func TestRegisterRejectsGoldenMismatch(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	m := testManifest(t, 1, 7)
+	m.Golden[0].Score = math.Nextafter(m.Golden[0].Score, 2)
+	if err := r.Register(m); !errors.Is(err, ErrGoldenMismatch) {
+		t.Fatalf("err = %v, want ErrGoldenMismatch", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v1.mdl")); !os.IsNotExist(err) {
+		t.Fatalf("rejected manifest reached disk: %v", err)
+	}
+	flipped := testManifest(t, 2, 7)
+	flipped.Golden[1].Malware = !flipped.Golden[1].Malware
+	if err := r.Register(flipped); !errors.Is(err, ErrGoldenMismatch) {
+		t.Fatalf("flipped verdict: %v, want ErrGoldenMismatch", err)
+	}
+}
+
+// TestRegisterRejectsUnknownType pins the codec gate.
+func TestRegisterRejectsUnknownType(t *testing.T) {
+	r := openTest(t, t.TempDir())
+	m := testManifest(t, 1, 7)
+	m.Type = "rhmd-committee"
+	if err := r.Register(m); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+// TestActivateUnknownOrCorruptKeepsIncumbent is the rollback-safety
+// contract: activating an unknown version or a version whose on-disk
+// bytes are torn fails with the typed error and leaves the incumbent
+// pointer untouched in memory and on disk.
+func TestActivateUnknownOrCorruptKeepsIncumbent(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	if err := r.Register(testManifest(t, 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(testManifest(t, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.Activate(42); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("unknown version: %v, want ErrUnknownVersion", err)
+	}
+	if v, _ := r.Active(); v != 1 {
+		t.Fatalf("incumbent moved to %d after failed activate", v)
+	}
+
+	// Tear v2 on disk (flip one params byte, CRC catches it).
+	path := filepath.Join(dir, "v2.mdl")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Activate(2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt version: %v, want ErrCorrupt", err)
+	}
+	if v, _ := r.Active(); v != 1 {
+		t.Fatalf("incumbent moved to %d after corrupt activate", v)
+	}
+	// The on-disk pointer must still name v1 for the next warm restart.
+	if v, ok := openTest(t, dir).Active(); !ok || v != 1 {
+		t.Fatalf("on-disk active = %d, %v", v, ok)
+	}
+}
+
+// TestOpenSurvivesTornDisk pins boot behavior: corrupt manifests and a
+// corrupt or dangling ACTIVE pointer are skipped, never fatal.
+func TestOpenSurvivesTornDisk(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	if err := r.Register(testManifest(t, 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	// Torn manifest alongside the good one.
+	if err := os.WriteFile(filepath.Join(dir, "v2.mdl"), []byte("SHMDMDL1 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := openTest(t, dir)
+	if len(r2.Versions()) != 1 {
+		t.Fatalf("versions = %+v", r2.Versions())
+	}
+	if v, ok := r2.Active(); !ok || v != 1 {
+		t.Fatalf("active = %d, %v", v, ok)
+	}
+	// Now tear ACTIVE itself: boot must come up with no active version
+	// but all good manifests intact.
+	if err := os.WriteFile(filepath.Join(dir, "ACTIVE"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3 := openTest(t, dir)
+	if _, ok := r3.Active(); ok {
+		t.Fatal("corrupt ACTIVE resurrected an active version")
+	}
+	if len(r3.Versions()) != 1 {
+		t.Fatalf("versions after torn ACTIVE = %+v", r3.Versions())
+	}
+}
+
+// TestActiveFingerprintMismatchIgnored pins the ACTIVE cross-check: a
+// pointer whose fingerprint disagrees with the manifest it names (say,
+// a restored-from-backup v1.mdl) is ignored rather than trusted.
+func TestActiveFingerprintMismatchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	r := openTest(t, dir)
+	if err := r.Register(testManifest(t, 1, 7)); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := EncodeActive(&Active{Version: 1, Fingerprint: "0000000000000000", Saved: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFileAtomic(filepath.Join(dir, "ACTIVE"), rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := openTest(t, dir).Active(); ok {
+		t.Fatal("fingerprint-mismatched ACTIVE was trusted")
+	}
+}
+
+// TestRegistryModelBitIdenticalToSource is the package-level half of
+// the cross-version bit-identity criterion: a detector round-tripped
+// through manifest encode → disk → reload scores every golden program
+// bit-identically to the original.
+func TestRegistryModelBitIdenticalToSource(t *testing.T) {
+	dir := t.TempDir()
+	src := testHMD(t, 7)
+	m, err := NewManifest(1, FannType, src, 1700000000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir)
+	if err := r.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	loaded := mustModel(t, openTest(t, dir), 1).Detector()
+
+	var a, b bytes.Buffer
+	if _, err := src.SaveBundle(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.SaveBundle(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("reloaded bundle differs from source")
+	}
+	for _, sp := range DefaultGoldenSpecs() {
+		windows, err := goldenWindows(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := src.DetectProgram(windows), loaded.DetectProgram(windows)
+		if want.Malware != got.Malware || math.Float64bits(want.Score) != math.Float64bits(got.Score) {
+			t.Fatalf("%s/%d drifted: %+v vs %+v", sp.Class, sp.Index, got, want)
+		}
+	}
+}
+
+// TestFingerprintStability pins the fingerprint as a pure content
+// hash: equal models hash equal, different weights hash different.
+func TestFingerprintStability(t *testing.T) {
+	a, err := testHMD(t, 7).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testHMD(t, 7).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := testHMD(t, 8).Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same model, different fingerprints: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Fatalf("different models share fingerprint %s", a)
+	}
+	if len(a) != 32 {
+		t.Fatalf("fingerprint %q not 16 hex bytes", a)
+	}
+}

@@ -31,6 +31,12 @@ func fuzzSeedRecords() []Record {
 		{Rate: 0.2, DepthMV: 130, Threshold: 0.5, Score: 0.6, Malware: true,
 			Confidence: 0.2, Draws: faults.DrawLog{InitialGap: -1},
 			Windows: []trace.WindowCounts{w}, Tenant: "acme-corp"},
+		{Rate: 0.2, DepthMV: 130, Threshold: 0.5, Score: 0.6, Malware: true,
+			Confidence: 0.2, Draws: faults.DrawLog{InitialGap: -1},
+			Windows: []trace.WindowCounts{w}, Tenant: "acme-corp", ModelVersion: 3},
+		{Rate: 0.3, DepthMV: 130, Threshold: 0.5, Score: 0.4,
+			Confidence: 0.4, Draws: faults.DrawLog{InitialGap: -1},
+			Windows: []trace.WindowCounts{w}, ModelVersion: 1<<32 - 1},
 	}
 }
 

@@ -84,6 +84,13 @@ type Record struct {
 	// tail after the windows, omitted when empty, so traces written
 	// before the field existed decode unchanged.
 	Tenant string
+	// ModelVersion is the registry version of the model that scored
+	// this record (0 when serving the compiled-in model outside a
+	// registry deployment). Encoded as a second appended tail — a
+	// zero-length tag, impossible for a tenant tail, marks it — and
+	// omitted when 0, so pre-registry traces decode unchanged and a
+	// mixed-version rollout window can be audited per version.
+	ModelVersion uint32
 }
 
 // maxTenantLen bounds the tenant tail (mirrors the wire tag bound).
@@ -177,6 +184,13 @@ func EncodeRecord(b []byte, r Record) ([]byte, error) {
 		}
 		b = binary.AppendUvarint(b, uint64(len(r.Tenant)))
 		b = append(b, r.Tenant...)
+	}
+	// Model-version tail: a zero tag (a length no tenant tail can
+	// carry) marks it, so decoders can tell the two tails apart with
+	// either, both, or neither present.
+	if r.ModelVersion != 0 {
+		b = append(b, 0)
+		b = binary.AppendUvarint(b, uint64(r.ModelVersion))
 	}
 	if len(b) > maxPayload {
 		return nil, fmt.Errorf("replay: record payload %d bytes exceeds %d", len(b), maxPayload)
@@ -386,27 +400,56 @@ func DecodeRecord(payload []byte) (Record, error) {
 			}
 		}
 	}
-	// Optional tenant tail: records written before the field existed
-	// end exactly at the windows; a present-but-empty tag is never
-	// emitted, so it decodes as corrupt rather than ambiguous.
+	// Optional tails: records written before either field existed end
+	// exactly at the windows. A nonzero tag is a tenant tail (an empty
+	// tenant is never emitted); the zero tag marks the model-version
+	// tail, which always comes last.
 	if p.off != len(p.b) {
 		n, err := p.count(maxTenantLen, 1, "tenant")
 		if err != nil {
 			return r, err
 		}
-		if n == 0 {
-			return r, corrupt("empty tenant tail")
+		if n > 0 {
+			if p.off+n > len(p.b) {
+				return r, corrupt("truncated tenant tail at offset %d", p.off)
+			}
+			r.Tenant = string(p.b[p.off : p.off+n])
+			p.off += n
+			if p.off != len(p.b) {
+				tag, err := p.uvarint()
+				if err != nil {
+					return r, err
+				}
+				if tag != 0 {
+					return r, corrupt("unknown tail tag %d at offset %d", tag, p.off)
+				}
+				if err := p.modelVersionTail(&r); err != nil {
+					return r, err
+				}
+			}
+		} else if err := p.modelVersionTail(&r); err != nil {
+			return r, err
 		}
-		if p.off+n > len(p.b) {
-			return r, corrupt("truncated tenant tail at offset %d", p.off)
-		}
-		r.Tenant = string(p.b[p.off : p.off+n])
-		p.off += n
 	}
 	if p.off != len(p.b) {
 		return r, corrupt("%d trailing payload bytes", len(p.b)-p.off)
 	}
 	return r, nil
+}
+
+// modelVersionTail decodes the version value following a zero tail
+// tag. A zero version is never emitted (the field is omitted), so it
+// decodes as corrupt rather than ambiguous.
+func (p *payloadReader) modelVersionTail(r *Record) error {
+	v, err := p.uvarint()
+	if err != nil {
+		return err
+	}
+	if v == 0 || v > math.MaxUint32 {
+		return corrupt("model version %d out of range", v)
+	}
+	r.ModelVersion = uint32(v)
+	return nil
 }
 
 // Writer streams framed records to w through the shared wire frame

@@ -177,6 +177,73 @@ func TestTenantTailCompat(t *testing.T) {
 	}
 }
 
+// TestModelVersionTailCompat pins the model-version column's
+// compatibility contract: the field rides a zero-tagged tail appended
+// after the (optional) tenant tail, version-0 records encode
+// byte-identically to the pre-registry format, and malformed tails
+// are rejected.
+func TestModelVersionTailCompat(t *testing.T) {
+	h := testModel(t)
+	r := rng.NewRand(9)
+	rec := recordDecision(t, h, 0.5, 31, synthWindows(r, 3))
+
+	legacy, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.ModelVersion = 7
+	versioned, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(versioned, legacy) {
+		t.Fatal("model-version tail moved earlier fields")
+	}
+	got, err := DecodeRecord(versioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelVersion != 7 {
+		t.Fatalf("model version = %d, want 7", got.ModelVersion)
+	}
+	// Version 0 is the omitted encoding: legacy payloads decode with 0.
+	got, err = DecodeRecord(legacy)
+	if err != nil {
+		t.Fatalf("legacy payload: %v", err)
+	}
+	if got.ModelVersion != 0 {
+		t.Fatalf("legacy model version = %d, want 0", got.ModelVersion)
+	}
+
+	// Both tails together: tenant first, model version last.
+	rec.Tenant = "acme-corp"
+	both, err := EncodeRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeRecord(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tenant != "acme-corp" || got.ModelVersion != 7 {
+		t.Fatalf("both tails: tenant=%q version=%d", got.Tenant, got.ModelVersion)
+	}
+
+	// A zero tag with nothing after it is truncated, not ambiguous.
+	if _, err := DecodeRecord(append(append([]byte(nil), legacy...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bare zero tag: err = %v, want ErrCorrupt", err)
+	}
+	// An explicit version 0 in the tail is never emitted, so it is
+	// corrupt rather than a second spelling of "no version".
+	if _, err := DecodeRecord(append(append([]byte(nil), legacy...), 0, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("explicit zero version: err = %v, want ErrCorrupt", err)
+	}
+	// Trailing bytes after the version tail are corrupt.
+	if _, err := DecodeRecord(append(append([]byte(nil), versioned...), 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes after version tail: err = %v, want ErrCorrupt", err)
+	}
+}
+
 // normalize maps empty slices to nil so DeepEqual compares content.
 func normalize(r Record) Record {
 	if len(r.Draws.Gaps) == 0 {

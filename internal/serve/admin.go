@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"shmd/internal/registry"
+)
+
+// The model admin surface: GET /v1/admin/models lists the registry and
+// the rollout controller's state; POST /v1/admin/models pushes a new
+// SHMDMDL1 manifest (or names an already-registered version) and
+// starts a canary rollout, a plain registration, or a direct
+// activation. Mounted only when Config.Registry is set.
+
+// adminMaxManifestBytes bounds the POST body: the largest manifest the
+// registry codec itself accepts, plus framing slack.
+const adminMaxManifestBytes = 9 << 20
+
+// AdminModelsReport is the GET /v1/admin/models body.
+type AdminModelsReport struct {
+	// Active is the incumbent model version serving traffic.
+	Active uint32 `json:"active"`
+	// Rollout is the canary rollout controller's state.
+	Rollout RolloutStatus `json:"rollout"`
+	// Models lists every version the registry holds.
+	Models []registry.Info `json:"models"`
+}
+
+// AdminModelsReply is the POST /v1/admin/models success body.
+type AdminModelsReply struct {
+	Version uint32 `json:"version"`
+	// Action is what the POST started: "registered", "canarying", or
+	// "activating".
+	Action string `json:"action"`
+}
+
+// handleAdminModels serves the model admin surface.
+func (s *Server) handleAdminModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.adminListModels(w)
+	case http.MethodPost:
+		s.adminPushModel(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		s.status(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// adminListModels serves GET: the registry inventory plus live rollout
+// state.
+func (s *Server) adminListModels(w http.ResponseWriter) {
+	report := AdminModelsReport{
+		Active:  s.rollout.Incumbent(),
+		Rollout: s.rollout.Status(),
+		Models:  s.cfg.Registry.Versions(),
+	}
+	s.metrics.Request(http.StatusOK)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(report)
+}
+
+// adminPushModel serves POST: register the manifest in the body (when
+// present), then act on the version per ?mode= — "canary" (default)
+// begins a canary rollout, "register" stops after registration,
+// "activate" rolls every slot immediately. An empty body with
+// ?version=N acts on an already-registered version.
+func (s *Server) adminPushModel(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "canary"
+	}
+	switch mode {
+	case "canary", "register", "activate":
+	default:
+		s.status(w, http.StatusBadRequest, fmt.Sprintf("unknown mode %q (want canary, register, or activate)", mode))
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, adminMaxManifestBytes))
+	if err != nil {
+		s.status(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	var version uint32
+	if len(body) > 0 {
+		m, err := registry.DecodeManifest(body)
+		if err != nil {
+			s.status(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := s.cfg.Registry.Register(m); err != nil {
+			s.status(w, adminRegisterStatus(err), err.Error())
+			return
+		}
+		version = m.Version
+	} else {
+		raw := r.URL.Query().Get("version")
+		if raw == "" {
+			s.status(w, http.StatusBadRequest, "empty body needs ?version=N")
+			return
+		}
+		v, err := strconv.ParseUint(raw, 10, 32)
+		if err != nil || v == 0 {
+			s.status(w, http.StatusBadRequest, fmt.Sprintf("version %q is not a positive 32-bit integer", raw))
+			return
+		}
+		version = uint32(v)
+	}
+
+	if mode == "register" {
+		s.adminReply(w, http.StatusOK, AdminModelsReply{Version: version, Action: "registered"})
+		return
+	}
+
+	// Canary and activate both need the decoded model in the pool's
+	// version map before any slot can roll onto it.
+	mdl, err := s.cfg.Registry.Model(version)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrUnknownVersion) {
+			code = http.StatusNotFound
+		} else if errors.Is(err, registry.ErrCorrupt) || errors.Is(err, registry.ErrGoldenMismatch) || errors.Is(err, registry.ErrUnknownType) {
+			code = http.StatusConflict
+		}
+		s.status(w, code, err.Error())
+		return
+	}
+	if err := s.pool.RegisterModel(version, mdl.Detector()); err != nil {
+		s.status(w, http.StatusConflict, err.Error())
+		return
+	}
+	if mode == "activate" {
+		if err := s.rollout.ForceActivate(version); err != nil {
+			s.status(w, http.StatusConflict, err.Error())
+			return
+		}
+		s.adminReply(w, http.StatusAccepted, AdminModelsReply{Version: version, Action: "activating"})
+		return
+	}
+	if err := s.rollout.Begin(version); err != nil {
+		s.status(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.adminReply(w, http.StatusAccepted, AdminModelsReply{Version: version, Action: "canarying"})
+}
+
+// adminRegisterStatus maps a registry.Register failure to its HTTP
+// status: malformed or mistyped manifests are the caller's fault,
+// version collisions are conflicts.
+func adminRegisterStatus(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrVersionExists):
+		return http.StatusConflict
+	case errors.Is(err, registry.ErrCorrupt),
+		errors.Is(err, registry.ErrUnknownType),
+		errors.Is(err, registry.ErrGoldenMismatch):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// adminReply writes a JSON success body.
+func (s *Server) adminReply(w http.ResponseWriter, code int, reply AdminModelsReply) {
+	s.metrics.Request(code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(reply)
+}

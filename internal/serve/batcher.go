@@ -61,8 +61,10 @@ type lane struct {
 type laneOutcome struct {
 	v       core.Verdict
 	session int
-	hedged  bool
-	err     error
+	// model is the model version of the slot that scored the lane.
+	model  uint32
+	hedged bool
+	err    error
 }
 
 // newBatcher wires the dispatcher to the server's pool and metrics.
@@ -93,11 +95,13 @@ func (b *batcher) dispatch(ctx context.Context, tenantID string, programs []Deco
 				out.session = lo.session
 			}
 			out.hedge = out.hedge || lo.hedged
+			conf := Confidence(lo.v.Score, b.srv.threshold, lo.v.Malware)
+			b.srv.observeDecision(lo.model, lo.v.Malware, conf)
 			out.results[i] = DetectResult{
 				ID:          programs[i].ID,
 				Malware:     lo.v.Malware,
 				Score:       lo.v.Score,
-				Confidence:  Confidence(lo.v.Score, b.srv.threshold, lo.v.Malware),
+				Confidence:  conf,
 				Unprotected: lo.v.Unprotected,
 				Attempts:    lo.v.Attempts,
 				Windows:     len(programs[i].Windows),
@@ -208,6 +212,7 @@ func (b *batcher) flush(lanes []*lane, reason string) {
 type batchRun struct {
 	verdicts []core.Verdict
 	session  int
+	model    uint32
 	hedge    bool
 	err      error
 }
@@ -240,7 +245,7 @@ func (b *batcher) run(primary *Slot, lanes []*lane) {
 			pending--
 			if out.err == nil {
 				for j, ln := range lanes {
-					ln.done <- laneOutcome{v: out.verdicts[j], session: out.session, hedged: out.hedge}
+					ln.done <- laneOutcome{v: out.verdicts[j], session: out.session, model: out.model, hedged: out.hedge}
 				}
 				return
 			}
@@ -284,6 +289,6 @@ func (b *batcher) runDetached(slot *Slot, traces [][]trace.WindowCounts, tenants
 			}
 		}
 		s.pool.Release(slot)
-		outcomes <- batchRun{verdicts: verdicts, session: slot.ID, hedge: hedge, err: err}
+		outcomes <- batchRun{verdicts: verdicts, session: slot.ID, model: slot.Model, hedge: hedge, err: err}
 	}()
 }

@@ -135,7 +135,9 @@ func (p *Pool) respawn(old *Slot) {
 		if p.closed.Load() {
 			return
 		}
-		slot, err := p.buildSlot(old.ID, gen)
+		// Respawns keep the old slot's model version: a hardware death
+		// must never silently change which model a slot serves.
+		slot, err := p.buildSlot(old.ID, gen, old.Model)
 		if err != nil {
 			p.logf("serve: slot %d gen %d: respawn attempt %d failed: %v", old.ID, gen, attempt+1, err)
 			continue

@@ -61,6 +61,14 @@ type Metrics struct {
 	wireUnknownFrames atomic.Uint64
 	wireGoAways       atomic.Uint64
 
+	// Model registry: per-version decision counters and rollout
+	// outcome counters. Versions are operator-minted (registry
+	// registration gates them), so the label cardinality is bounded by
+	// deployment practice, not by clients.
+	modelMu       sync.Mutex
+	modelSeries   map[uint32]*modelCounters
+	modelRollouts map[string]*atomic.Uint64
+
 	// Tenant QoS: per-tenant admission counters (cardinality-capped —
 	// see tenantSeries) and per-class admission-gate wait histograms
 	// (classes are a fixed enum, so their cardinality needs no guard).
@@ -107,6 +115,12 @@ type tenantCounters struct {
 	class    string
 	accepted atomic.Uint64
 	shed     map[string]*atomic.Uint64
+}
+
+// modelCounters is one model version's decision ledger.
+type modelCounters struct {
+	malware atomic.Uint64
+	benign  atomic.Uint64
 }
 
 // numBatchSizeBuckets sizes the batch-size histogram.
@@ -249,6 +263,97 @@ func (m *Metrics) WireUnknownFrames() uint64 { return m.wireUnknownFrames.Load()
 
 // WireGoAway records one GOAWAY frame sent to a draining client.
 func (m *Metrics) WireGoAway() { m.wireGoAways.Add(1) }
+
+// ModelDecision records one winning verdict against the model version
+// that produced it.
+func (m *Metrics) ModelDecision(version uint32, malware bool) {
+	m.modelMu.Lock()
+	if m.modelSeries == nil {
+		m.modelSeries = make(map[uint32]*modelCounters)
+	}
+	mc, ok := m.modelSeries[version]
+	if !ok {
+		mc = &modelCounters{}
+		m.modelSeries[version] = mc
+	}
+	m.modelMu.Unlock()
+	if malware {
+		mc.malware.Add(1)
+	} else {
+		mc.benign.Add(1)
+	}
+}
+
+// ModelRollout records one finished rollout by outcome ("promoted",
+// "rolledback", or "aborted").
+func (m *Metrics) ModelRollout(outcome string) {
+	m.modelMu.Lock()
+	if m.modelRollouts == nil {
+		m.modelRollouts = make(map[string]*atomic.Uint64)
+	}
+	c, ok := m.modelRollouts[outcome]
+	if !ok {
+		c = new(atomic.Uint64)
+		m.modelRollouts[outcome] = c
+	}
+	m.modelMu.Unlock()
+	c.Add(1)
+}
+
+// ModelRollouts reports finished rollouts for an outcome.
+func (m *Metrics) ModelRollouts(outcome string) uint64 {
+	m.modelMu.Lock()
+	defer m.modelMu.Unlock()
+	if c, ok := m.modelRollouts[outcome]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// writeModelProm renders the per-version decision counters and the
+// rollout outcome counters, sorted for a deterministic exposition.
+func (m *Metrics) writeModelProm(w io.Writer) {
+	m.modelMu.Lock()
+	versions := make([]uint32, 0, len(m.modelSeries))
+	for v := range m.modelSeries {
+		versions = append(versions, v)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	type decRow struct {
+		version          uint32
+		malware, benign  uint64
+	}
+	decs := make([]decRow, 0, len(versions))
+	for _, v := range versions {
+		mc := m.modelSeries[v]
+		decs = append(decs, decRow{v, mc.malware.Load(), mc.benign.Load()})
+	}
+	outcomes := make([]string, 0, len(m.modelRollouts))
+	for o := range m.modelRollouts {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	rolls := make(map[string]uint64, len(outcomes))
+	for _, o := range outcomes {
+		rolls[o] = m.modelRollouts[o].Load()
+	}
+	m.modelMu.Unlock()
+	if len(decs) > 0 {
+		fmt.Fprintln(w, "# HELP shmd_model_decisions_total Winning verdicts, by model version and class.")
+		fmt.Fprintln(w, "# TYPE shmd_model_decisions_total counter")
+		for _, r := range decs {
+			fmt.Fprintf(w, "shmd_model_decisions_total{version=\"%d\",verdict=\"malware\"} %d\n", r.version, r.malware)
+			fmt.Fprintf(w, "shmd_model_decisions_total{version=\"%d\",verdict=\"benign\"} %d\n", r.version, r.benign)
+		}
+	}
+	if len(outcomes) > 0 {
+		fmt.Fprintln(w, "# HELP shmd_model_rollouts_total Finished canary rollouts, by outcome.")
+		fmt.Fprintln(w, "# TYPE shmd_model_rollouts_total counter")
+		for _, o := range outcomes {
+			fmt.Fprintf(w, "shmd_model_rollouts_total{outcome=%q} %d\n", o, rolls[o])
+		}
+	}
+}
 
 // tenantEntry resolves (creating on first sight) the counter row for a
 // tenant, folding tenants past the cardinality cap into the overflow
@@ -429,6 +534,7 @@ func (m *Metrics) WriteProm(w io.Writer, pool *Pool) {
 	fmt.Fprintln(w, "# TYPE shmd_wire_goaways_total counter")
 	fmt.Fprintf(w, "shmd_wire_goaways_total %d\n", m.wireGoAways.Load())
 
+	m.writeModelProm(w)
 	m.writeTenantProm(w)
 
 	if pool != nil {
@@ -535,6 +641,7 @@ func writePoolProm(w io.Writer, pool *Pool) {
 		{"shmd_session_state", func(s *Slot) string { return fmt.Sprintf("%d", int(s.Sup.State())) }},
 		{"shmd_session_generation", func(s *Slot) string { return fmt.Sprintf("%d", s.Gen) }},
 		{"shmd_session_lifecycle", func(s *Slot) string { return fmt.Sprintf("%d", int(s.Lifecycle())) }},
+		{"shmd_session_model_version", func(s *Slot) string { return fmt.Sprintf("%d", s.Model) }},
 		{"shmd_session_target_fault_rate", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.TargetRate()) }},
 		{"shmd_session_undervolt_mv", func(s *Slot) string { return fmt.Sprintf("%g", s.Sup.Session().Depth()) }},
 		{"shmd_session_supply_volts", func(s *Slot) string { return fmt.Sprintf("%g", s.Det.SupplyVoltage()) }},
@@ -543,6 +650,7 @@ func writePoolProm(w io.Writer, pool *Pool) {
 		"shmd_session_state":             "Supervisor recovery state (0 healthy, 1 retrying, 2 degraded).",
 		"shmd_session_generation":        "Rebuild generation of the slot occupying this index (0 = boot slot).",
 		"shmd_session_lifecycle":         "Slot lifecycle state (0 active, 1 quarantined, 2 respawning).",
+		"shmd_session_model_version":     "Registry version of the model this slot serves (0 = compiled-in).",
 		"shmd_session_target_fault_rate": "Calibrated fault rate the canary defends.",
 		"shmd_session_undervolt_mv":      "Detection-time undervolt depth applied on enter.",
 		"shmd_session_supply_volts":      "Current supply voltage (nominal between detections).",

@@ -60,6 +60,10 @@ type PoolConfig struct {
 	// detector (set by the server when a trace sink is configured).
 	// Recording is observational: verdicts are bit-identical either way.
 	TraceDraws bool
+	// ModelVersion is the registry version of the base detector (0 for
+	// a compiled-in model outside a registry deployment). Slots carry
+	// their model version for metrics, traces, and canary rollout.
+	ModelVersion uint32
 }
 
 // withDefaults fills unset fields.
@@ -116,6 +120,10 @@ type Slot struct {
 	// Seed is the slot's derived fault-stream seed (recorded in decision
 	// traces so an auditor can tie a verdict back to its stream lineage).
 	Seed uint64
+	// Model is the registry version of the detector this slot serves
+	// (0 = the compiled-in model). Respawns preserve it; Roll changes
+	// it by rebuilding the slot.
+	Model uint32
 
 	// busy guards the exclusivity invariant: 0 parked, 1 checked out.
 	busy atomic.Int32
@@ -148,6 +156,12 @@ type Pool struct {
 	mu  sync.RWMutex
 	all []*Slot
 
+	// modelsMu guards models, the version → detector table slots are
+	// built from. Respawns keep a slot's version; Roll rebuilds a slot
+	// onto a different one.
+	modelsMu sync.RWMutex
+	models   map[uint32]*hmd.HMD
+
 	slots     chan *Slot
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -160,6 +174,7 @@ type Pool struct {
 	respawns        atomic.Uint64
 	quarantines     atomic.Uint64
 	quarantinedNow  atomic.Int64
+	rolls           atomic.Uint64
 
 	journal *journalStore // nil when journaling is disabled
 }
@@ -174,16 +189,17 @@ func NewPool(base *hmd.HMD, cfg PoolConfig) (*Pool, error) {
 		return nil, fmt.Errorf("serve: pool size %d < 1", cfg.Size)
 	}
 	p := &Pool{
-		base:  base,
-		cfg:   cfg,
-		slots: make(chan *Slot, cfg.Size),
-		stop:  make(chan struct{}),
+		base:   base,
+		cfg:    cfg,
+		models: map[uint32]*hmd.HMD{cfg.ModelVersion: base},
+		slots:  make(chan *Slot, cfg.Size),
+		stop:   make(chan struct{}),
 	}
 	if cfg.JournalPath != "" {
 		p.journal = newJournalStore(cfg.JournalPath, cfg.JournalMaxAge, p.logf)
 	}
 	for i := 0; i < cfg.Size; i++ {
-		slot, err := p.buildSlot(i, 0)
+		slot, err := p.buildSlot(i, 0, cfg.ModelVersion)
 		if err != nil {
 			return nil, fmt.Errorf("serve: building pool slot %d: %w", i, err)
 		}
@@ -191,6 +207,35 @@ func NewPool(base *hmd.HMD, cfg PoolConfig) (*Pool, error) {
 		p.slots <- slot
 	}
 	return p, nil
+}
+
+// RegisterModel makes a detector available for Roll under a version
+// number. Registering the same detector twice is a no-op; a different
+// detector under a taken version is an error (the registry's
+// fingerprint check is the authority — the pool just refuses silent
+// swaps).
+func (p *Pool) RegisterModel(version uint32, det *hmd.HMD) error {
+	if det == nil {
+		return fmt.Errorf("serve: nil detector for model version %d", version)
+	}
+	p.modelsMu.Lock()
+	defer p.modelsMu.Unlock()
+	if old, ok := p.models[version]; ok && old != det {
+		return fmt.Errorf("serve: model version %d already bound to a different detector", version)
+	}
+	p.models[version] = det
+	return nil
+}
+
+// model resolves a registered model version.
+func (p *Pool) model(version uint32) (*hmd.HMD, error) {
+	p.modelsMu.RLock()
+	defer p.modelsMu.RUnlock()
+	det, ok := p.models[version]
+	if !ok {
+		return nil, fmt.Errorf("serve: model version %d not registered with pool", version)
+	}
+	return det, nil
 }
 
 // logf forwards to the configured logger, if any.
@@ -201,11 +246,15 @@ func (p *Pool) logf(format string, args ...any) {
 }
 
 // buildSlot builds one pooled session — detector copy, hardware,
-// supervisor — for slot index i at rebuild generation gen. When a
-// fresh journal entry covers this device and rate, the slot boots at
-// the journaled depth and verifies it with a canary read instead of
-// running the full calibration flow.
-func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
+// supervisor — for slot index i at rebuild generation gen, serving the
+// given model version. When a fresh journal entry covers this device
+// and rate, the slot boots at the journaled depth and verifies it with
+// a canary read instead of running the full calibration flow.
+func (p *Pool) buildSlot(i, gen int, version uint32) (*Slot, error) {
+	base, err := p.model(version)
+	if err != nil {
+		return nil, err
+	}
 	cfg := p.cfg
 	opts := core.Options{
 		ErrorRate:   cfg.ErrorRate,
@@ -221,7 +270,7 @@ func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
 		opts.ErrorRate = 0
 		opts.UndervoltMV = entry.DepthMV
 	}
-	det, err := p.newDetector(opts, profile)
+	det, err := p.newDetector(base, opts, profile)
 	if err != nil && entry != nil {
 		// The journaled depth is unusable on this device (e.g. beyond
 		// the freeze threshold): discard it and calibrate from scratch.
@@ -230,7 +279,7 @@ func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
 		entry = nil
 		opts.ErrorRate = cfg.ErrorRate
 		opts.UndervoltMV = cfg.UndervoltMV
-		det, err = p.newDetector(opts, profile)
+		det, err = p.newDetector(base, opts, profile)
 	}
 	if err != nil {
 		return nil, err
@@ -247,7 +296,7 @@ func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
 	if cfg.TraceDraws {
 		det.EnableDecisionTrace()
 	}
-	slot := &Slot{ID: i, Gen: gen, Sup: sup, Det: det, Seed: opts.Seed}
+	slot := &Slot{ID: i, Gen: gen, Sup: sup, Det: det, Seed: opts.Seed, Model: version}
 	if p.journal != nil && cfg.ErrorRate > 0 {
 		if entry != nil {
 			p.verifyJournaled(slot, profile, cfg.ErrorRate)
@@ -259,11 +308,12 @@ func (p *Pool) buildSlot(i, gen int) (*Slot, error) {
 }
 
 // newDetector builds the slot's stochastic detector on ideal or
-// chaos-wrapped hardware, per the pool configuration.
-func (p *Pool) newDetector(opts core.Options, profile volt.DeviceProfile) (*core.StochasticHMD, error) {
+// chaos-wrapped hardware, per the pool configuration, around the given
+// base model.
+func (p *Pool) newDetector(base *hmd.HMD, opts core.Options, profile volt.DeviceProfile) (*core.StochasticHMD, error) {
 	cfg := p.cfg
 	if !cfg.Chaos && cfg.ChaosConfig == nil {
-		return core.New(p.base.WithFreshBuffers(), opts)
+		return core.New(base.WithFreshBuffers(), opts)
 	}
 	reg, err := volt.NewRegulator(volt.PlaneCore, profile)
 	if err != nil {
@@ -284,7 +334,7 @@ func (p *Pool) newDetector(opts core.Options, profile volt.DeviceProfile) (*core
 	if err != nil {
 		return nil, err
 	}
-	det, err := core.NewWithHardware(p.base.WithFreshBuffers(), env, inj, opts)
+	det, err := core.NewWithHardware(base.WithFreshBuffers(), env, inj, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -392,6 +442,85 @@ func (p *Pool) Release(slot *Slot) {
 		// capacity for every slot); tolerate rather than block.
 		p.doubleCheckouts.Add(1)
 	}
+}
+
+// Roll rebuilds slot id onto a registered model version at the next
+// generation, through the same checkout discipline requests use: the
+// slot is acquired exclusively (so no request is ever interrupted, and
+// none is ever lost), retired, and replaced by a freshly built slot.
+// Wrong slots coming off the channel are released untouched and the
+// checkout retried. A build failure releases the incumbent slot back
+// into rotation unharmed; a closed pool aborts with ErrPoolClosed.
+func (p *Pool) Roll(ctx context.Context, id int, version uint32) error {
+	if id < 0 || id >= p.cfg.Size {
+		return fmt.Errorf("serve: roll of unknown slot %d", id)
+	}
+	if _, err := p.model(version); err != nil {
+		return err
+	}
+	for {
+		slot, err := p.Acquire(ctx)
+		if err != nil {
+			return err
+		}
+		if slot.ID != id {
+			p.Release(slot)
+			select {
+			case <-ctx.Done():
+				return &AcquireError{Cause: ctx.Err()}
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		return p.rollSlot(slot, version)
+	}
+}
+
+// rollSlot swaps an exclusively owned slot for a fresh build on the
+// given model version.
+func (p *Pool) rollSlot(old *Slot, version uint32) error {
+	fresh, err := p.buildSlot(old.ID, old.Gen+1, version)
+	if err != nil {
+		// The replacement could not be built: the incumbent keeps
+		// serving, untouched.
+		p.Release(old)
+		return fmt.Errorf("serve: rolling slot %d to model v%d: %w", old.ID, version, err)
+	}
+	// Retire the incumbent: quarantined state guarantees no path ever
+	// re-parks it, and its plane goes back to nominal.
+	old.lifecycle.Store(int32(SlotQuarantined))
+	if err := old.Sup.Session().ForceNominal(); err != nil {
+		p.logf("serve: slot %d: nominal rollback on retire: %v", old.ID, err)
+	}
+	p.mu.Lock()
+	p.all[old.ID] = fresh
+	p.mu.Unlock()
+	p.rolls.Add(1)
+	p.logf("serve: slot %d rolled to model v%d (gen %d)", fresh.ID, version, fresh.Gen)
+	if p.closed.Load() {
+		// Drain raced the roll: park nothing and leave the fresh slot
+		// at nominal, mirroring Close's fail-safe.
+		if err := fresh.Sup.Session().ForceNominal(); err != nil {
+			p.logf("serve: slot %d: nominal rollback on closed pool: %v", fresh.ID, err)
+		}
+		return ErrPoolClosed
+	}
+	p.slots <- fresh
+	return nil
+}
+
+// Rolls reports how many slots have been rebuilt by model rollout.
+func (p *Pool) Rolls() uint64 { return p.rolls.Load() }
+
+// ModelVersions returns the model version each slot currently serves,
+// indexed by slot ID.
+func (p *Pool) ModelVersions() []uint32 {
+	slots := p.Slots()
+	out := make([]uint32, len(slots))
+	for _, s := range slots {
+		out[s.ID] = s.Model
+	}
+	return out
 }
 
 // DoubleCheckouts reports violations of the session-exclusivity

@@ -17,6 +17,7 @@ import (
 	"shmd/internal/core"
 	"shmd/internal/faults"
 	"shmd/internal/hmd"
+	"shmd/internal/registry"
 	"shmd/internal/replay"
 	"shmd/internal/tenant"
 	"shmd/internal/trace"
@@ -85,6 +86,15 @@ type Config struct {
 	// the listed tenant IDs (empty = trace every decision). Only
 	// meaningful with Trace set.
 	TraceTenants []string
+	// Registry, when non-nil, is the versioned model store behind the
+	// /v1/admin/models surface: new SHMDMDL1 manifests POSTed there are
+	// registered, canaried slot-by-slot, and auto-promoted or rolled
+	// back by the rollout controller, which persists promotions through
+	// Registry.Activate. Nil serves the compiled-in model only.
+	Registry *registry.Registry
+	// Rollout tunes the canary rollout controller (zero value =
+	// defaults; see RolloutConfig).
+	Rollout RolloutConfig
 }
 
 // withDefaults fills unset fields (pool defaults resolve first so the
@@ -147,6 +157,10 @@ type Server struct {
 	gate *tenant.Gate
 	// traceTenants filters the trace sink by tenant ID (nil = all).
 	traceTenants map[string]bool
+	// rollout is the canary rollout controller. Always constructed
+	// (Begin refuses without spare slots); it persists promotions only
+	// when Config.Registry is set.
+	rollout *rollout
 }
 
 // New builds a Server around a trained baseline detector.
@@ -200,11 +214,15 @@ func New(base *hmd.HMD, cfg Config) (*Server, error) {
 			s.traceTenants[id] = true
 		}
 	}
+	s.rollout = newRollout(s, cfg.Registry, cfg.Rollout)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/detect", s.handleDetect)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Registry != nil {
+		s.mux.HandleFunc("/v1/admin/models", s.handleAdminModels)
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -223,6 +241,23 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // Metrics exposes the counter block.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Rollout exposes the canary rollout controller (tests and the soak
+// harness drive and inspect it directly).
+func (s *Server) Rollout() *rollout { return s.rollout }
+
+// logf forwards to the pool's configured logger.
+func (s *Server) logf(format string, args ...any) { s.pool.logf(format, args...) }
+
+// observeOutcome records per-model decision metrics for a winning
+// outcome and feeds the rollout controller's drift comparison. Both
+// dispatch paths (scalar and micro-batched) and both transports (HTTP
+// and SHMDWIRE route through the same dispatchers) land here, winner
+// outcomes only — hedge losers are discarded before observation.
+func (s *Server) observeDecision(model uint32, malware bool, confidence float64) {
+	s.metrics.ModelDecision(model, malware)
+	s.rollout.Observe(model, malware, confidence)
+}
 
 // status writes an error reply and records the request.
 func (s *Server) status(w http.ResponseWriter, code int, msg string) {
@@ -406,6 +441,9 @@ func (s *Server) failDetect(w http.ResponseWriter, r *http.Request, err error) {
 type batchOutcome struct {
 	results []DetectResult
 	session int
+	// model is the model version of the slot that produced the outcome
+	// (scalar path; batched lanes observe per-lane instead).
+	model uint32
 	// hedge marks the outcome as produced by the hedge runner.
 	hedge bool
 	err   error
@@ -452,6 +490,9 @@ func (s *Server) dispatch(ctx context.Context, class tenant.Class, tenantID stri
 		case out := <-outcomes:
 			pending--
 			if out.err == nil {
+				for _, res := range out.results {
+					s.observeDecision(out.model, res.Malware, res.Confidence)
+				}
 				return out, nil
 			}
 			if firstErr == nil {
@@ -493,7 +534,7 @@ func (s *Server) runDetached(ctx context.Context, slot *Slot, programs []Decoded
 // request context between programs (DetectProgram itself is the unit
 // of non-cancellable work).
 func (s *Server) runBatch(ctx context.Context, slot *Slot, programs []DecodedProgram, tenantID string) batchOutcome {
-	out := batchOutcome{session: slot.ID, results: make([]DetectResult, len(programs))}
+	out := batchOutcome{session: slot.ID, model: slot.Model, results: make([]DetectResult, len(programs))}
 	for i, p := range programs {
 		if err := ctx.Err(); err != nil {
 			out.err = err
@@ -545,8 +586,9 @@ func (s *Server) traceRecord(slot *Slot, windows []trace.WindowCounts, v core.Ve
 		return
 	}
 	s.cfg.Trace.Record(replay.Record{
-		Tenant:      tenantID,
-		Seed:        slot.Seed,
+		Tenant:       tenantID,
+		ModelVersion: slot.Model,
+		Seed:         slot.Seed,
 		Slot:        slot.ID,
 		Gen:         slot.Gen,
 		Rate:        slot.Sup.TargetRate(),
@@ -596,6 +638,11 @@ type HealthReport struct {
 	Respawns uint64 `json:"respawns"`
 	// Quarantined counts slots currently out of rotation.
 	Quarantined int64 `json:"quarantined"`
+	// ModelVersion is the incumbent model version (0 = compiled-in
+	// model, no registry).
+	ModelVersion uint32 `json:"modelVersion"`
+	// Rollout reports the canary rollout controller's state.
+	Rollout RolloutStatus `json:"rollout"`
 	// Sessions reports each pooled supervisor.
 	Sessions []SessionHealth `json:"sessions"`
 }
@@ -608,7 +655,10 @@ type SessionHealth struct {
 	State      string `json:"state"`
 	// Lifecycle is the slot's lifecycle state: active, quarantined, or
 	// respawning.
-	Lifecycle      string  `json:"lifecycle"`
+	Lifecycle string `json:"lifecycle"`
+	// ModelVersion is the registry version of the model this slot
+	// serves (0 = compiled-in model).
+	ModelVersion   uint32  `json:"modelVersion"`
 	TargetRate     float64 `json:"targetRate"`
 	Detections     uint64  `json:"detections"`
 	Protected      uint64  `json:"protected"`
@@ -631,9 +681,11 @@ type SessionHealth struct {
 // maps to (200 ok, 503 degraded).
 func (s *Server) healthReport() (HealthReport, int) {
 	report := HealthReport{
-		Status:      "ok",
-		Respawns:    s.pool.Respawns(),
-		Quarantined: s.pool.QuarantinedNow(),
+		Status:       "ok",
+		Respawns:     s.pool.Respawns(),
+		Quarantined:  s.pool.QuarantinedNow(),
+		ModelVersion: s.rollout.Incumbent(),
+		Rollout:      s.rollout.Status(),
 	}
 	for _, slot := range s.pool.Slots() {
 		h := slot.Sup.Health()
@@ -642,6 +694,7 @@ func (s *Server) healthReport() (HealthReport, int) {
 			Generation:     slot.Gen,
 			State:          h.State.String(),
 			Lifecycle:      slot.Lifecycle().String(),
+			ModelVersion:   slot.Model,
 			TargetRate:     slot.Sup.TargetRate(),
 			Detections:     h.Detections,
 			Protected:      h.Protected,
@@ -733,6 +786,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request(http.StatusOK)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, s.pool)
+	fmt.Fprintf(w, "# HELP shmd_model_active_version Incumbent model version (0 = compiled-in model).\n")
+	fmt.Fprintf(w, "# TYPE shmd_model_active_version gauge\n")
+	fmt.Fprintf(w, "shmd_model_active_version %d\n", s.rollout.Incumbent())
 	if s.cfg.Trace != nil {
 		fmt.Fprintf(w, "# HELP shmd_trace_records_total Decision-trace records durably written.\n")
 		fmt.Fprintf(w, "# TYPE shmd_trace_records_total counter\n")
